@@ -1,0 +1,1 @@
+bench/workloads.ml: Election Radio_config Radio_graph Random

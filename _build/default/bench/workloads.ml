@@ -1,0 +1,41 @@
+(* Deterministic workload construction for the benchmark harness: every
+   configuration is derived from a fixed seed so runs are reproducible. *)
+
+module C = Radio_config.Config
+module RC = Radio_config.Random_config
+module Gen = Radio_graph.Gen
+
+let seed = 0xC0FFEE
+
+let state () = Random.State.make [| seed |]
+
+(* A feasible random configuration: resample tags until the classifier says
+   yes (a handful of draws at most for span >= 2). *)
+let feasible_gnp st ~n ~p ~span =
+  let rec attempt k =
+    if k > 50 then
+      invalid_arg "Workloads.feasible_gnp: could not find a feasible config"
+    else
+      let config = RC.connected_gnp st ~n ~p ~span in
+      if Election.Feasibility.is_feasible config then config else attempt (k + 1)
+  in
+  attempt 0
+
+let path_config st n = RC.random_path st ~n ~span:3
+
+let cycle_config st n = RC.on_graph st ~span:3 (Gen.cycle n)
+
+let clique_config _st n = Radio_config.Families.staircase_clique n
+
+let gnp_config st n = RC.connected_gnp st ~n ~p:(8.0 /. float_of_int n) ~span:3
+
+let tree_config st n = RC.random_tree st ~n ~span:3
+
+let named_families =
+  [
+    ("path", path_config);
+    ("cycle", cycle_config);
+    ("clique", clique_config);
+    ("gnp", gnp_config);
+    ("tree", tree_config);
+  ]

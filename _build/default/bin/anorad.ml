@@ -1,0 +1,466 @@
+(* anorad - command-line frontend for the anonymous-radio-network leader
+   election library (Miller-Pelc-Yadav, SPAA 2020).
+
+   Subcommands:
+     classify   - decide feasibility of a configuration file
+     elect      - compile the dedicated algorithm and simulate the election
+     trace      - space-time diagram + per-round event log
+     family     - print one of the paper's configuration families (G/H/S)
+     refute     - run the Prop 4.4 adversary against a dedicated algorithm
+     compile    - write the dedicated algorithm to a plan artifact
+     run-plan   - execute a compiled plan on a configuration
+     explain    - separation story / residual symmetry groups (+ --dot)
+     repair     - minimal tag change making a configuration feasible
+     audit      - run the full lemma battery on a configuration
+     fragility  - which single tag slips break feasibility
+     census     - exhaustively verify the small-configuration universe
+     catalog    - named example configurations
+     optimal    - exhaustive minimal symmetry-breaking-round search *)
+
+module C = Radio_config.Config
+module CIo = Radio_config.Config_io
+module F = Radio_config.Families
+module Cl = Election.Classifier
+module Can = Election.Canonical
+module Fe = Election.Feasibility
+module Imp = Election.Impossibility
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+module Trace = Radio_sim.Trace
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let config_arg =
+  let doc =
+    "Configuration file (format: 'config <n>' header, a 'tags ...' line, \
+     then one '<u> <v>' edge per line).  Use '-' for stdin."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CONFIG" ~doc)
+
+let load_config path =
+  if path = "-" then CIo.of_string (In_channel.input_all In_channel.stdin)
+  else CIo.read_file path
+
+let impl_arg =
+  let doc = "Classifier implementation: 'reference' (literal Algorithms 1-4) or 'fast' (hash-based refinement)." in
+  let impl_conv = Arg.enum [ ("reference", `Reference); ("fast", `Fast) ] in
+  Arg.(value & opt impl_conv `Fast & info [ "impl" ] ~docv:"IMPL" ~doc)
+
+let verbose_arg =
+  let doc = "Print the full refinement trace." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let max_rounds_arg =
+  let doc = "Abort the simulation after this many global rounds." in
+  Arg.(value & opt int 10_000_000 & info [ "max-rounds" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let run path impl verbose =
+    let config = load_config path in
+    if not (C.is_connected config) then
+      Format.printf
+        "warning: configuration is disconnected; the paper's guarantees \
+         assume connectivity@.";
+    let a = Fe.analyze ~impl config in
+    if verbose then Format.printf "%a@.@." Cl.pp_run a.Fe.run;
+    if a.Fe.feasible then begin
+      Format.printf "FEASIBLE@.";
+      Format.printf "canonical leader: node %d@." (Option.get a.Fe.leader);
+      Format.printf "iterations: %d@." (Cl.num_iterations a.Fe.run);
+      Format.printf "dedicated election terminates in local round %d@."
+        a.Fe.election_local_rounds;
+      0
+    end
+    else begin
+      Format.printf "INFEASIBLE@.";
+      Format.printf
+        "no deterministic distributed algorithm can elect a leader on this \
+         configuration@.";
+      1
+    end
+  in
+  let doc = "decide whether a configuration admits deterministic leader election" in
+  Cmd.v
+    (Cmd.info "classify" ~doc)
+    Term.(const run $ config_arg $ impl_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* elect                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let elect_cmd =
+  let run path impl max_rounds =
+    let config = load_config path in
+    let a = Fe.analyze ~impl config in
+    if not a.Fe.feasible then begin
+      Format.printf "INFEASIBLE: nothing to elect@.";
+      1
+    end
+    else begin
+      match Fe.verify_by_simulation ~max_rounds a with
+      | Some r when Runner.elects_unique_leader r ->
+          Format.printf "leader: node %d@." (Option.get r.Runner.leader);
+          Format.printf "elected in %d global rounds@."
+            (Option.get r.Runner.rounds_to_elect);
+          Format.printf "%a@." Radio_sim.Metrics.pp
+            r.Runner.outcome.Engine.metrics;
+          0
+      | Some _ | None ->
+          Format.printf "simulation did not elect within %d rounds@." max_rounds;
+          2
+    end
+  in
+  let doc = "compile the dedicated algorithm and simulate the election" in
+  Cmd.v
+    (Cmd.info "elect" ~doc)
+    Term.(const run $ config_arg $ impl_arg $ max_rounds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run path max_rounds =
+    let config = load_config path in
+    let a = Fe.analyze config in
+    let o =
+      Engine.run ~max_rounds ~record_trace:true
+        (Can.protocol a.Fe.plan) config
+    in
+    print_string (Radio_sim.Timeline.render_with_legend o);
+    Format.printf "---@.";
+    Format.printf "%a@." Trace.pp o.Engine.trace;
+    Format.printf "---@.";
+    Array.iteri
+      (fun v h ->
+        Format.printf "node %d history: %a@." v Radio_drip.History.pp h)
+      o.Engine.histories;
+    if a.Fe.feasible then
+      Format.printf "leader (by decision function): %s@."
+        (match
+           List.filter
+             (fun v -> Can.decision a.Fe.plan o.Engine.histories.(v))
+             (List.init (C.size config) Fun.id)
+         with
+        | [ v ] -> Printf.sprintf "node %d" v
+        | _ -> "none")
+    else Format.printf "configuration infeasible: no decision function@.";
+    0
+  in
+  let doc = "simulate the canonical DRIP with a full per-round event log" in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ config_arg $ max_rounds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* family                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let family_cmd =
+  let family_arg =
+    let doc = "Family name: g | h | s (the paper's G_m, H_m, S_m)." in
+    Arg.(
+      required
+      & pos 0 (some (Arg.enum [ ("g", `G); ("h", `H); ("s", `S) ])) None
+      & info [] ~docv:"FAMILY" ~doc)
+  in
+  let m_arg =
+    let doc = "Family parameter m." in
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"M" ~doc)
+  in
+  let run family m =
+    let config =
+      match family with
+      | `G -> F.g_family m
+      | `H -> F.h_family m
+      | `S -> F.s_family m
+    in
+    print_string (CIo.to_string config);
+    0
+  in
+  let doc = "print a configuration from the paper's families (pipe into classify/elect)" in
+  Cmd.v (Cmd.info "family" ~doc) Term.(const run $ family_arg $ m_arg)
+
+(* ------------------------------------------------------------------ *)
+(* refute                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let refute_cmd =
+  let run path =
+    let config = load_config path in
+    let a = Fe.analyze config in
+    match Fe.dedicated_election a with
+    | None ->
+        Format.printf "configuration infeasible: no dedicated algorithm to refute@.";
+        1
+    | Some e ->
+        let r = Imp.refute_universal e in
+        Format.printf "probe: first lonely transmission in round %s@."
+          (match r.Imp.probe_round with
+          | Some t -> string_of_int t
+          | None -> "never");
+        Format.printf "counterexample (feasible 4-node configuration):@.%s"
+          (CIo.to_string r.Imp.counterexample);
+        Format.printf "candidate elected there: %s@."
+          (match r.Imp.result.Runner.leader with
+          | Some v -> Printf.sprintf "node %d" v
+          | None -> "nobody");
+        Format.printf "universality refuted: %b@." r.Imp.refuted;
+        if r.Imp.refuted then 0 else 3
+  in
+  let doc =
+    "run the Proposition 4.4 adversary against the configuration's dedicated \
+     algorithm"
+  in
+  Cmd.v (Cmd.info "refute" ~doc) Term.(const run $ config_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile / run-plan                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let output_arg =
+    let doc = "Output file for the compiled plan ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run path output =
+    let config = load_config path in
+    let a = Fe.analyze config in
+    let text = Election.Plan_io.to_string a.Fe.plan in
+    (if output = "-" then print_string text
+     else
+       let oc = open_out output in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+           output_string oc text));
+    if a.Fe.feasible then 0
+    else begin
+      Format.eprintf
+        "warning: configuration is infeasible; the plan has no decision \
+         function (its phases still run)@.";
+      1
+    end
+  in
+  let doc =
+    "compile a configuration's dedicated algorithm to a plan file (the \
+     artifact installed at every node)"
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ config_arg $ output_arg)
+
+let run_plan_cmd =
+  let plan_arg =
+    let doc = "Compiled plan file (from the 'compile' subcommand)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PLAN" ~doc)
+  in
+  let config_pos1 =
+    let doc = "Configuration file to execute the plan on." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CONFIG" ~doc)
+  in
+  let run plan_path config_path max_rounds =
+    let plan = Election.Plan_io.read_file plan_path in
+    let config = load_config config_path in
+    let r =
+      Radio_sim.Runner.run ~max_rounds (Can.election plan) config
+    in
+    (match r.Runner.leader with
+    | Some v ->
+        Format.printf "leader: node %d (in %d global rounds)@." v
+          (Option.get r.Runner.rounds_to_elect)
+    | None ->
+        Format.printf
+          "no unique leader (plan executed on a foreign or infeasible \
+           configuration?)@.");
+    if Runner.elects_unique_leader r then 0 else 1
+  in
+  let doc = "execute a compiled plan on a configuration (possibly a foreign one)" in
+  Cmd.v
+    (Cmd.info "run-plan" ~doc)
+    Term.(const run $ plan_arg $ config_pos1 $ max_rounds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain / repair                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let dot_arg =
+    let doc = "Emit a GraphViz rendering instead of text." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run path dot =
+    let config = load_config path in
+    let e = Election.Explain.explain (Election.Classifier.classify config) in
+    if dot then print_string (Election.Explain.to_dot e)
+    else begin
+      Format.printf "%a@." Election.Explain.pp e;
+      (* A second, independently checkable opinion when available. *)
+      match Election.Symmetry.find config with
+      | Some cert ->
+          Format.printf
+            "symmetry certificate (fixed-point-free tag-preserving \
+             automorphism): [%s]@."
+            (String.concat "; "
+               (List.map string_of_int (Array.to_list cert)))
+      | None -> ()
+    end;
+    match e.Election.Explain.leader with Some _ -> 0 | None -> 1
+  in
+  let doc = "explain a verdict: separation story or residual symmetry groups" in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ config_arg $ dot_arg)
+
+let census_cmd =
+  let max_n_arg =
+    let doc = "Largest graph size to enumerate (1..6)." in
+    Arg.(value & opt int 4 & info [ "max-n" ] ~docv:"N" ~doc)
+  in
+  let max_span_arg =
+    let doc = "Largest tag span to enumerate." in
+    Arg.(value & opt int 2 & info [ "max-span" ] ~docv:"S" ~doc)
+  in
+  let run max_n max_span =
+    let report = Election.Census.run ~max_n ~max_span () in
+    Format.printf "%a@." Election.Census.pp_report report;
+    if report.Election.Census.all_consistent then 0 else 2
+  in
+  let doc =
+    "exhaustively classify and cross-validate every small configuration \
+     (all connected graphs up to isomorphism x all normalized tag vectors)"
+  in
+  Cmd.v (Cmd.info "census" ~doc) Term.(const run $ max_n_arg $ max_span_arg)
+
+let catalog_cmd =
+  let name_arg =
+    let doc = "Entry to print (omit to list the catalog)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun e ->
+            Printf.printf "%-16s %s\n" e.Radio_config.Catalog.name
+              e.Radio_config.Catalog.summary)
+          (Radio_config.Catalog.all ());
+        0
+    | Some name -> (
+        match Radio_config.Catalog.find name with
+        | Some e ->
+            print_string (CIo.to_string e.Radio_config.Catalog.config);
+            0
+        | None ->
+            Format.eprintf "unknown catalog entry %S; try 'anorad catalog'@."
+              name;
+            1)
+  in
+  let doc = "list or print the library's named example configurations" in
+  Cmd.v (Cmd.info "catalog" ~doc) Term.(const run $ name_arg)
+
+let optimal_cmd =
+  let run path =
+    let config = load_config path in
+    (match Election.Optimal.breaking_time config with
+    | Election.Optimal.Broken_at r ->
+        Format.printf
+          "optimal symmetry-breaking round (over all algorithms): %d@." r
+    | Election.Optimal.Never ->
+        Format.printf "infeasible: symmetry never breaks@."
+    | Election.Optimal.Not_within_horizon ->
+        Format.printf "not broken within the search horizon@."
+    | Election.Optimal.Search_budget_exhausted ->
+        Format.printf "search budget exhausted (instance too large)@.");
+    (match Election.Optimal.canonical_breaking_time config with
+    | Some r -> Format.printf "canonical DRIP separates at round %d@." r
+    | None -> ());
+    0
+  in
+  let doc =
+    "exhaustively search for the minimal symmetry-breaking round (small \
+     configurations only)"
+  in
+  Cmd.v (Cmd.info "optimal" ~doc) Term.(const run $ config_arg)
+
+let fragility_cmd =
+  let run path =
+    let config = load_config path in
+    if not (Election.Feasibility.is_feasible config) then begin
+      Format.printf "configuration is infeasible; try 'anorad repair'@.";
+      1
+    end
+    else begin
+      Format.printf "%a@." Election.Fragility.pp
+        (Election.Fragility.single_tag config);
+      0
+    end
+  in
+  let doc = "measure how many single wake-up-tag slips break feasibility" in
+  Cmd.v (Cmd.info "fragility" ~doc) Term.(const run $ config_arg)
+
+let audit_cmd =
+  let run path max_rounds =
+    let config = load_config path in
+    let report = Election.Audit.run ~max_rounds config in
+    Format.printf "%a@." Election.Audit.pp report;
+    if report.Election.Audit.all_passed then 0 else 2
+  in
+  let doc =
+    "run the full lemma battery (Lemmas 3.4-3.11 and library invariants) on \
+     a configuration"
+  in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ config_arg $ max_rounds_arg)
+
+let repair_cmd =
+  let max_changes_arg =
+    let doc = "Maximum number of nodes whose tag may change." in
+    Arg.(value & opt int 2 & info [ "max-changes" ] ~docv:"K" ~doc)
+  in
+  let max_tag_arg =
+    let doc = "Largest tag the repair may assign (default: span + 1)." in
+    Arg.(value & opt (some int) None & info [ "max-tag" ] ~docv:"T" ~doc)
+  in
+  let run path max_changes max_tag =
+    let config = load_config path in
+    match Election.Repair.repair ?max_tag ~max_changes config with
+    | Some plan ->
+        Format.printf "%a@." Election.Repair.pp_plan plan;
+        Format.printf "repaired configuration:@.%s"
+          (CIo.to_string plan.Election.Repair.repaired);
+        0
+    | None ->
+        Format.printf
+          "no feasible tag assignment within the budget (max %d changes)@."
+          max_changes;
+        1
+  in
+  let doc = "find a minimal wake-up-tag change making the configuration feasible" in
+  Cmd.v
+    (Cmd.info "repair" ~doc)
+    Term.(const run $ config_arg $ max_changes_arg $ max_tag_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "deterministic leader election in anonymous radio networks" in
+  let info = Cmd.info "anorad" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            classify_cmd;
+            elect_cmd;
+            trace_cmd;
+            family_cmd;
+            refute_cmd;
+            compile_cmd;
+            run_plan_cmd;
+            explain_cmd;
+            repair_cmd;
+            audit_cmd;
+            fragility_cmd;
+            census_cmd;
+            catalog_cmd;
+            optimal_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/compiled_deployment.ml: Election Filename Format Option Printf Radio_config Radio_graph Radio_sim String Sys

@@ -1,0 +1,1 @@
+examples/feasibility_atlas.ml: Election List Printf Radio_analysis Radio_config Random

@@ -1,0 +1,1 @@
+examples/impossibility_demo.ml: Array Election Format List Option Printf Radio_config Radio_drip Radio_sim String

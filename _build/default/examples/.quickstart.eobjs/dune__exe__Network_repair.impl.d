@@ -1,0 +1,1 @@
+examples/network_repair.ml: Election Format Option Radio_config Radio_sim

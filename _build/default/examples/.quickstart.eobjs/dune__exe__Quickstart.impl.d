@@ -1,0 +1,1 @@
+examples/quickstart.ml: Election Format Option Radio_config Radio_graph Radio_sim

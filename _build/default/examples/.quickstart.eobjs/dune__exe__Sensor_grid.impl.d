@@ -1,0 +1,1 @@
+examples/sensor_grid.ml: Array Election List Option Radio_analysis Radio_config Radio_graph Radio_sim Random

@@ -1,0 +1,1 @@
+examples/token_ring.ml: Array Election List Option Printf Radio_analysis Radio_config Radio_graph Radio_sim Random String

@@ -1,0 +1,52 @@
+(* Compile once, deploy everywhere (on the same configuration).
+
+   Theorem 3.15's dedicated algorithm is per-configuration: classify the
+   deployment centrally, compile the canonical-DRIP plan, write it to disk,
+   and flash the SAME artifact onto every (anonymous!) device.  This example
+   walks that lifecycle, then demonstrates the paper's central warning: the
+   artifact is NOT portable to other configurations (Proposition 4.4).
+
+   Run with: dune exec examples/compiled_deployment.exe *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module Can = Election.Canonical
+module Fe = Election.Feasibility
+module Plan_io = Election.Plan_io
+module Runner = Radio_sim.Runner
+
+let () =
+  (* The deployment: a 9-node ring with measured boot offsets. *)
+  let config =
+    C.create (Radio_graph.Gen.cycle 9) [| 0; 4; 1; 3; 2; 5; 2; 1; 4 |]
+  in
+  let analysis = Fe.analyze config in
+  if not analysis.Fe.feasible then begin
+    print_endline "deployment infeasible; run examples/network_repair.exe";
+    exit 1
+  end;
+
+  (* Compile and "ship" the plan. *)
+  let artifact = Filename.temp_file "deployment" ".plan" in
+  Plan_io.write_file artifact analysis.Fe.plan;
+  Format.printf "compiled plan written to %s (%d bytes)@." artifact
+    (String.length (Plan_io.to_string analysis.Fe.plan));
+
+  (* Devices load the artifact and run it - no other per-node state. *)
+  let loaded = Plan_io.read_file artifact in
+  let result = Runner.run (Can.election loaded) config in
+  (match result.Runner.leader with
+  | Some v ->
+      Format.printf "fleet elected node %d in %d rounds.@." v
+        (Option.get result.Runner.rounds_to_elect)
+  | None -> assert false);
+
+  (* The fine print: the artifact is dedicated to THIS configuration. *)
+  let foreign = F.h_family 3 in
+  let elsewhere = Runner.run (Can.election loaded) foreign in
+  Format.printf
+    "the same artifact on a different (feasible!) configuration: %s@."
+    (match elsewhere.Runner.leader with
+    | Some v -> Printf.sprintf "node %d (lucky accident)" v
+    | None -> "no leader - as Proposition 4.4 warns, no artifact is universal");
+  Sys.remove artifact

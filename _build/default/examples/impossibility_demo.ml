@@ -1,0 +1,62 @@
+(* The negative results of Section 4, live.
+
+   1. Proposition 4.4: take the dedicated algorithm compiled for one
+      feasible configuration and watch the adversary construct the 4-node
+      feasible configuration it fails on.
+   2. Proposition 4.5: watch a protocol receive *identical* histories on a
+      feasible configuration (H_m) and an infeasible one (S_m), so no
+      distributed algorithm can decide feasibility.
+
+   Run with: dune exec examples/impossibility_demo.exe *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module H = Radio_drip.History
+module Fe = Election.Feasibility
+module Imp = Election.Impossibility
+module Runner = Radio_sim.Runner
+
+let show_config name config =
+  Format.printf "  %s: tags [%s]@." name
+    (String.concat "; "
+       (List.map string_of_int (Array.to_list (C.tags config))))
+
+let () =
+  Format.printf "=== Proposition 4.4: no universal election algorithm ===@.@.";
+  let home = F.h_family 2 in
+  Format.printf "Candidate: the dedicated algorithm compiled for H_2.@.";
+  show_config "H_2 (home)" home;
+  let candidate = Option.get (Fe.dedicated_election (Fe.analyze home)) in
+  let at_home = Runner.run candidate home in
+  Format.printf "At home it works: leader = node %d.@.@."
+    (Option.get at_home.Runner.leader);
+
+  let r = Imp.refute_universal candidate in
+  Format.printf
+    "The adversary probes it: first lonely transmission in round %d.@."
+    (Option.get r.Imp.probe_round);
+  show_config "counterexample H_{t+1}" r.Imp.counterexample;
+  Format.printf "That configuration is feasible: %b.  Candidate elected: %s.@."
+    r.Imp.counterexample_feasible
+    (match r.Imp.result.Runner.leader with
+    | Some v -> Printf.sprintf "node %d" v
+    | None -> "NOBODY (refuted)");
+  Format.printf "Universality refuted: %b.@.@." r.Imp.refuted;
+
+  Format.printf "=== Proposition 4.5: no distributed decision algorithm ===@.@.";
+  let w = Imp.indistinguishability_witness candidate.Runner.protocol in
+  show_config "feasible H" w.Imp.feasible_config;
+  show_config "infeasible S" w.Imp.infeasible_config;
+  Format.printf "Running the same protocol on both:@.";
+  Array.iteri
+    (fun v h ->
+      let h' = w.Imp.infeasible_outcome.Radio_sim.Engine.histories.(v) in
+      Format.printf "  node %d: H-history %s S-history (equal: %b)@." v
+        (if H.equal h h' then "==" else "<>")
+        (H.equal h h'))
+    w.Imp.feasible_outcome.Radio_sim.Engine.histories;
+  Format.printf
+    "All four nodes see identical histories on a feasible and an infeasible@.";
+  Format.printf
+    "configuration, so no algorithm can output 'yes' on one and 'no' on the@.";
+  Format.printf "other.  Indistinguishable: %b.@." w.Imp.histories_identical

@@ -1,0 +1,105 @@
+(* Electing a coordinator in a freshly deployed sensor field.
+
+   Sensors are scattered in the unit square and talk by radio to every
+   neighbour within range (a random geometric graph - the standard model of
+   ad-hoc wireless deployments).  Sensors boot when their battery tab is
+   pulled, which happens in deployment order: wave by wave, giving wake-up
+   tags.  We compare three deployment schedules and also measure how long
+   the dedicated election takes as the field grows.
+
+   Run with: dune exec examples/sensor_grid.exe *)
+
+module Config = Radio_config.Config
+module Gen = Radio_graph.Gen
+module Props = Radio_graph.Props
+module Fe = Election.Feasibility
+module Can = Election.Canonical
+module Runner = Radio_sim.Runner
+module Table = Radio_analysis.Table
+
+let deploy st ~sensors ~range ~schedule =
+  let g, _coords = Gen.random_connected_geometric st sensors range in
+  let tags =
+    match schedule with
+    | `Single_wave -> Array.make sensors 0
+    | `Two_waves -> Array.init sensors (fun i -> i mod 2)
+    | `Staggered span -> Array.init sensors (fun i -> i * span / sensors)
+  in
+  Config.create g tags
+
+let describe st ~sensors ~range ~schedule_name ~schedule table =
+  let config = deploy st ~sensors ~range ~schedule in
+  let a = Fe.analyze config in
+  let verdict, leader, rounds =
+    if not a.Fe.feasible then ("infeasible", "-", "-")
+    else
+      match Fe.verify_by_simulation a with
+      | Some r when Runner.elects_unique_leader r ->
+          ( "feasible",
+            string_of_int (Option.get r.Runner.leader),
+            string_of_int (Option.get r.Runner.rounds_to_elect) )
+      | _ -> assert false
+  in
+  Table.add_row table
+    [
+      schedule_name;
+      string_of_int sensors;
+      string_of_int (Config.span config);
+      string_of_int (Props.diameter (Config.graph config));
+      verdict;
+      leader;
+      rounds;
+    ]
+
+let () =
+  let st = Random.State.make [| 20_25 |] in
+  let table =
+    Table.create ~title:"Sensor-field coordinator election"
+      ~columns:
+        [ "schedule"; "sensors"; "span"; "diameter"; "verdict"; "leader"; "rounds" ]
+  in
+  let sensors = 25 and range = 0.3 in
+  describe st ~sensors ~range ~schedule_name:"single wave" ~schedule:`Single_wave
+    table;
+  describe st ~sensors ~range ~schedule_name:"two waves" ~schedule:`Two_waves
+    table;
+  describe st ~sensors ~range ~schedule_name:"staggered(8)"
+    ~schedule:(`Staggered 8) table;
+  Table.print table;
+
+  (* Scaling: election time of the dedicated algorithm as the field grows,
+     against the theoretical O(n^2 sigma) budget. *)
+  let scaling =
+    Table.create ~title:"Dedicated election time vs field size (staggered boot)"
+      ~columns:[ "sensors"; "sigma"; "rounds measured"; "O(n^2 sigma) budget" ]
+  in
+  List.iter
+    (fun sensors ->
+      let config =
+        deploy st ~sensors ~range:0.35 ~schedule:(`Staggered 6)
+      in
+      let a = Fe.analyze config in
+      if a.Fe.feasible then begin
+        match Fe.verify_by_simulation ~max_rounds:20_000_000 a with
+        | Some r when Runner.elects_unique_leader r ->
+            Table.add_row scaling
+              [
+                string_of_int sensors;
+                string_of_int (Config.span config);
+                string_of_int (Option.get r.Runner.rounds_to_elect);
+                string_of_int
+                  (Can.upper_bound_rounds ~n:sensors
+                     ~sigma:(Config.span config));
+              ]
+        | _ -> assert false
+      end
+      else
+        Table.add_row scaling
+          [ string_of_int sensors; string_of_int (Config.span config); "-"; "-" ])
+    [ 10; 20; 40 ];
+  Table.print scaling;
+  print_endline
+    "A single boot wave is perfectly symmetric: the classifier proves no\n\
+     coordinator can ever be elected.  Staggered deployment makes election\n\
+     feasible, and the measured time stays well inside the paper's\n\
+     O(n^2 sigma) budget."

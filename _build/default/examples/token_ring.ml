@@ -1,0 +1,76 @@
+(* Token-ring recovery — the scenario that motivated leader election in the
+   first place (Le Lann 1977, cited as [35] in the paper).
+
+   A ring of anonymous stations circulates a token; the token is lost.
+   Stations detect the loss at slightly different moments (their local
+   timeout fires after the last frame they saw), giving each a wake-up tag.
+   The paper's machinery answers two operational questions:
+
+     (a) Are these detection times asymmetric enough to elect a new token
+         holder deterministically?  (Classifier)
+     (b) If yes, run the dedicated algorithm and hand the token to the
+         elected station.  If no, the operator must inject asymmetry:
+         we model that by jittering one station's timeout and retrying.
+
+   Run with: dune exec examples/token_ring.exe *)
+
+module Config = Radio_config.Config
+module RC = Radio_config.Random_config
+module Gen = Radio_graph.Gen
+module Fe = Election.Feasibility
+module Runner = Radio_sim.Runner
+module Table = Radio_analysis.Table
+
+let try_recover config =
+  let a = Fe.analyze config in
+  if not a.Fe.feasible then `Symmetric
+  else
+    match Fe.verify_by_simulation a with
+    | Some r when Runner.elects_unique_leader r ->
+        `Recovered
+          (Option.get r.Runner.leader, Option.get r.Runner.rounds_to_elect)
+    | _ -> assert false (* Theorem 3.15: cannot happen on feasible configs *)
+
+let () =
+  let st = Random.State.make [| 555 |] in
+  let n = 10 in
+  let table =
+    Table.create ~title:"Token-ring recovery (n = 10 stations)"
+      ~columns:[ "attempt"; "timeouts"; "verdict"; "new holder"; "rounds" ]
+  in
+  (* Attempt 1: perfectly synchronized timeouts - hopeless. *)
+  (* Attempt 2: rotation-symmetric timeouts - still hopeless. *)
+  (* Attempt 3: realistic jittered timeouts - recovered. *)
+  let attempts =
+    [
+      ("synchronized", Array.make n 0);
+      ("rotation-symmetric", Array.init n (fun i -> i mod 2));
+      ("jittered", RC.random_tags st ~n ~span:6);
+    ]
+  in
+  List.iteri
+    (fun i (_name, tags) ->
+      let config = Config.create (Gen.cycle n) tags in
+      let timeouts =
+        String.concat "," (List.map string_of_int (Array.to_list tags))
+      in
+      match try_recover config with
+      | `Symmetric ->
+          Table.add_row table
+            [ string_of_int (i + 1); timeouts; "infeasible"; "-"; "-" ]
+      | `Recovered (leader, rounds) ->
+          Table.add_row table
+            [
+              string_of_int (i + 1);
+              timeouts;
+              "feasible";
+              Printf.sprintf "station %d" leader;
+              string_of_int rounds;
+            ])
+    attempts;
+  Table.print table;
+  print_endline
+    "Synchronized and rotation-symmetric timeouts leave the ring without a\n\
+     token holder forever (no deterministic algorithm exists - Classifier\n\
+     says 'No'); natural jitter breaks the symmetry and the dedicated\n\
+     algorithm recovers the ring."

@@ -1,0 +1,1 @@
+lib/analysis/chart.ml: Buffer Float List Printf String

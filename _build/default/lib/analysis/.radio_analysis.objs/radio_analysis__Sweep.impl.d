@@ -1,0 +1,1 @@
+lib/analysis/sweep.ml: Float List Sys

@@ -1,0 +1,52 @@
+let bar_of ~width ~max_value v =
+  if max_value <= 0.0 then ""
+  else String.make (int_of_float (Float.round (v /. max_value *. float_of_int width))) '#'
+
+let bars ?(width = 50) ?(unit_label = "") ~title rows =
+  List.iter
+    (fun (_, v) -> if v < 0.0 then invalid_arg "Chart.bars: negative value")
+    rows;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  (match rows with
+  | [] -> ()
+  | _ ->
+      let max_value = List.fold_left (fun a (_, v) -> Float.max a v) 0.0 rows in
+      let label_width =
+        List.fold_left (fun a (l, _) -> max a (String.length l)) 0 rows
+      in
+      List.iter
+        (fun (label, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %*s | %-*s %.2f%s\n" label_width label width
+               (bar_of ~width ~max_value v)
+               v unit_label))
+        rows);
+  Buffer.contents buf
+
+let series ?(width = 50) ?(log_scale = false) ~title ~x_label ~y_label points =
+  List.iter
+    (fun (_, y) ->
+      if y < 0.0 || (log_scale && y <= 0.0) then
+        invalid_arg "Chart.series: invalid y value")
+    points;
+  let transform y = if log_scale then log (1.0 +. y) else y in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s\n" title (if log_scale then "  (log scale)" else ""));
+  Buffer.add_string buf (Printf.sprintf "  %s vs %s\n" y_label x_label);
+  (match points with
+  | [] -> ()
+  | _ ->
+      let max_t =
+        List.fold_left (fun a (_, y) -> Float.max a (transform y)) 0.0 points
+      in
+      List.iter
+        (fun (x, y) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %10.4g | %-*s %.4g\n" x width
+               (bar_of ~width ~max_value:max_t (transform y))
+               y))
+        points);
+  Buffer.contents buf

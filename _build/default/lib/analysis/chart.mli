@@ -1,0 +1,29 @@
+(** Minimal ASCII charts so experiment series read as figures in a
+    terminal.
+
+    Two forms: horizontal bar charts for labelled values, and scatter rows
+    for (x, y) series with optional log-scaled bars — enough to show a
+    growth shape (linear vs quadratic vs flat) at a glance. *)
+
+val bars :
+  ?width:int ->
+  ?unit_label:string ->
+  title:string ->
+  (string * float) list ->
+  string
+(** [bars ~title rows] renders one bar per row, scaled to the maximum value
+    ([width] characters, default 50).  Negative values are rejected with
+    [Invalid_argument]; an empty list yields just the title. *)
+
+val series :
+  ?width:int ->
+  ?log_scale:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  (float * float) list ->
+  string
+(** [series ~title ~x_label ~y_label points] renders each point as a row
+    ["<x> | ###### <y>"], bars scaled to the maximum [y] (logarithmically
+    when [log_scale], for series spanning orders of magnitude).  Points must
+    have non-negative [y]; with [log_scale], strictly positive. *)

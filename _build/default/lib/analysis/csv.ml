@@ -1,0 +1,17 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row_to_string row = String.concat "," (List.map escape row)
+
+let to_string ~header rows =
+  String.concat "\n" (List.map row_to_string (header :: rows)) ^ "\n"
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string ~header rows))

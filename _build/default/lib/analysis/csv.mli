@@ -1,0 +1,10 @@
+(** Tiny CSV writer so experiment series can be post-processed elsewhere. *)
+
+val escape : string -> string
+(** RFC-4180 quoting when the cell contains a comma, quote or newline. *)
+
+val row_to_string : string list -> string
+
+val to_string : header:string list -> string list list -> string
+
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,71 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty list"
+  | _ ->
+      let count = List.length xs in
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int count
+      in
+      let sorted = List.sort compare xs in
+      let median =
+        let arr = Array.of_list sorted in
+        if count mod 2 = 1 then arr.(count / 2)
+        else (arr.((count / 2) - 1) +. arr.(count / 2)) /. 2.0
+      in
+      {
+        count;
+        mean = m;
+        stddev = sqrt var;
+        min = List.hd sorted;
+        max = List.nth sorted (count - 1);
+        median;
+      }
+
+let linear_fit points =
+  if List.length points < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  (slope, intercept)
+
+let loglog_slope points =
+  let logged =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then
+          invalid_arg "Stats.loglog_slope: non-positive point"
+        else (log x, log y))
+      points
+  in
+  fst (linear_fit logged)
+
+let ratio_stable points =
+  mean
+    (List.map
+       (fun (x, y) ->
+         if x = 0.0 then invalid_arg "Stats.ratio_stable: zero denominator"
+         else y /. x)
+       points)

@@ -1,0 +1,28 @@
+(** Summary statistics and scaling fits for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val mean : float list -> float
+
+val loglog_slope : (float * float) list -> float
+(** Least-squares slope of [log y] against [log x]: the empirical scaling
+    exponent of a power law [y ≈ c·x^slope].  Points with non-positive
+    coordinates are rejected with [Invalid_argument]; at least two points
+    are required.  Used to check measured complexities against the paper's
+    bounds (e.g. election time on [G_m] should fit slope ≈ 1 in [n]). *)
+
+val linear_fit : (float * float) list -> float * float
+(** [(slope, intercept)] of the least-squares line.  At least two points. *)
+
+val ratio_stable : (float * float) list -> float
+(** Mean of [y / x] — useful to report "measured / bound" columns. *)

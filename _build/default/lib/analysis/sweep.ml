@@ -1,0 +1,31 @@
+let time_it f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+let geometric ~first ~ratio ~count =
+  if first < 1 || ratio <= 1.0 || count < 1 then
+    invalid_arg "Sweep.geometric: need first >= 1, ratio > 1, count >= 1";
+  let rec go acc x k =
+    if k = 0 then List.rev acc
+    else
+      let v = int_of_float (Float.round x) in
+      let v = match acc with prev :: _ when v <= prev -> prev + 1 | _ -> v in
+      go (v :: acc) (x *. ratio) (k - 1)
+  in
+  go [] (float_of_int first) count
+
+let over xs ~f = List.map (fun x -> (x, f x)) xs
+
+let timed_over xs ~f =
+  List.map
+    (fun x ->
+      let y, dt = time_it (fun () -> f x) in
+      (x, y, dt))
+    xs
+
+let repeat_timed k f =
+  if k < 1 then invalid_arg "Sweep.repeat_timed: need k >= 1";
+  let times = List.init k (fun _ -> snd (time_it f)) in
+  let sorted = List.sort compare times in
+  List.nth sorted (k / 2)

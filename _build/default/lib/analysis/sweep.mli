@@ -1,0 +1,19 @@
+(** Parameter sweeps with wall-clock timing. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds (monotonic-ish via [Unix]-free
+    [Sys.time]-independent [Unix.gettimeofday] is unavailable here, so this
+    uses [Sys.time]: CPU seconds, which is what complexity checks want). *)
+
+val geometric : first:int -> ratio:float -> count:int -> int list
+(** [geometric ~first ~ratio ~count] rounds the geometric progression to
+    distinct integers, e.g. [first:8 ratio:2.0 count:5 = [8; 16; 32; 64;
+    128]]. *)
+
+val over : 'a list -> f:('a -> 'b) -> ('a * 'b) list
+
+val timed_over : 'a list -> f:('a -> 'b) -> ('a * 'b * float) list
+(** Like {!over} but with per-point CPU seconds. *)
+
+val repeat_timed : int -> (unit -> 'a) -> float
+(** Median CPU seconds of [k] executions (k >= 1). *)

@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length row) (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let add_int_row t row = add_row t (List.map string_of_int row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let pad w s = String.make (w - String.length s) ' ' ^ s in
+  let line row =
+    "| " ^ String.concat " | " (List.map2 pad widths row) ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  String.concat "\n"
+    ([ t.title; rule; line t.columns; rule ]
+    @ List.map line rows
+    @ [ rule ])
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int = string_of_int
+
+let cell_opt_int = function Some i -> string_of_int i | None -> "-"
+
+let cell_bool b = if b then "yes" else "no"

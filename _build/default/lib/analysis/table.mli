@@ -1,0 +1,26 @@
+(** Minimal ASCII table rendering for the experiment harness. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on a column-count mismatch. *)
+
+val add_int_row : t -> int list -> unit
+
+val render : t -> string
+(** Right-aligned columns, a header rule, and the title on top. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_int : int -> string
+
+val cell_opt_int : int option -> string
+(** ["-"] for [None]. *)
+
+val cell_bool : bool -> string
+(** ["yes"] / ["no"]. *)

@@ -1,0 +1,1 @@
+lib/baselines/bit_tournament.mli: Radio_sim Random

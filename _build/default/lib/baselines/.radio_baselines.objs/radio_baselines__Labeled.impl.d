@@ -1,0 +1,1 @@
+lib/baselines/labeled.ml: Array Fun List Option Radio_config Radio_drip Radio_sim Random

@@ -1,0 +1,1 @@
+lib/baselines/labeled.mli: Radio_config Radio_sim Random

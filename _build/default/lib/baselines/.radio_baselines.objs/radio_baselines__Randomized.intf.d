@@ -1,0 +1,1 @@
+lib/baselines/randomized.mli: Radio_sim Random

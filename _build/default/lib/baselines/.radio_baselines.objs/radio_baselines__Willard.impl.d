@@ -1,0 +1,1 @@
+lib/baselines/willard.ml: Array Radio_config Radio_drip Radio_graph Radio_sim Random String

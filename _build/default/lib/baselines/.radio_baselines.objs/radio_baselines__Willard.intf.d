@@ -1,0 +1,1 @@
+lib/baselines/willard.mli: Radio_sim Random

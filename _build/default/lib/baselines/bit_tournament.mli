@@ -1,0 +1,29 @@
+(** The random-identifier reduction: with randomness, anonymous nodes mint
+    labels and election becomes easy — the other classic escape hatch from
+    the paper's impossibility results (related work [8, 28, 38]).
+
+    Single-hop network, all awake in round 0, size [n] known (needed to set
+    the identifier width).  Each node draws a uniform [3 log2 n]-bit
+    identifier; with probability [>= 1 - 1/n] all identifiers are distinct.
+    The tournament scans bits from the most significant:
+
+    - active nodes whose current bit is 1 transmit; active nodes whose bit
+      is 0 listen and {e drop out} if they hear anything (message or noise
+      both mean some contender has a 1 there);
+    - after all bits, the active nodes are exactly those holding the maximum
+      identifier; a final two-round claim/ack probe (as in {!Randomized})
+      confirms uniqueness.
+
+    Total time is deterministic; the election fails
+    (no unique leader — detectable by everyone) exactly when the maximum
+    identifier is shared, which has probability [<= 1/n]. *)
+
+val election : rng:Random.State.t -> n:int -> Radio_sim.Runner.election
+(** Raises [Invalid_argument] if [n < 2]. *)
+
+val rounds : n:int -> int
+(** The fixed global completion round [bits + 3] where
+    [bits = 3 ceil(log2 n)]. *)
+
+val success_rate : rng:Random.State.t -> n:int -> trials:int -> float
+(** Fraction of trials electing a unique leader (expected [>= 1 - 1/n]). *)

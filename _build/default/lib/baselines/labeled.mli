@@ -1,0 +1,43 @@
+(** Deterministic leader election in {e labeled} multi-hop radio networks —
+    the other related-work regime (Section 1.3): when nodes carry distinct
+    identifiers, deterministic election becomes straightforward, which is
+    exactly the contrast the paper draws with the anonymous case.
+
+    The algorithm is a TDMA max-flood: time is divided into frames of
+    [id_bound] slots; a node whose current champion id is [k] transmits in
+    slot [k] of a frame iff the champion changed in the previous frame
+    (everyone starts with their own id).  Two neighbours announcing the same
+    champion collide, but the slot number alone carries the value, so a
+    collision is as informative as a message.  After [n] frames the largest
+    id has flooded the network; the node owning it is the leader.  Total
+    time [n * id_bound] rounds — polynomial and {e universal} once ids
+    exist, against the impossibility of any universal anonymous algorithm
+    (Proposition 4.4).
+
+    Identifiers are assigned by spawn order, which deliberately breaks
+    anonymity: that is the point of the baseline.  The run therefore
+    requires all wake-up tags equal (so spawn order is the node order). *)
+
+type outcome = {
+  leader : int option;  (** node that believed itself champion, if unique *)
+  converged : bool;  (** all nodes agreed on the global maximum id *)
+  frames : int;
+  rounds : int;  (** global rounds used *)
+  engine : Radio_sim.Engine.outcome;
+}
+
+val run : ?frames:int -> ?ids:int array -> Radio_config.Config.t -> outcome
+(** [run config] executes the max-flood on [config]; [frames] defaults to
+    [n].  [ids] overrides the identifier of each node (defaults to the node
+    index); they must be pairwise distinct and in [0 .. id_bound), where
+    [id_bound] is [n] by default or [max ids + 1] when [ids] is given.
+    Raises [Invalid_argument] if the tags are not all equal.  [leader] is
+    the node holding the maximum identifier when flooding converged. *)
+
+val run_random_ids :
+  rng:Random.State.t -> ?frames:int -> Radio_config.Config.t -> outcome
+(** The multihop randomized reduction: every node draws a random identifier
+    from [0 .. n^3) (distinct with probability [>= 1 - 1/n], retried here
+    until distinct so the run always converges) and the deterministic
+    max-flood elects the maximum.  Combined with {!Bit_tournament} this
+    covers both single-hop and multihop randomized regimes. *)

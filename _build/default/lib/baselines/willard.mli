@@ -1,0 +1,33 @@
+(** Estimation-based randomized election with collision detection — the
+    [O(log log n)] expected-time regime of Willard [39] in the paper's
+    related work, in a simplified but faithful form.
+
+    Single-hop network, all nodes awake in round 0, no size knowledge.
+    Time is organized in {e probes} of two rounds each:
+
+    - {e contend}: every node transmits a token with the current probe
+      probability [2^-k];
+    - {e echo}: nodes that heard a lone contention acknowledge it; the lone
+      contender hears the acknowledgement and wins.
+
+    After each probe all nodes share the ternary outcome (silence / lone /
+    collision) — listeners observe it directly, and a losing contender knows
+    its transmission collided — so they advance a common state machine:
+
+    + {e doubling}: try [k = 2^0, 2^1, 2^2, ...] until a probe is silent
+      (overshoot) or succeeds;
+    + {e binary search} between the last colliding exponent and the first
+      silent one;
+    + {e endgame}: repeat probes at the bracketing exponent until a lone
+      transmission occurs (constant expected probes, since the expected
+      number of transmitters there is between ~1/2 and ~2).
+
+    The expected number of probes is [O(log log n)], against [O(log n)] for
+    the tree-splitting baseline ({!Randomized}) — the benches show the two
+    growth shapes side by side. *)
+
+val election : rng:Random.State.t -> Radio_sim.Runner.election
+(** For complete graphs with uniform tags and [n >= 2]. *)
+
+val measure_rounds : rng:Random.State.t -> n:int -> trials:int -> float
+(** Mean global completion round on the all-awake [n]-clique. *)

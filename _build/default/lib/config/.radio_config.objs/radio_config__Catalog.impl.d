@@ -1,0 +1,1 @@
+lib/config/catalog.ml: Config Families List Radio_graph String

@@ -1,0 +1,1 @@
+lib/config/config.ml: Array Format List Radio_graph

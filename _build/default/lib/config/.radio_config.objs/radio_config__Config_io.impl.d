@@ -1,0 +1,1 @@
+lib/config/config_io.ml: Array Buffer Config Fun In_channel List Printf Radio_graph String

@@ -1,0 +1,1 @@
+lib/config/config_io.mli: Config

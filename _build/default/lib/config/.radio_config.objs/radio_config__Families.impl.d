@@ -1,0 +1,1 @@
+lib/config/families.ml: Array Config Fun Radio_graph

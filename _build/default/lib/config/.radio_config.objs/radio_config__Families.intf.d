@@ -1,0 +1,1 @@
+lib/config/families.mli: Config Radio_graph

@@ -1,0 +1,1 @@
+lib/config/random_config.ml: Array Config Radio_graph Random

@@ -1,0 +1,1 @@
+lib/config/random_config.mli: Config Radio_graph Random

@@ -1,0 +1,17 @@
+(** A registry of named, documented configurations: the paper's families at
+    reference sizes plus instructive instances discovered while building the
+    library.  `anorad catalog` lists them; each entry can be emitted in the
+    standard text format and piped back into any subcommand. *)
+
+type entry = {
+  name : string;  (** stable identifier, kebab-case *)
+  summary : string;  (** one line: what the instance demonstrates *)
+  config : Config.t;
+}
+
+val all : unit -> entry list
+(** Every entry, in a stable didactic order. *)
+
+val find : string -> entry option
+
+val names : unit -> string list

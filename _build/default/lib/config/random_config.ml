@@ -1,0 +1,36 @@
+module Gen = Radio_graph.Gen
+
+let random_tags st ~n ~span =
+  if n <= 0 then invalid_arg "random_tags: n must be positive";
+  if span < 0 then invalid_arg "random_tags: span must be non-negative";
+  let tags = Array.init n (fun _ -> Random.State.int st (span + 1)) in
+  let zero_at = Random.State.int st n in
+  tags.(zero_at) <- 0;
+  if n >= 2 && span >= 1 then begin
+    let span_at =
+      let rec pick () =
+        let i = Random.State.int st n in
+        if i = zero_at then pick () else i
+      in
+      pick ()
+    in
+    tags.(span_at) <- span
+  end;
+  tags
+
+let on_graph st ~span g =
+  Config.create g (random_tags st ~n:(Radio_graph.Graph.size g) ~span)
+
+let connected_gnp st ~n ~p ~span =
+  on_graph st ~span (Gen.random_connected_gnp st n p)
+
+let random_tree st ~n ~span = on_graph st ~span (Gen.random_tree st n)
+
+let random_path st ~n ~span = on_graph st ~span (Gen.path n)
+
+let perturb_one_tag st c =
+  let n = Config.size c in
+  let tags = Config.tags c in
+  let v = Random.State.int st n in
+  tags.(v) <- Random.State.int st (Config.span c + 1);
+  Config.create (Config.graph c) tags

@@ -1,0 +1,25 @@
+(** Random configuration generators for property tests and sweeps.
+
+    Every generator takes an explicit {!Random.State.t}; experiments seed it
+    deterministically so runs are reproducible. *)
+
+val random_tags : Random.State.t -> n:int -> span:int -> int array
+(** [n] tags drawn uniformly from [0 .. span]; at least one tag is forced to
+    0 and (when [n >= 2] and [span >= 1]) at least one to [span], so the
+    resulting configuration has span exactly [span] and is normalized. *)
+
+val on_graph : Random.State.t -> span:int -> Radio_graph.Graph.t -> Config.t
+(** Attach {!random_tags} to a given graph. *)
+
+val connected_gnp :
+  Random.State.t -> n:int -> p:float -> span:int -> Config.t
+(** Random connected G(n,p) graph with random tags of the given span. *)
+
+val random_tree : Random.State.t -> n:int -> span:int -> Config.t
+(** Uniform random labelled tree with random tags. *)
+
+val random_path : Random.State.t -> n:int -> span:int -> Config.t
+
+val perturb_one_tag : Random.State.t -> Config.t -> Config.t
+(** Re-draws a single node's tag within [0 .. span] (useful for local-search
+    style tests around the feasibility boundary). *)

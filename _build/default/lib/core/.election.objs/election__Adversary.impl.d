@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Census Classifier Fast_classifier List Radio_config Radio_graph Radio_sim

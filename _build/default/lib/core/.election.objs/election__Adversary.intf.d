@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Radio_config Radio_sim

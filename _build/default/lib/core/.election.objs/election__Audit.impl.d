@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Canonical Classifier Fast_classifier Format Fun List Min_beacon Plan_io Printf Radio_config Radio_drip Radio_sim Wave_election

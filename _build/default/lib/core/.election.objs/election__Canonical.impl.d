@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Array Classifier Label List Radio_config Radio_drip Radio_sim

@@ -1,0 +1,1 @@
+lib/core/canonical.mli: Classifier Label Radio_drip Radio_sim

@@ -1,0 +1,1 @@
+lib/core/census.ml: Array Canonical Classifier Fast_classifier Format List Radio_config Radio_graph Radio_sim

@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Array Format Label List Partition Radio_config

@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Format Label Radio_config

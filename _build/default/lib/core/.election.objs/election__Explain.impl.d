@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Buffer Classifier Format Hashtbl List Option Printf Radio_config Radio_graph

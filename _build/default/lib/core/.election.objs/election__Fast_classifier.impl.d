@@ -1,0 +1,1 @@
+lib/core/fast_classifier.ml: Array Classifier Hashtbl Label List Partition Radio_config

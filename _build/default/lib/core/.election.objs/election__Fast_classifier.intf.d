@@ -1,0 +1,1 @@
+lib/core/fast_classifier.mli: Classifier Label Radio_config

@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Canonical Classifier Fast_classifier List Option Radio_sim

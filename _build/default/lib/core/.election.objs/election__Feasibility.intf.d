@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Canonical Classifier Radio_config Radio_sim

@@ -1,0 +1,1 @@
+lib/core/fragility.mli: Format Radio_config

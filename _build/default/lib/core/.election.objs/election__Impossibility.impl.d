@@ -1,0 +1,1 @@
+lib/core/impossibility.ml: Array Classifier Feasibility Option Radio_config Radio_drip Radio_sim

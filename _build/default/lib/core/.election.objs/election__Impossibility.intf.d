@@ -1,0 +1,1 @@
+lib/core/impossibility.mli: Radio_config Radio_drip Radio_sim

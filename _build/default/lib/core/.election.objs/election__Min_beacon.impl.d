@@ -1,0 +1,1 @@
+lib/core/min_beacon.ml: Array Radio_config Radio_drip Radio_graph Radio_sim

@@ -1,0 +1,1 @@
+lib/core/min_beacon.mli: Radio_config Radio_sim

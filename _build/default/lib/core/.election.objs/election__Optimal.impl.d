@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Canonical Classifier Fast_classifier Hashtbl List Radio_config Radio_drip Radio_graph Radio_sim Set

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Label Radio_config Radio_graph

@@ -1,0 +1,1 @@
+lib/core/plan_io.ml: Array Buffer Canonical Fun In_channel Label List Printf String

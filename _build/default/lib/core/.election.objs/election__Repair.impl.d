@@ -1,0 +1,1 @@
+lib/core/repair.ml: Array Classifier Fast_classifier Format List Option Radio_config Set

@@ -1,0 +1,1 @@
+lib/core/repair.mli: Format Radio_config

@@ -1,0 +1,1 @@
+lib/core/symmetry.ml: Array Fun List Radio_config Radio_graph

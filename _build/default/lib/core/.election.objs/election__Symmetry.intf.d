@@ -1,0 +1,1 @@
+lib/core/symmetry.mli: Radio_config

@@ -1,0 +1,1 @@
+lib/core/wave_election.mli: Radio_config Radio_sim

@@ -1,0 +1,47 @@
+module C = Radio_config.Config
+module Runner = Radio_sim.Runner
+
+type counterexample = {
+  config : C.t;
+  winners : int list;
+}
+
+let feasible_universe ~max_n ~max_span =
+  (* Ordered by (n, actual span): small witnesses first. *)
+  let configs = ref [] in
+  for n = 1 to max_n do
+    let graphs = Radio_graph.Enumerate.connected_up_to_iso n in
+    List.iter
+      (fun tags ->
+        List.iter
+          (fun g ->
+            let config = C.create g tags in
+            if Classifier.is_feasible (Fast_classifier.classify config) then
+              configs := config :: !configs)
+          graphs)
+      (Census.tag_assignments ~n ~max_span)
+  done;
+  List.sort
+    (fun c1 c2 ->
+      compare (C.size c1, C.span c1) (C.size c2, C.span c2))
+    (List.rev !configs)
+
+let run_candidate ?max_rounds candidate config =
+  let r = Runner.run ?max_rounds candidate config in
+  if Runner.elects_unique_leader r then None
+  else Some { config; winners = r.Runner.winners }
+
+let find_failure ?(max_n = 4) ?(max_span = 2) ?(max_rounds = 500_000) candidate =
+  List.find_map
+    (run_candidate ~max_rounds candidate)
+    (feasible_universe ~max_n ~max_span)
+
+let count_failures ?(max_n = 4) ?(max_span = 2) ?(max_rounds = 500_000) candidate =
+  let universe = feasible_universe ~max_n ~max_span in
+  let failures =
+    List.length
+      (List.filter
+         (fun config -> run_candidate ~max_rounds candidate config <> None)
+         universe)
+  in
+  (failures, List.length universe)

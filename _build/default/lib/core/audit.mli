@@ -1,0 +1,34 @@
+(** The lemma battery: every internal consistency property the paper proves
+    (and this library re-verifies in its test suite), runnable on a single
+    configuration via the API or `anorad audit`.
+
+    Each check is an executable restatement of a lemma from Section 3, plus
+    the library's own structural invariants.  On a correct implementation
+    every check passes for every configuration; a failure pinpoints which
+    guarantee broke and where. *)
+
+type check = {
+  name : string;  (** e.g. ["lemma-3.9-partition"] *)
+  passed : bool;
+  detail : string;  (** one-line explanation of what was verified / broke *)
+}
+
+type report = {
+  config : Radio_config.Config.t;
+  feasible : bool;
+  checks : check list;
+  all_passed : bool;
+}
+
+val run : ?max_rounds:int -> Radio_config.Config.t -> report
+(** Runs the full battery: classifier-implementation agreement, the
+    iteration bound (Lemma 3.4), monotone refinement (Obs 3.2 / Cor 3.3),
+    patience (Lemma 3.6), transmission blocks = classes (Lemma 3.8), history
+    partition = final partition (Lemma 3.9), the schedule bound
+    (Lemma 3.10), unique election of the predicted leader when feasible
+    (Lemma 3.11), uniform termination round, pure-vs-stateful DRIP
+    equality, plan serialization roundtrip, and agreement of the
+    class-specific fast algorithms ({!Min_beacon}, {!Wave_election}) with
+    the classifier whenever they apply. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,243 @@
+module History = Radio_drip.History
+module Protocol = Radio_drip.Protocol
+
+type entry = {
+  prev_class : int;
+  label : Label.t;
+}
+
+type plan = {
+  sigma : int;
+  tables : entry array array;
+  final_table : entry array;
+  singleton_class : int option;
+}
+
+let table_of_pairs pairs =
+  Array.map (fun (prev_class, label) -> { prev_class; label }) pairs
+
+let plan_of_run (run : Classifier.run) =
+  let sigma = Radio_config.Config.span run.Classifier.config in
+  (* L_1 is the fixed one-entry list (1, null); L_j for j >= 2 is the class
+     table produced by iteration j - 1; the table of the *last* iteration is
+     not a phase table (its phase is replaced by termination) but serves as
+     the decision function's final class table. *)
+  let iteration_tables =
+    List.map
+      (fun it -> table_of_pairs (Classifier.table_of_iteration it))
+      run.Classifier.iterations
+  in
+  let rec split_last = function
+    | [] -> invalid_arg "Canonical.plan_of_run: run with no iterations"
+    | [ last ] -> ([], last)
+    | x :: rest ->
+        let init, last = split_last rest in
+        (x :: init, last)
+  in
+  let phase_tables, final_table = split_last iteration_tables in
+  let l1 = [| { prev_class = 1; label = [] } |] in
+  let singleton_class =
+    match run.Classifier.verdict with
+    | Classifier.Feasible { singleton_class } -> Some singleton_class
+    | Classifier.Infeasible -> None
+  in
+  {
+    sigma;
+    tables = Array.of_list (l1 :: phase_tables);
+    final_table;
+    singleton_class;
+  }
+
+let num_phases plan = Array.length plan.tables
+
+let phase_bounds plan =
+  let t = num_phases plan in
+  let bounds = Array.make (t + 1) 0 in
+  for j = 1 to t do
+    let blocks = Array.length plan.tables.(j - 1) in
+    bounds.(j) <- bounds.(j - 1) + (blocks * ((2 * plan.sigma) + 1)) + plan.sigma
+  done;
+  bounds
+
+let local_termination_round plan =
+  let bounds = phase_bounds plan in
+  bounds.(num_phases plan) + 1
+
+(* First entry (1-based index) of [entries] matching the node's previous
+   transmission block and its observed label; [None] when lost. *)
+let match_entry entries ~prev_block ~obs_label =
+  match prev_block with
+  | None -> None
+  | Some pb ->
+      let rec scan k =
+        if k > Array.length entries then None
+        else
+          let e = entries.(k - 1) in
+          if e.prev_class = pb && Label.equal e.label obs_label then Some k
+          else scan (k + 1)
+      in
+      scan 1
+
+(* Decomposes the offset of a round within a phase ([1 .. B(2σ+1) + σ]) into
+   [`Slot (block, slot)] or [`Tail] for the σ trailing listen rounds. *)
+let position ~sigma ~blocks ~offset =
+  let width = (2 * sigma) + 1 in
+  if offset <= blocks * width then
+    `Slot ((offset - 1) / width + 1, ((offset - 1) mod width) + 1)
+  else `Tail
+
+let mark_of_entry = function
+  | History.Message _ -> Some Label.One
+  | History.Collision -> Some Label.Many
+  | History.Silence -> None
+
+let protocol plan =
+  let bounds = phase_bounds plan in
+  let t = num_phases plan in
+  let term_round = bounds.(t) + 1 in
+  let spawn () =
+    (* Mutable per-node state; a pure function of the local history (the
+       tests check this against the replay in [block_trace]). *)
+    let rounds_done = ref 0 in
+    let phase = ref 1 in
+    let tblock =
+      ref (match_entry plan.tables.(0) ~prev_block:(Some 1) ~obs_label:[])
+    in
+    let obs = ref [] in
+    let decide () =
+      let i = !rounds_done + 1 in
+      if i > bounds.(t) then Protocol.Terminate
+      else begin
+        let j = !phase in
+        let offset = i - bounds.(j - 1) in
+        let blocks = Array.length plan.tables.(j - 1) in
+        match position ~sigma:plan.sigma ~blocks ~offset with
+        | `Tail -> Protocol.Listen
+        | `Slot (a, b) ->
+            if !tblock = Some a && b = plan.sigma + 1 then Protocol.Transmit "1"
+            else Protocol.Listen
+      end
+    in
+    let observe e =
+      let i = !rounds_done + 1 in
+      if i < term_round then begin
+        let j = !phase in
+        let offset = i - bounds.(j - 1) in
+        let blocks = Array.length plan.tables.(j - 1) in
+        (match position ~sigma:plan.sigma ~blocks ~offset with
+        | `Tail -> ()
+        | `Slot (a, b) -> (
+            match mark_of_entry e with
+            | Some mark -> obs := (a, b, mark) :: !obs
+            | None -> ()));
+        rounds_done := i;
+        if i = bounds.(j) && j < t then begin
+          let obs_label = Label.of_observations !obs in
+          tblock :=
+            match_entry plan.tables.(j) ~prev_block:!tblock ~obs_label;
+          obs := [];
+          phase := j + 1
+        end
+      end
+      else rounds_done := i
+    in
+    {
+      Protocol.on_wakeup = (fun _ -> ());
+      decide;
+      observe;
+    }
+  in
+  { Protocol.name = "canonical"; spawn }
+
+let observations_of_phase plan h ~phase_start ~blocks =
+  let width = (2 * plan.sigma) + 1 in
+  let obs = ref [] in
+  for offset = 1 to blocks * width do
+    let idx = phase_start + offset in
+    match mark_of_entry h.(idx) with
+    | Some mark ->
+        let a = ((offset - 1) / width) + 1 in
+        let b = ((offset - 1) mod width) + 1 in
+        obs := (a, b, mark) :: !obs
+    | None -> ()
+  done;
+  Label.of_observations !obs
+
+let block_trace plan h =
+  let bounds = phase_bounds plan in
+  let t = num_phases plan in
+  if Array.length h < bounds.(t) + 1 then
+    invalid_arg "Canonical.block_trace: history shorter than the schedule";
+  let blocks_used = Array.make t None in
+  let prev_block = ref (Some 1) in
+  let prev_obs = ref [] in
+  for j = 1 to t do
+    let tb =
+      match_entry plan.tables.(j - 1) ~prev_block:!prev_block
+        ~obs_label:!prev_obs
+    in
+    blocks_used.(j - 1) <- tb;
+    prev_block := tb;
+    prev_obs :=
+      observations_of_phase plan h ~phase_start:bounds.(j - 1)
+        ~blocks:(Array.length plan.tables.(j - 1))
+  done;
+  (* [prev_obs] now holds the observations of the final phase, needed by
+     [final_class]; recompute there rather than returning it. *)
+  blocks_used
+
+let final_class plan h =
+  let bounds = phase_bounds plan in
+  let t = num_phases plan in
+  if Array.length h < bounds.(t) + 1 then
+    invalid_arg "Canonical.final_class: history shorter than the schedule";
+  let trace = block_trace plan h in
+  let last_obs =
+    observations_of_phase plan h ~phase_start:bounds.(t - 1)
+      ~blocks:(Array.length plan.tables.(t - 1))
+  in
+  match_entry plan.final_table ~prev_block:trace.(t - 1) ~obs_label:last_obs
+
+let pure_drip plan h =
+  let bounds = phase_bounds plan in
+  let t = num_phases plan in
+  (* [h] is the prefix H[0 .. i-1]; we output the action of local round i. *)
+  let i = Array.length h in
+  if i = 0 then invalid_arg "Canonical.pure_drip: empty history prefix"
+  else if i > bounds.(t) then Protocol.Terminate
+  else begin
+    let rec find j = if i <= bounds.(j) then j else find (j + 1) in
+    let j = find 1 in
+    (* Recompute tBlock of phase j by replaying phases 1 .. j-1, all of
+       which the prefix fully covers. *)
+    let tb = ref (match_entry plan.tables.(0) ~prev_block:(Some 1) ~obs_label:[]) in
+    for jj = 2 to j do
+      let obs =
+        observations_of_phase plan h ~phase_start:bounds.(jj - 2)
+          ~blocks:(Array.length plan.tables.(jj - 2))
+      in
+      tb := match_entry plan.tables.(jj - 1) ~prev_block:!tb ~obs_label:obs
+    done;
+    let offset = i - bounds.(j - 1) in
+    let blocks = Array.length plan.tables.(j - 1) in
+    match position ~sigma:plan.sigma ~blocks ~offset with
+    | `Tail -> Protocol.Listen
+    | `Slot (a, b) ->
+        if !tb = Some a && b = plan.sigma + 1 then Protocol.Transmit "1"
+        else Protocol.Listen
+  end
+
+let pure_protocol plan =
+  Protocol.of_pure ~name:"canonical-pure" (pure_drip plan)
+
+let decision plan h =
+  match plan.singleton_class with
+  | None -> false
+  | Some m -> final_class plan h = Some m
+
+let election plan =
+  { Radio_sim.Runner.protocol = protocol plan; decision = decision plan }
+
+let upper_bound_rounds ~n ~sigma =
+  let phases = (n + 1) / 2 in
+  (phases * ((n * ((2 * sigma) + 1)) + sigma)) + 1

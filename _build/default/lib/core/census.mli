@@ -1,0 +1,41 @@
+(** Exhaustive census of the small-configuration universe (experiment E11).
+
+    For every connected graph up to isomorphism with [n <= max_n] vertices
+    and every tag assignment with values in [0 .. max_span] containing a 0
+    (i.e. every normalized configuration), the census:
+
+    - classifies the configuration (both classifier implementations),
+    - simulates the canonical DRIP and partitions nodes by actual history,
+    - cross-checks the three: the fast and literal classifiers must agree,
+      and the configuration must be feasible iff some node has a globally
+      unique history in the simulation (Lemmas 3.9/3.11/3.16).
+
+    Any disagreement is a bug; the report counts them (they must be zero)
+    alongside the feasibility statistics the landscape experiment samples
+    only randomly. *)
+
+type cell = {
+  n : int;
+  span : int;  (** actual span of the configurations counted here *)
+  total : int;
+  feasible : int;
+  disagreements : int;  (** classifier-vs-simulation conflicts: must be 0 *)
+  impl_mismatches : int;  (** fast-vs-literal conflicts: must be 0 *)
+}
+
+type report = {
+  cells : cell list;  (** sorted by [(n, span)] *)
+  configurations : int;
+  all_consistent : bool;
+}
+
+val tag_assignments : n:int -> max_span:int -> int array list
+(** All normalized tag vectors: values in [0 .. max_span], at least one 0.
+    [(max_span+1)^n - max_span^n] of them. *)
+
+val run : ?max_n:int -> ?max_span:int -> unit -> report
+(** Defaults: [max_n = 4], [max_span = 2].  [max_n = 5] multiplies the work
+    by roughly the number of 5-vertex connected graphs (21) times [3^5]
+    assignments and is still fast; [max_n = 6] takes minutes. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,63 @@
+(** The centralized decision algorithm [Classifier] (Algorithms 1–4 of the
+    paper), implemented literally.
+
+    [Classifier] decides in [O(n^3 Δ)] time whether a configuration is
+    feasible, i.e. whether {e any} deterministic distributed algorithm can
+    elect a leader on it (Theorem 3.17).  It simulates the phase structure of
+    the canonical DRIP purely combinatorially: starting from the trivial
+    partition (every node in class 1), each iteration computes the label
+    every node would acquire during one phase ([Partitioner]) and refines the
+    partition by [(old class, label)] equality ([Refine]).  It answers:
+
+    - "Yes" as soon as some class contains exactly one node — that node has
+      a globally unique history and can be elected;
+    - "No" as soon as an iteration does not increase the number of classes —
+      the partition (hence the set of histories) has stabilized with every
+      class of size [>= 2].
+
+    Lemma 3.4 guarantees one of the two happens within [⌈n/2⌉] iterations.
+
+    The full refinement trace is returned because the canonical DRIP
+    ({!Canonical}) is compiled from it. *)
+
+type iteration = {
+  index : int;  (** 1-based iteration number *)
+  old_class : int array;  (** partition before this iteration, [P_{i-1}] *)
+  labels : Label.t array;  (** labels assigned by [Partitioner] *)
+  new_class : int array;  (** partition after refinement, [P_i] *)
+  num_classes : int;  (** [|P_i|] *)
+  reps : int array;  (** [reps.(k - 1)] = representative node of class [k] *)
+}
+
+type verdict =
+  | Feasible of { singleton_class : int }
+      (** the smallest class of [P_T] with exactly one node — the paper's
+          [m̂]; its sole member is the canonical leader *)
+  | Infeasible
+
+type run = {
+  config : Radio_config.Config.t;
+  iterations : iteration list;  (** in execution order; never empty *)
+  verdict : verdict;
+}
+
+val classify : Radio_config.Config.t -> run
+(** Runs [Classifier] on a configuration (normalizing it first if needed).
+    Works on disconnected configurations too, but the paper's guarantees
+    only cover connected ones. *)
+
+val is_feasible : run -> bool
+
+val last_iteration : run -> iteration
+
+val canonical_leader : run -> int option
+(** The unique member of the smallest singleton class, when feasible. *)
+
+val table_of_iteration : iteration -> (int * Label.t) array
+(** [(old class of rep, label of rep)] per class of [P_i] — the entries of
+    the canonical list [L_{i+1}] (Section 3.3.1). *)
+
+val num_iterations : run -> int
+
+val pp_run : Format.formatter -> run -> unit
+(** Multi-line summary of the refinement trace. *)

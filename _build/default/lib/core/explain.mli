@@ -1,0 +1,44 @@
+(** Human-readable witnesses for classifier verdicts.
+
+    For a feasible configuration the witness is the {e separation story} of
+    the leader: the iteration at which it first ended up alone, and — for
+    every pair of nodes — the first iteration separating them.  For an
+    infeasible configuration the witness is the {e stable symmetry}: the
+    final partition into classes of size [>= 2] that no further phase can
+    split (once the partition stalls, Lemma 3.9 implies the corresponding
+    nodes keep identical histories forever under any algorithm).
+
+    These explanations are what `anorad classify -v` prints and what the
+    repair search ({!Repair}) uses to pick which symmetry to attack. *)
+
+type separation = {
+  pair : int * int;
+  iteration : int option;
+      (** first iteration whose partition separates the pair; [None] if the
+          two nodes are never separated *)
+}
+
+type t = {
+  run : Classifier.run;
+  leader : int option;
+  leader_alone_at : int option;
+      (** iteration at which the leader's class became a singleton *)
+  stable_groups : int list list;
+      (** classes of the final partition with [>= 2] members — empty iff
+          feasible...  actually: for feasible runs these are the residual
+          indistinguishable groups that simply don't prevent election *)
+  separations : separation list;  (** all pairs, ordered *)
+}
+
+val explain : Classifier.run -> t
+
+val pp : Format.formatter -> t -> unit
+
+val never_separated : t -> (int * int) list
+(** The pairs of nodes that end in the same class: under {e any} protocol
+    they keep identical histories forever. *)
+
+val to_dot : t -> string
+(** GraphViz rendering of the configuration with each node labelled by its
+    tag and final class, and the residual indistinguishable groups drawn in
+    a shared style — the visual companion of {!pp}. *)

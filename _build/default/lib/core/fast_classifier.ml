@@ -1,0 +1,83 @@
+module Config = Radio_config.Config
+
+(* Keys are (previous class, label); OCaml's structural hashing and equality
+   on [Label.t] values agree with [Label.equal] because labels are
+   canonically sorted lists of flat records. *)
+module Key = struct
+  type t = int * Label.t
+
+  let equal (c1, l1) (c2, l2) = c1 = c2 && Label.equal l1 l2
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let refine_with_table ~old_class ~labels ~num_classes ~reps =
+  let n = Array.length old_class in
+  let table = Tbl.create (2 * (num_classes + 1)) in
+  (* Seed with the previous representatives: a node matching (k, label of
+     rep_k) keeps class number k, as in the paper's Refine. *)
+  Array.iteri
+    (fun i rep -> Tbl.replace table (old_class.(rep), labels.(rep)) (i + 1))
+    reps;
+  let new_class = Array.make n 0 in
+  let num = ref num_classes in
+  let new_reps = ref [] in
+  for v = 0 to n - 1 do
+    let key = (old_class.(v), labels.(v)) in
+    match Tbl.find_opt table key with
+    | Some k -> new_class.(v) <- k
+    | None ->
+        incr num;
+        Tbl.replace table key !num;
+        new_class.(v) <- !num;
+        new_reps := v :: !new_reps
+  done;
+  let reps_out = Array.make !num 0 in
+  Array.blit reps 0 reps_out 0 (Array.length reps);
+  List.iteri
+    (fun i v -> reps_out.(!num - 1 - i) <- v)
+    !new_reps;
+  (new_class, !num, reps_out)
+
+let classify config =
+  let config =
+    if Config.is_normalized config then config
+    else Config.create (Config.graph config) (Config.tags config)
+  in
+  let n = Config.size config in
+  if n = 0 then invalid_arg "Fast_classifier.classify: empty configuration";
+  let max_iters = (n + 1) / 2 in
+  let rec iterate index ~class_of ~num_classes ~reps acc =
+    if index > max_iters then
+      invalid_arg "Fast_classifier.classify: exceeded ⌈n/2⌉ iterations"
+    else begin
+      let labels = Partition.compute_labels config ~class_of in
+      let new_class, new_num, new_reps =
+        refine_with_table ~old_class:class_of ~labels ~num_classes ~reps
+      in
+      let it =
+        {
+          Classifier.index;
+          old_class = class_of;
+          labels;
+          new_class;
+          num_classes = new_num;
+          reps = new_reps;
+        }
+      in
+      let acc = it :: acc in
+      match Partition.singleton_class ~num_classes:new_num new_class with
+      | Some m ->
+          (List.rev acc, Classifier.Feasible { singleton_class = m })
+      | None ->
+          if new_num = num_classes then (List.rev acc, Classifier.Infeasible)
+          else
+            iterate (index + 1) ~class_of:new_class ~num_classes:new_num
+              ~reps:new_reps acc
+    end
+  in
+  let iterations, verdict =
+    iterate 1 ~class_of:(Array.make n 1) ~num_classes:1 ~reps:[| 0 |] []
+  in
+  { Classifier.config; iterations; verdict }

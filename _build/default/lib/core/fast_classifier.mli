@@ -1,0 +1,28 @@
+(** Hash-based classifier — an answer to the paper's first open problem
+    ("can the [O(n^3 Δ)] complexity of [Classifier] be improved?").
+
+    The bottleneck of the literal implementation is [Refine]: assigning a
+    class to one node scans up to [n] representatives, each comparison
+    costing [O(Δ)], for [O(n^2 Δ)] per iteration.  This variant replaces the
+    scan with a hash table keyed by [(old class, label)], pre-seeded with
+    the previous representatives so that surviving classes keep their number
+    and new classes are numbered in first-occurrence node order — {e exactly}
+    the numbering the paper's [Refine] produces.  One iteration then costs
+    [O(n Δ log Δ)] expected (label construction dominates), for
+    [O(n^2 Δ log Δ)] total against the paper's [O(n^3 Δ)].
+
+    The output is bit-identical to {!Classifier.classify} — same iterations,
+    class arrays, labels, representatives and verdict — which the property
+    test suite asserts on thousands of random configurations. *)
+
+val classify : Radio_config.Config.t -> Classifier.run
+
+val refine_with_table :
+  old_class:int array ->
+  labels:Label.t array ->
+  num_classes:int ->
+  reps:int array ->
+  int array * int * int array
+(** The hash-based refinement step, exposed for unit tests:
+    returns [(new_class, new_num_classes, new_reps)] exactly like the
+    literal [Refine]. *)

@@ -1,0 +1,45 @@
+type impl =
+  [ `Reference
+  | `Fast ]
+
+type analysis = {
+  run : Classifier.run;
+  plan : Canonical.plan;
+  feasible : bool;
+  leader : int option;
+  election_local_rounds : int;
+}
+
+let analyze ?(impl = `Fast) config =
+  let run =
+    match impl with
+    | `Reference -> Classifier.classify config
+    | `Fast -> Fast_classifier.classify config
+  in
+  let plan = Canonical.plan_of_run run in
+  {
+    run;
+    plan;
+    feasible = Classifier.is_feasible run;
+    leader = Classifier.canonical_leader run;
+    election_local_rounds = Canonical.local_termination_round plan;
+  }
+
+let is_feasible ?impl config = (analyze ?impl config).feasible
+
+let dedicated_election a =
+  if a.feasible then Some (Canonical.election a.plan) else None
+
+let verify_by_simulation ?max_rounds a =
+  Option.map
+    (fun e -> Radio_sim.Runner.run ?max_rounds e a.run.Classifier.config)
+    (dedicated_election a)
+
+let feasible_fraction ?impl configs =
+  match configs with
+  | [] -> invalid_arg "Feasibility.feasible_fraction: empty batch"
+  | _ ->
+      let feasible =
+        List.length (List.filter (fun c -> is_feasible ?impl c) configs)
+      in
+      float_of_int feasible /. float_of_int (List.length configs)

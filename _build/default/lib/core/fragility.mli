@@ -1,0 +1,23 @@
+(** Sensitivity of feasibility to tag perturbations.
+
+    Feasibility rests on wake-up asymmetry, which in practice comes from
+    jitter — so an operator should know how {e robust} a feasible deployment
+    is: if one node's wake-up slips, does election still work?  [Fragility]
+    quantifies this by exhaustively re-classifying every single-tag
+    perturbation (the same move set as {!Repair}, in the other direction). *)
+
+type report = {
+  perturbations : int;  (** single-tag changes examined *)
+  still_feasible : int;
+  breaking : (int * int) list;
+      (** [(node, new_tag)] pairs that make the configuration infeasible *)
+  fragility : float;  (** share of perturbations that break feasibility *)
+}
+
+val single_tag : ?max_tag:int -> Radio_config.Config.t -> report
+(** Examines every [(node, new_tag)] with [new_tag <> old_tag] in
+    [0 .. max_tag] (default [span + 1]).  Raises [Invalid_argument] when the
+    input is infeasible (fragility of a broken thing is meaningless —
+    use {!Repair}). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,90 @@
+(** Section 4 of the paper, as executable experiments.
+
+    Each negative result is turned into an adversary procedure that takes a
+    {e candidate} algorithm and manufactures the concrete configuration the
+    proof says it must fail on, then verifies the failure in the simulator:
+
+    - Proposition 4.1 ([Ω(n)] on the [G_m] family) and Proposition 4.3
+      ([Ω(σ)] on the [H_m] family) become measurement helpers whose outputs
+      the benches plot against the bounds;
+    - Proposition 4.4 (no universal election algorithm, even for 4-node
+      feasible configurations) becomes {!refute_universal};
+    - Proposition 4.5 (no distributed decision algorithm) becomes
+      {!indistinguishability_witness}. *)
+
+(** {1 The adversary's probe} *)
+
+val first_lonely_transmission :
+  ?horizon:int -> Radio_drip.Protocol.t -> int option
+(** The local round in which a node running the protocol first transmits
+    when it wakes spontaneously and hears only silence — the proofs' round
+    [t] (both tag-0 nodes of [H_m] and [S_m] behave exactly like this until
+    one of them transmits).  Computed by feeding an instance silence;
+    [None] if it terminates, or is still listening after [horizon] (default
+    [10_000]) rounds. *)
+
+(** {1 Proposition 4.4: no universal leader election algorithm} *)
+
+type refutation = {
+  probe_round : int option;
+      (** the candidate's first lonely transmission round [t] *)
+  counterexample : Radio_config.Config.t;
+      (** a feasible 4-node configuration the candidate fails on:
+          [H_{t+1}], or [H_1] if the candidate never transmits *)
+  counterexample_feasible : bool;  (** always true; re-checked *)
+  result : Radio_sim.Runner.result;  (** the failing run *)
+  refuted : bool;
+      (** true iff the candidate did not elect a unique leader on the
+          counterexample *)
+}
+
+val refute_universal :
+  ?horizon:int ->
+  ?max_rounds:int ->
+  Radio_sim.Runner.election ->
+  refutation
+(** Implements the adversary of Proposition 4.4.  For any candidate
+    deterministic algorithm this returns a feasible 4-node configuration;
+    [refuted = true] means the candidate failed there, as the proposition
+    predicts for every candidate. *)
+
+(** {1 Proposition 4.5: no distributed decision algorithm} *)
+
+type indistinguishability = {
+  feasible_config : Radio_config.Config.t;  (** [H_{t+1}] *)
+  infeasible_config : Radio_config.Config.t;  (** [S_{t+1}] *)
+  histories_identical : bool;
+      (** whether every node got the same history in both runs — the
+          contradiction at the heart of the proof *)
+  feasible_outcome : Radio_sim.Engine.outcome;
+  infeasible_outcome : Radio_sim.Engine.outcome;
+}
+
+val indistinguishability_witness :
+  ?horizon:int ->
+  ?max_rounds:int ->
+  Radio_drip.Protocol.t ->
+  indistinguishability
+(** Implements the adversary of Proposition 4.5: runs the candidate protocol
+    on [H_{t+1}] (feasible) and [S_{t+1}] (infeasible), where [t] is the
+    candidate's first lonely transmission round, and compares the per-node
+    histories.  If the candidate never transmits, [H_1]/[S_1] are used (all
+    histories are then all-silence and still identical). *)
+
+(** {1 Lower-bound measurements (Propositions 4.1 and 4.3)} *)
+
+type lower_bound_point = {
+  parameter : int;  (** [m] *)
+  n : int;
+  sigma : int;
+  elected : int option;
+  rounds : int;  (** global completion round of the dedicated algorithm *)
+  bound : int;  (** the proposition's lower bound for this instance *)
+}
+
+val g_family_point : int -> lower_bound_point
+(** Dedicated election on [G_m]: [n = 4m + 1], [σ = 1], bound [Ω(n)]
+    (reported as [m - 1], the proof's explicit constant). *)
+
+val h_family_point : int -> lower_bound_point
+(** Dedicated election on [H_m]: [n = 4], [σ = m + 1], bound [m]. *)

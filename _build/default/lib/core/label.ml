@@ -1,0 +1,78 @@
+type mark =
+  | One
+  | Many
+
+type triple = {
+  block : int;
+  slot : int;
+  mark : mark;
+}
+
+type t = triple list
+
+let compare_mark m1 m2 =
+  match (m1, m2) with
+  | One, One | Many, Many -> 0
+  | One, Many -> -1
+  | Many, One -> 1
+
+let compare_triple t1 t2 =
+  match Int.compare t1.block t2.block with
+  | 0 -> (
+      match Int.compare t1.slot t2.slot with
+      | 0 -> compare_mark t1.mark t2.mark
+      | c -> c)
+  | c -> c
+
+let compare = List.compare compare_triple
+
+let equal l1 l2 = compare l1 l2 = 0
+
+let of_observations obs =
+  let sorted =
+    List.sort compare_triple
+      (List.map (fun (block, slot, mark) -> { block; slot; mark }) obs)
+  in
+  let rec check = function
+    | t1 :: (t2 :: _ as rest) ->
+        if t1.block = t2.block && t1.slot = t2.slot then
+          invalid_arg "Label.of_observations: duplicate (block, slot)"
+        else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let of_neighbour_slots slots =
+  let sorted = List.sort Stdlib.compare slots in
+  (* Group equal consecutive (block, slot) pairs; the result is already in
+     ≺hist order because (block, slot) pairs end up pairwise distinct. *)
+  let rec group = function
+    | [] -> []
+    | (block, slot) :: rest ->
+        let rec skip n = function
+          | x :: tl when x = (block, slot) -> skip (n + 1) tl
+          | tl -> (n, tl)
+        in
+        let n, tl = skip 1 rest in
+        { block; slot; mark = (if n = 1 then One else Many) } :: group tl
+  in
+  group sorted
+
+let mem ~block ~slot label =
+  List.find_map
+    (fun t -> if t.block = block && t.slot = slot then Some t.mark else None)
+    label
+
+let pp_triple ppf t =
+  Format.fprintf ppf "(%d,%d,%s)" t.block t.slot
+    (match t.mark with One -> "1" | Many -> "*")
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "null"
+  | l ->
+      Format.fprintf ppf "@[<h>%a@]"
+        (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_triple)
+        l
+
+let to_string l = Format.asprintf "%a" pp l

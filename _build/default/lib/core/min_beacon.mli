@@ -1,0 +1,36 @@
+(** [Min_beacon] — a constant-round dedicated election algorithm for the
+    class of {e unique-minimum-tag single-hop} configurations, illustrating
+    the paper's second open problem (is [O(n + σ)] always achievable?).
+
+    On a complete graph where exactly one node has the smallest wake-up tag:
+
+    - the earliest riser wakes spontaneously, hears nothing (everyone else
+      is still asleep), transmits once in its local round 1, and terminates;
+    - every other node is woken by that very message (single-hop: the lone
+      transmission reaches everyone, including nodes whose own tag round is
+      that same round — a forced wake-up by Section 2.1), and terminates
+      immediately;
+    - decision: a node leads iff its history starts with a spontaneous
+      wake-up.
+
+    Election completes in 2 global rounds after normalization — constant,
+    against the canonical DRIP's [3σ + 2] on the same configurations — so
+    the canonical construction is very far from optimal on this class.
+
+    The protocol is only correct when {!applies} holds; running it elsewhere
+    can elect several or zero leaders (the benches show this negative
+    control). *)
+
+val applies : Radio_config.Config.t -> bool
+(** True iff the graph is complete ([n >= 1]) and the minimum tag is
+    attained by exactly one node. *)
+
+val predicted_leader : Radio_config.Config.t -> int option
+(** The unique minimum-tag node, when {!applies}. *)
+
+val election : Radio_sim.Runner.election
+(** The (configuration-independent) protocol and decision function. *)
+
+val election_rounds : Radio_config.Config.t -> int
+(** Always 2 for normalized applicable configurations ([min_tag + 2] in
+    general). *)

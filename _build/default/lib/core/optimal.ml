@@ -1,0 +1,189 @@
+module C = Radio_config.Config
+module G = Radio_graph.Graph
+module H = Radio_drip.History
+
+type outcome =
+  | Broken_at of int
+  | Never
+  | Not_within_horizon
+  | Search_budget_exhausted
+
+(* History keys are interned incrementally: key 0 is "asleep" (the shared
+   empty history ⊥); every other key denotes (previous key, this round's
+   event).  Events carry the sender's class for messages, so protocols can
+   name their classes - the strongest thing an anonymous DRIP can say. *)
+type event =
+  | Ev_silence
+  | Ev_msg of int
+  | Ev_noise
+  | Ev_wake_silent
+  | Ev_wake_msg of int
+
+module Intern = struct
+  type t = {
+    table : (int * event, int) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create () = { table = Hashtbl.create 1024; next = 1 }
+
+  let get t parent event =
+    match Hashtbl.find_opt t.table (parent, event) with
+    | Some id -> id
+    | None ->
+        let id = t.next in
+        t.next <- t.next + 1;
+        Hashtbl.replace t.table (parent, event) id;
+        id
+end
+
+let separated keys =
+  let n = Array.length keys in
+  let rec outer v =
+    if v >= n then false
+    else if keys.(v) <> 0
+            &&
+            let rec inner w =
+              w >= n || ((w = v || keys.(w) <> keys.(v)) && inner (w + 1))
+            in
+            inner 0
+    then true
+    else outer (v + 1)
+  in
+  outer 0
+
+let distinct_awake_keys keys =
+  List.sort_uniq compare
+    (List.filter (fun k -> k <> 0) (Array.to_list keys))
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun t -> x :: t) s
+
+let step config intern keys ~round ~transmitting =
+  let g = C.graph config in
+  let n = C.size config in
+  let is_tx v = keys.(v) <> 0 && List.mem keys.(v) transmitting in
+  Array.init n (fun v ->
+      if keys.(v) <> 0 then begin
+        (* awake: compute this round's history entry *)
+        let event =
+          if is_tx v then Ev_silence
+          else begin
+            let senders =
+              G.fold_neighbours g v ~init:[] ~f:(fun acc w ->
+                  if is_tx w then keys.(w) :: acc else acc)
+            in
+            match senders with
+            | [] -> Ev_silence
+            | [ c ] -> Ev_msg c
+            | _ -> Ev_noise
+          end
+        in
+        Intern.get intern keys.(v) event
+      end
+      else begin
+        (* asleep: forced wake by a lone transmitting neighbour, else
+           spontaneous at the tag round *)
+        let senders =
+          G.fold_neighbours g v ~init:[] ~f:(fun acc w ->
+              if is_tx w then keys.(w) :: acc else acc)
+        in
+        match senders with
+        | [ c ] -> Intern.get intern 0 (Ev_wake_msg c)
+        | _ -> if C.tag config v = round then Intern.get intern 0 Ev_wake_silent else 0
+      end)
+
+module StateSet = Set.Make (struct
+  type t = int array
+
+  let compare = compare
+end)
+
+let breaking_time ?(horizon = 24) ?(max_states = 200_000) config =
+  let config =
+    if C.is_normalized config then config
+    else C.create (C.graph config) (C.tags config)
+  in
+  let n = C.size config in
+  if n = 0 then invalid_arg "Optimal.breaking_time: empty configuration";
+  (* Infeasible configurations never separate (Lemma 3.16): skip the
+     search, which would otherwise chase growing histories forever. *)
+  if not (Classifier.is_feasible (Fast_classifier.classify config)) then Never
+  else begin
+  let intern = Intern.create () in
+  let explored = ref 0 in
+  let rec bfs round frontier =
+    if StateSet.is_empty frontier then Not_within_horizon
+    else if round > horizon then Not_within_horizon
+    else if !explored > max_states then Search_budget_exhausted
+    else begin
+      (* Expand every state by every choice of transmitting classes. *)
+      let next = ref StateSet.empty in
+      let broken = ref false in
+      StateSet.iter
+        (fun keys ->
+          let choices = subsets (distinct_awake_keys keys) in
+          List.iter
+            (fun transmitting ->
+              let keys' = step config intern keys ~round ~transmitting in
+              if separated keys' then broken := true
+              else if not (StateSet.mem keys' !next) then begin
+                next := StateSet.add keys' !next;
+                incr explored
+              end)
+            choices)
+        frontier;
+      if !broken then Broken_at round else bfs (round + 1) !next
+    end
+  in
+  let initial = StateSet.singleton (Array.make n 0) in
+  (* Round 0 may already separate (a lone tag-0 node among sleepers). *)
+  bfs 0 initial
+  end
+
+let canonical_breaking_time ?(max_rounds = 1_000_000) config =
+  let run = Classifier.classify config in
+  let plan = Canonical.plan_of_run run in
+  let o =
+    Radio_sim.Engine.run ~max_rounds (Canonical.protocol plan) config
+  in
+  if not o.Radio_sim.Engine.all_terminated then None
+  else begin
+    let n = C.size config in
+    let prefix v r =
+      (* node v's history prefix at the end of global round r; None = ⊥ *)
+      let wake = o.Radio_sim.Engine.wake_round.(v) in
+      if wake < 0 || r < wake then None
+      else
+        let len =
+          min (r - wake + 1) (Array.length o.Radio_sim.Engine.histories.(v))
+        in
+        Some (Array.sub o.Radio_sim.Engine.histories.(v) 0 len)
+    in
+    let sep_at r =
+      let keys = Array.init n (fun v -> prefix v r) in
+      let unique v =
+        match keys.(v) with
+        | None -> false
+        | Some h ->
+            let rec check w =
+              w >= n
+              || ((w = v
+                  ||
+                  match keys.(w) with
+                  | None -> true
+                  | Some h' -> not (H.equal h h'))
+                 && check (w + 1))
+            in
+            check 0
+      in
+      let rec any v = v < n && (unique v || any (v + 1)) in
+      any 0
+    in
+    let limit = Radio_sim.Engine.completion_round o in
+    let rec find r = if r > limit then None else if sep_at r then Some r else find (r + 1) in
+    find 0
+  end

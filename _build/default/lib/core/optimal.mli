@@ -1,0 +1,38 @@
+(** Exhaustive search for the optimal symmetry-breaking time on small
+    configurations — a measured companion to the paper's lower bounds and
+    its second open problem.
+
+    The {e symmetry-breaking round} of an execution is the first global
+    round at which some awake node's history differs from the history of
+    every other node (sleeping nodes all share the empty history ⊥).  No
+    leader election algorithm can decide before symmetry breaks, so the
+    minimum over all DRIPs lower-bounds every dedicated algorithm's
+    election time — this is exactly the quantity the proofs of
+    Propositions 4.1/4.3 reason about.
+
+    The search explores all deterministic anonymous protocols restricted to
+    class-indexed messages (each history class either listens or transmits
+    its class index; no protocol can distinguish more than its history
+    classes, and richer alphabets cannot help beyond naming them), by
+    breadth-first search over global states with memoization.  Within that
+    family the result is exact; combined with a matching theoretical lower
+    bound (e.g. Lemma 4.2's [>= m] for [H_m]) it pins the true optimum.
+
+    State count grows quickly, so this is for census-sized instances:
+    [n <= 6] and horizons of a couple dozen rounds. *)
+
+type outcome =
+  | Broken_at of int  (** minimal symmetry-breaking global round *)
+  | Never  (** the configuration is infeasible: symmetry never breaks *)
+  | Not_within_horizon
+  | Search_budget_exhausted
+
+val breaking_time :
+  ?horizon:int -> ?max_states:int -> Radio_config.Config.t -> outcome
+(** [breaking_time config] explores up to [horizon] (default 24) global
+    rounds and [max_states] (default 200_000) distinct states. *)
+
+val canonical_breaking_time :
+  ?max_rounds:int -> Radio_config.Config.t -> int option
+(** For comparison: the round at which the {e canonical DRIP}'s execution
+    first separates some node, measured in the simulator. *)

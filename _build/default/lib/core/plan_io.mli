@@ -1,0 +1,25 @@
+(** Serialization of canonical-DRIP plans.
+
+    A plan is the complete "program" the dedicated algorithm installs at
+    every node (class tables, final table, singleton index, span).  Being
+    able to write it to disk turns Theorem 3.15 into a deployable artifact:
+    classify once centrally, ship the plan to the (anonymous) devices.
+
+    Line-based textual format ('#' comments and blank lines ignored):
+    {v
+    drip-plan 1
+    sigma <σ>
+    phases <T>
+    singleton <m | none>
+    table <j> <entry-count>          for j = 1 .. T, then j = final
+    entry <prev_class> <k> [<block> <slot> <1|*>]{k}
+    v} *)
+
+val to_string : Canonical.plan -> string
+
+val of_string : string -> Canonical.plan
+(** Raises [Failure] on malformed input. *)
+
+val write_file : string -> Canonical.plan -> unit
+
+val read_file : string -> Canonical.plan

@@ -1,0 +1,36 @@
+(** Independent infeasibility certificates from graph automorphisms.
+
+    If a configuration admits a tag-preserving automorphism [φ] with no
+    fixed point, then for every node [v] the histories of [v] and [φ(v)]
+    coincide in every execution of every deterministic algorithm (the
+    entire model is invariant under [φ]), so no node can ever hold a unique
+    history: the configuration is infeasible.
+
+    This gives a {e certificate} of infeasibility that is checkable without
+    trusting the classifier: verifying that a permutation is a
+    tag-preserving automorphism and has no fixed point is elementary.  The
+    converse fails — a configuration can be infeasible without such an
+    automorphism existing (the stalled-partition witness of {!Explain} is
+    the complete criterion) — so this module is a sound, incomplete,
+    fast-to-audit second opinion.  The census experiment measures how often
+    infeasible configurations carry an automorphism certificate.
+
+    The search is backtracking over candidate images, pruned by tags and
+    degrees; fine for the small instances certificates are for. *)
+
+type certificate = int array
+(** A permutation [φ] (as an image array) that is a graph automorphism,
+    preserves tags, and moves every node. *)
+
+val is_certificate : Radio_config.Config.t -> certificate -> bool
+(** The elementary check: permutation, tag-preserving, edge-preserving,
+    fixed-point-free. *)
+
+val find : ?budget:int -> Radio_config.Config.t -> certificate option
+(** Searches for a certificate, exploring at most [budget] (default
+    [200_000]) search nodes; [None] means "no certificate found within the
+    budget" — it does {e not} imply feasibility. *)
+
+val certified_infeasible : ?budget:int -> Radio_config.Config.t -> bool
+(** [find] succeeded; implies the classifier must answer infeasible
+    (property-tested). *)

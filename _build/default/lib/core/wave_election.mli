@@ -1,0 +1,44 @@
+(** [Wave_election] — an [O(D)]-round dedicated election algorithm for
+    {e wave-dominated} multi-hop configurations, a much larger class than
+    {!Min_beacon}'s cliques and a stronger answer to the paper's second
+    open problem on its domain.
+
+    A normalized configuration is {e wave-dominated} when:
+
+    + exactly one node [ℓ] has tag 0 (the unique earliest riser);
+    + every other node [v] satisfies [t_v >= dist(ℓ, v)] — nobody's alarm
+      clock beats the wave; and
+    + every other node has {e exactly one} neighbour closer to [ℓ]
+      (a unique BFS parent — otherwise two parents transmit simultaneously
+      and the collision does not wake the sleeping child).
+
+    Every tree rooted at a unique minimum with depth-dominated tags
+    qualifies, as do BFS-tree-like meshes.  On such configurations the
+    protocol is a relay wave:
+
+    - a node woken spontaneously (only [ℓ] can be) beacons in local round 1;
+    - a node woken by a message relays it once in local round 1;
+    - everyone terminates in local round 2;
+    - decision: the leader is the node whose wake-up was spontaneous.
+
+    Node [v] is woken (forced) at global round [dist(ℓ, v)] by its unique
+    parent's relay, so election completes in [ecc(ℓ) + 2] global rounds —
+    [O(D)], independent of [σ] and of [n] beyond the diameter, against the
+    canonical DRIP's [O(n^2 σ)].
+
+    Outside the class the protocol is unsound (several or zero claimants);
+    always gate it behind {!applies}. *)
+
+val applies : Radio_config.Config.t -> bool
+(** The three conditions above, checked by BFS in [O(n + m)] after
+    normalization.  Requires a connected graph; returns [false] for
+    disconnected configurations. *)
+
+val predicted_leader : Radio_config.Config.t -> int option
+(** The unique tag-0 node, when {!applies}. *)
+
+val election : Radio_sim.Runner.election
+(** The (configuration-independent) relay-wave protocol and decision. *)
+
+val election_rounds : Radio_config.Config.t -> int option
+(** [Some (ecc(ℓ) + 2)] when {!applies}: the global completion round. *)

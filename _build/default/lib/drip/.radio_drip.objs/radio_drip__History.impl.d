@@ -1,0 +1,1 @@
+lib/drip/history.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/drip/history.mli: Format

@@ -1,0 +1,1 @@
+lib/drip/patient.ml: Array History Printf Protocol

@@ -1,0 +1,1 @@
+lib/drip/patient.mli: History Protocol

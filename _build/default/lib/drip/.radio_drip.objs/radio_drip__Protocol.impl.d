@@ -1,0 +1,1 @@
+lib/drip/protocol.ml: History Printf

@@ -1,0 +1,58 @@
+type entry =
+  | Silence
+  | Message of string
+  | Collision
+
+type t = entry array
+
+let equal_entry e1 e2 =
+  match (e1, e2) with
+  | Silence, Silence | Collision, Collision -> true
+  | Message m1, Message m2 -> String.equal m1 m2
+  | (Silence | Message _ | Collision), _ -> false
+
+let equal h1 h2 =
+  Array.length h1 = Array.length h2
+  &&
+  let rec go i = i >= Array.length h1 || (equal_entry h1.(i) h2.(i) && go (i + 1)) in
+  go 0
+
+let pp_entry ppf = function
+  | Silence -> Format.pp_print_string ppf "∅"
+  | Message m -> Format.fprintf ppf "(%s)" m
+  | Collision -> Format.pp_print_string ppf "*"
+
+let pp ppf h =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+       pp_entry)
+    (Array.to_list h)
+
+let to_string h = Format.asprintf "%a" pp h
+
+module Vec = struct
+  type nonrec t = {
+    mutable data : entry array;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 16 Silence; len = 0 }
+
+  let push v e =
+    if v.len = Array.length v.data then begin
+      let bigger = Array.make (2 * v.len) Silence in
+      Array.blit v.data 0 bigger 0 v.len;
+      v.data <- bigger
+    end;
+    v.data.(v.len) <- e;
+    v.len <- v.len + 1
+
+  let length v = v.len
+
+  let get v i =
+    if i < 0 || i >= v.len then invalid_arg "History.Vec.get: index out of bounds";
+    v.data.(i)
+
+  let snapshot v = Array.sub v.data 0 v.len
+end

@@ -1,0 +1,53 @@
+(** Node histories (Miller–Pelc–Yadav, Section 2.2).
+
+    The history of a node [v] at local round [i] records what [v] perceived:
+
+    - [Silence]   — [v] transmitted, or listened and heard nothing
+      (the paper's [(∅)]);
+    - [Message m] — [v] listened and exactly one neighbour transmitted [m]
+      (the paper's [(M)]); at index 0 it means [v] was {e woken} by [m];
+    - [Collision] — [v] listened and [>= 2] neighbours transmitted
+      (the paper's (∗), audible thanks to collision detection).
+
+    Index 0 is the wake-up round: [Silence] for a spontaneous wake-up,
+    [Message m] for a forced one.  [Collision] never appears at index 0
+    (collisions do not wake sleeping nodes; see DESIGN.md §3). *)
+
+type entry =
+  | Silence
+  | Message of string
+  | Collision
+
+type t = entry array
+(** A complete or prefix history, index 0 = wake-up round. *)
+
+val equal_entry : entry -> entry -> bool
+
+val equal : t -> t -> bool
+
+val pp_entry : Format.formatter -> entry -> unit
+(** [∅], [(m)] or [*]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Compact rendering, e.g. ["∅.∅.(1).*.∅"]. *)
+
+(** Growable history buffer used by the simulator and by pure-DRIP
+    adapters. *)
+module Vec : sig
+  type history := t
+  type t
+
+  val create : unit -> t
+
+  val push : t -> entry -> unit
+
+  val length : t -> int
+
+  val get : t -> int -> entry
+  (** Raises [Invalid_argument] when out of bounds. *)
+
+  val snapshot : t -> history
+  (** A fresh array of the entries pushed so far. *)
+end

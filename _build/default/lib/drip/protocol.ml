@@ -1,0 +1,59 @@
+type action =
+  | Listen
+  | Transmit of string
+  | Terminate
+
+type instance = {
+  on_wakeup : History.entry -> unit;
+  decide : unit -> action;
+  observe : History.entry -> unit;
+}
+
+type t = {
+  name : string;
+  spawn : unit -> instance;
+}
+
+let of_pure ~name d =
+  let spawn () =
+    let vec = History.Vec.create () in
+    {
+      on_wakeup = (fun e -> History.Vec.push vec e);
+      decide = (fun () -> d (History.Vec.snapshot vec));
+      observe = (fun e -> History.Vec.push vec e);
+    }
+  in
+  { name; spawn }
+
+let stateful ~name ~init ~decide ~observe =
+  let spawn () =
+    let state = ref None in
+    let get () =
+      match !state with
+      | Some s -> s
+      | None -> invalid_arg "Protocol.stateful: decide before on_wakeup"
+    in
+    {
+      on_wakeup = (fun e -> state := Some (init e));
+      decide = (fun () -> decide (get ()));
+      observe = (fun e -> state := Some (observe (get ()) e));
+    }
+  in
+  { name; spawn }
+
+let silent ?(lifetime = 0) () =
+  stateful
+    ~name:(Printf.sprintf "silent-%d" lifetime)
+    ~init:(fun _ -> 0)
+    ~decide:(fun rounds_done -> if rounds_done >= lifetime then Terminate else Listen)
+    ~observe:(fun rounds_done _ -> rounds_done + 1)
+
+let beacon ?(message = "1") ?(delay = 0) () =
+  stateful
+    ~name:(Printf.sprintf "beacon-%d" delay)
+    ~init:(fun _ -> 0)
+    ~decide:(fun rounds_done ->
+      if rounds_done < delay then Listen
+      else if rounds_done = delay then Transmit message
+      else Terminate)
+    ~observe:(fun rounds_done _ -> rounds_done + 1)

@@ -1,0 +1,61 @@
+(** Distributed radio interaction protocols (DRIPs) and their execution
+    interface (Miller–Pelc–Yadav, Section 2.2).
+
+    A DRIP is formally a function from a node's history prefix
+    [H_v[0 .. i-1]] to the action of local round [i].  Because replaying the
+    whole prefix every round is quadratic, the engine talks to protocols
+    through per-node {e instances}: mutable objects whose visible behaviour
+    must be a function of the local history only (anonymity!).  {!of_pure}
+    converts a literal history-function DRIP into an instance, and the test
+    suite checks that the optimized stateful implementations coincide with
+    their pure counterparts on sample executions. *)
+
+(** Action chosen for a local round.  After [Terminate] the node is silent
+    and deaf forever; termination must be permanent (Section 2.2). *)
+type action =
+  | Listen
+  | Transmit of string
+  | Terminate
+
+(** One node's running protocol instance.  The engine drives it as:
+    [on_wakeup e0] once (the wake-up entry [H[0]]), then for each local
+    round [i >= 1]: [decide ()] for the action, followed by [observe e_i]
+    with the entry recorded for that round ([Silence] when the node
+    transmitted).  After [decide] returns [Terminate], the instance is never
+    consulted again. *)
+type instance = {
+  on_wakeup : History.entry -> unit;
+  decide : unit -> action;
+  observe : History.entry -> unit;
+}
+
+type t = {
+  name : string;
+  spawn : unit -> instance;
+}
+(** An anonymous protocol: every node runs an instance produced by the same
+    [spawn] (identical algorithm at identical nodes).  [spawn] may close over
+    a shared random source for randomized baselines; deterministic DRIPs must
+    not share mutable state between instances. *)
+
+val of_pure : name:string -> (History.t -> action) -> t
+(** Wraps a literal DRIP [D]: at local round [i] the instance calls
+    [D (H[0 .. i-1])].  Quadratic overall, but the most direct transcription
+    of the paper's definition; used as ground truth in tests. *)
+
+val stateful :
+  name:string ->
+  init:(History.entry -> 's) ->
+  decide:('s -> action) ->
+  observe:('s -> History.entry -> 's) ->
+  t
+(** Functional-state protocol: [init] consumes the wake-up entry, [decide]
+    picks the round's action, [observe] folds in the recorded entry. *)
+
+val silent : ?lifetime:int -> unit -> t
+(** A protocol that listens for [lifetime] rounds (default 0) and then
+    terminates.  Useful for probing wake-up behaviour. *)
+
+val beacon : ?message:string -> ?delay:int -> unit -> t
+(** Transmits [message] (default ["1"]) once, in local round [delay + 1]
+    (default round 1), then terminates.  The minimal symmetry prober. *)

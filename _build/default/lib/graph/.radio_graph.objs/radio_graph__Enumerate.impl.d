@@ -1,0 +1,1 @@
+lib/graph/enumerate.ml: Array Bytes Fun Graph Hashtbl List Props

@@ -1,0 +1,1 @@
+lib/graph/io.ml: Buffer Fun Graph In_channel List Option Printf String

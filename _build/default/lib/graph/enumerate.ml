@@ -1,0 +1,68 @@
+let pairs n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let all_labelled n =
+  if n < 0 || n > 6 then
+    invalid_arg "Enumerate.all_labelled: n must be in 0..6";
+  let ps = Array.of_list (pairs n) in
+  let m = Array.length ps in
+  List.init (1 lsl m) (fun mask ->
+      let edges = ref [] in
+      for i = 0 to m - 1 do
+        if mask land (1 lsl i) <> 0 then edges := ps.(i) :: !edges
+      done;
+      Graph.of_edges n !edges)
+
+let all_connected_labelled n = List.filter Props.connected (all_labelled n)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let canonical_key g =
+  let n = Graph.size g in
+  if n > 7 then invalid_arg "Enumerate.canonical_key: n must be <= 7";
+  let perms = permutations (List.init n Fun.id) in
+  let key_under perm_list =
+    let perm = Array.of_list perm_list in
+    let buf = Bytes.create (n * (n - 1) / 2) in
+    let i = ref 0 in
+    List.iter
+      (fun (u, v) ->
+        Bytes.set buf !i
+          (if Graph.mem_edge g perm.(u) perm.(v) then '1' else '0');
+        incr i)
+      (pairs n);
+    Bytes.to_string buf
+  in
+  List.fold_left
+    (fun best p ->
+      let k = key_under p in
+      if k < best then k else best)
+    (key_under (List.init n Fun.id))
+    perms
+
+let connected_up_to_iso n =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun g ->
+      let key = canonical_key g in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (all_connected_labelled n)
+
+let count_up_to_iso n = List.length (connected_up_to_iso n)

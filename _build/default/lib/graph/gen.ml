@@ -1,0 +1,199 @@
+let path n =
+  if n < 1 then Graph.(raise (Invalid_edge "path: n must be >= 1"));
+  Graph.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then Graph.(raise (Invalid_edge "cycle: n must be >= 3"));
+  Graph.of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.finish b
+
+let star n =
+  if n < 1 then Graph.(raise (Invalid_edge "star: n must be >= 1"));
+  Graph.of_edges n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete_bipartite a b =
+  let g = Graph.Builder.create (a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      Graph.Builder.add_edge g u v
+    done
+  done;
+  Graph.Builder.finish g
+
+let binary_tree n =
+  if n < 1 then Graph.(raise (Invalid_edge "binary_tree: n must be >= 1"));
+  Graph.of_edges n (List.init (n - 1) (fun i -> (i + 1, i / 2)))
+
+let caterpillar spine legs =
+  if spine < 1 || legs < 0 then
+    Graph.(raise (Invalid_edge "caterpillar: need spine >= 1 and legs >= 0"));
+  let n = spine * (legs + 1) in
+  let b = Graph.Builder.create n in
+  for i = 0 to spine - 2 do
+    Graph.Builder.add_edge b i (i + 1)
+  done;
+  (* Leaves of spine vertex [i] are [spine + i * legs .. spine + (i+1) * legs - 1]. *)
+  for i = 0 to spine - 1 do
+    for j = 0 to legs - 1 do
+      Graph.Builder.add_edge b i (spine + (i * legs) + j)
+    done
+  done;
+  Graph.Builder.finish b
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then
+    Graph.(raise (Invalid_edge "grid: need rows, cols >= 1"));
+  let id r c = (r * cols) + c in
+  let b = Graph.Builder.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.Builder.add_edge b (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.Builder.add_edge b (id r c) (id (r + 1) c)
+    done
+  done;
+  Graph.Builder.finish b
+
+let hypercube d =
+  if d < 0 then Graph.(raise (Invalid_edge "hypercube: need d >= 0"));
+  let n = 1 lsl d in
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let v = u lxor (1 lsl bit) in
+      if u < v then Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.finish b
+
+let petersen () =
+  let b = Graph.Builder.create 10 in
+  for i = 0 to 4 do
+    Graph.Builder.add_edge b i ((i + 1) mod 5);
+    Graph.Builder.add_edge b i (i + 5);
+    Graph.Builder.add_edge b (i + 5) (((i + 2) mod 5) + 5)
+  done;
+  Graph.Builder.finish b
+
+let random_gnp st n p =
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.finish b
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let random_connected_gnp st n p =
+  let b = Graph.Builder.create n in
+  let order = Array.init n Fun.id in
+  shuffle st order;
+  (* Random spanning structure: attach each vertex to a random earlier one. *)
+  for i = 1 to n - 1 do
+    let j = Random.State.int st i in
+    Graph.Builder.add_edge b order.(i) order.(j)
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (not (Graph.Builder.mem_edge b u v)) && Random.State.float st 1.0 < p
+      then Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.finish b
+
+let random_tree st n =
+  if n < 1 then Graph.(raise (Invalid_edge "random_tree: n must be >= 1"));
+  if n = 1 then Graph.empty 1
+  else if n = 2 then Graph.of_edges 2 [ (0, 1) ]
+  else begin
+    (* Decode a uniformly random Prüfer sequence of length n - 2. *)
+    let prufer = Array.init (n - 2) (fun _ -> Random.State.int st n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) prufer;
+    let b = Graph.Builder.create n in
+    let module H = Set.Make (Int) in
+    let leaves = ref H.empty in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then leaves := H.add v !leaves
+    done;
+    Array.iter
+      (fun v ->
+        let leaf = H.min_elt !leaves in
+        leaves := H.remove leaf !leaves;
+        Graph.Builder.add_edge b leaf v;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then leaves := H.add v !leaves)
+      prufer;
+    let u = H.min_elt !leaves in
+    let v = H.max_elt !leaves in
+    Graph.Builder.add_edge b u v;
+    Graph.Builder.finish b
+  end
+
+let random_geometric st n radius =
+  let coords =
+    Array.init n (fun _ -> (Random.State.float st 1.0, Random.State.float st 1.0))
+  in
+  let b = Graph.Builder.create n in
+  let r2 = radius *. radius in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let xu, yu = coords.(u) and xv, yv = coords.(v) in
+      let dx = xu -. xv and dy = yu -. yv in
+      if (dx *. dx) +. (dy *. dy) <= r2 then Graph.Builder.add_edge b u v
+    done
+  done;
+  (Graph.Builder.finish b, coords)
+
+(* Connectivity check local to this module; Props also exposes one, but Gen
+   must not depend on Props (Props depends on Graph only, and keeping Gen
+   self-contained avoids a needless cycle if Props ever uses generators in
+   its tests). *)
+let connected g =
+  let n = Graph.size g in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let count = ref 1 in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+          stack := rest;
+          Graph.iter_neighbours g v ~f:(fun w ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                incr count;
+                stack := w :: !stack
+              end);
+          loop ()
+    in
+    loop ();
+    !count = n
+  end
+
+let random_connected_geometric st n radius =
+  let rec attempt radius tries =
+    let g, coords = random_geometric st n radius in
+    if connected g then (g, coords)
+    else if tries >= 20 then attempt (radius *. 1.1) 0
+    else attempt radius (tries + 1)
+  in
+  attempt radius 0

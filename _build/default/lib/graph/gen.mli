@@ -1,0 +1,66 @@
+(** Graph generators.
+
+    Deterministic generators take sizes; randomized generators take an
+    explicit {!Random.State.t} so every experiment is reproducible from a
+    seed.  All generators produce simple undirected graphs; the connected
+    variants guarantee connectivity (needed because the paper's
+    configurations are connected graphs). *)
+
+val path : int -> Graph.t
+(** [path n] is the path [0 - 1 - ... - n-1].  [n >= 1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the cycle on [n >= 3] vertices. *)
+
+val complete : int -> Graph.t
+(** [complete n] is the clique [K_n] (a single-hop radio network). *)
+
+val star : int -> Graph.t
+(** [star n] has centre [0] adjacent to the [n - 1] leaves.  [n >= 1]. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b] is [K_{a,b}]; left part is [0 .. a-1]. *)
+
+val binary_tree : int -> Graph.t
+(** [binary_tree n] is the heap-shaped binary tree: vertex [i > 0] is
+    adjacent to its parent [(i - 1) / 2]. *)
+
+val caterpillar : int -> int -> Graph.t
+(** [caterpillar spine legs] is a path of [spine] vertices with [legs]
+    pendant vertices attached to each spine vertex. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols] is the 2D king-free mesh; vertex [(r, c)] is
+    [r * cols + c]. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the [d]-dimensional hypercube on [2^d] vertices. *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph: 10 vertices, 3-regular, vertex-transitive — a
+    classic fully symmetric instance for infeasibility tests.  Vertices
+    [0-4] form the outer cycle, [5-9] the inner pentagram. *)
+
+val random_gnp : Random.State.t -> int -> float -> Graph.t
+(** [random_gnp st n p] is an Erdős–Rényi graph: each of the [n (n-1) / 2]
+    edges is present independently with probability [p]. *)
+
+val random_connected_gnp : Random.State.t -> int -> float -> Graph.t
+(** Like {!random_gnp} but made connected by first threading a random
+    spanning tree through a shuffled vertex order, then sprinkling G(n,p)
+    edges on top. *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** [random_tree st n] is a uniform random labelled tree via a random
+    Prüfer sequence.  [n >= 1]. *)
+
+val random_geometric : Random.State.t -> int -> float -> Graph.t * (float * float) array
+(** [random_geometric st n radius] scatters [n] points uniformly in the unit
+    square and connects points at Euclidean distance [<= radius]; returns the
+    graph together with the coordinates (used by the sensor-grid example).
+    The graph may be disconnected. *)
+
+val random_connected_geometric :
+  Random.State.t -> int -> float -> Graph.t * (float * float) array
+(** Resamples {!random_geometric} until connected (growing the radius by 10%
+    every 20 failed attempts, so it terminates). *)

@@ -1,0 +1,169 @@
+type vertex = int
+
+(* Adjacency is stored as a sorted int array per vertex: neighbour lookup is
+   a binary search and iteration allocates nothing.  [adj] is built once and
+   never mutated after [finish]/[of_edges]. *)
+type t = {
+  n : int;
+  m : int;
+  adj : vertex array array;
+}
+
+exception Invalid_edge of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_edge s)) fmt
+
+let check_vertex n v =
+  if v < 0 || v >= n then invalid "vertex %d out of range [0, %d)" v n
+
+let check_endpoints n u v =
+  check_vertex n u;
+  check_vertex n v;
+  if u = v then invalid "self-loop at vertex %d" u
+
+let sorted_mem a x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let y = a.(mid) in
+      if y = x then true else if y < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+module Builder = struct
+  type t = {
+    bn : int;
+    badj : vertex list ref array;
+    bdeg : int array;
+    mutable bm : int;
+    mutable frozen : bool;
+  }
+
+  let create n =
+    if n < 0 then invalid "negative vertex count %d" n;
+    {
+      bn = n;
+      badj = Array.init n (fun _ -> ref []);
+      bdeg = Array.make (max n 1) 0;
+      bm = 0;
+      frozen = false;
+    }
+
+  let mem_edge b u v =
+    check_endpoints b.bn u v;
+    (* Scan the shorter adjacency list of the two endpoints. *)
+    let u, v = if b.bdeg.(u) <= b.bdeg.(v) then (u, v) else (v, u) in
+    List.mem v !(b.badj.(u))
+
+  let add_edge b u v =
+    if b.frozen then invalid "builder already frozen";
+    check_endpoints b.bn u v;
+    if mem_edge b u v then invalid "duplicate edge {%d, %d}" u v;
+    b.badj.(u) := v :: !(b.badj.(u));
+    b.badj.(v) := u :: !(b.badj.(v));
+    b.bdeg.(u) <- b.bdeg.(u) + 1;
+    b.bdeg.(v) <- b.bdeg.(v) + 1;
+    b.bm <- b.bm + 1
+
+  let finish b =
+    b.frozen <- true;
+    let adj =
+      Array.map
+        (fun l ->
+          let a = Array.of_list !l in
+          Array.sort compare a;
+          a)
+        b.badj
+    in
+    { n = b.bn; m = b.bm; adj }
+end
+
+let empty n =
+  if n < 0 then invalid "negative vertex count %d" n;
+  { n; m = 0; adj = Array.init n (fun _ -> [||]) }
+
+let size g = g.n
+let num_edges g = g.m
+
+let mem_edge g u v =
+  check_endpoints g.n u v;
+  sorted_mem g.adj.(u) v
+
+let of_edges n edge_list =
+  let b = Builder.create n in
+  List.iter (fun (u, v) -> Builder.add_edge b u v) edge_list;
+  Builder.finish b
+
+let insert_sorted a x =
+  let len = Array.length a in
+  let pos = ref len in
+  (try
+     for i = 0 to len - 1 do
+       if a.(i) > x then begin
+         pos := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let out = Array.make (len + 1) x in
+  Array.blit a 0 out 0 !pos;
+  Array.blit a !pos out (!pos + 1) (len - !pos);
+  out
+
+let add_edge g u v =
+  check_endpoints g.n u v;
+  if mem_edge g u v then invalid "duplicate edge {%d, %d}" u v;
+  let adj = Array.copy g.adj in
+  adj.(u) <- insert_sorted adj.(u) v;
+  adj.(v) <- insert_sorted adj.(v) u;
+  { g with m = g.m + 1; adj }
+
+let remove_sorted a x = Array.of_list (List.filter (( <> ) x) (Array.to_list a))
+
+let remove_edge g u v =
+  check_endpoints g.n u v;
+  if not (mem_edge g u v) then invalid "absent edge {%d, %d}" u v;
+  let adj = Array.copy g.adj in
+  adj.(u) <- remove_sorted adj.(u) v;
+  adj.(v) <- remove_sorted adj.(v) u;
+  { g with m = g.m - 1; adj }
+
+let neighbours g v =
+  check_vertex g.n v;
+  Array.to_list g.adj.(v)
+
+let degree g v =
+  check_vertex g.n v;
+  Array.length g.adj.(v)
+
+let max_degree g = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let a = g.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if a.(i) > u then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let vertices g = List.init g.n Fun.id
+
+let fold_neighbours g v ~init ~f =
+  check_vertex g.n v;
+  Array.fold_left f init g.adj.(v)
+
+let iter_neighbours g v ~f =
+  check_vertex g.n v;
+  Array.iter f g.adj.(v)
+
+let equal g1 g2 = g1.n = g2.n && g1.m = g2.m && g1.adj = g2.adj
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>graph(n=%d;@ m=%d;@ edges=[%a])@]" g.n g.m
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g)

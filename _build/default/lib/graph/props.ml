@@ -1,0 +1,80 @@
+let bfs_distances g src =
+  let n = Graph.size g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbours g v ~f:(fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+  done;
+  dist
+
+let connected g =
+  let n = Graph.size g in
+  n <= 1 || Array.for_all (fun d -> d >= 0) (bfs_distances g 0)
+
+let components g =
+  let n = Graph.size g in
+  let comp = Array.make n (-1) in
+  let k = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) < 0 then begin
+      let d = bfs_distances g v in
+      Array.iteri (fun w dw -> if dw >= 0 && comp.(w) < 0 then comp.(w) <- !k) d;
+      incr k
+    end
+  done;
+  (comp, !k)
+
+let eccentricity g v =
+  let dist = bfs_distances g v in
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Props.eccentricity: disconnected graph"
+      else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.size g in
+  if n <= 1 then 0
+  else
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      best := max !best (eccentricity g v)
+    done;
+    !best
+
+let distance_matrix g = Array.init (Graph.size g) (fun v -> bfs_distances g v)
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    (Graph.vertices g);
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+
+let is_regular g =
+  match Graph.vertices g with
+  | [] -> true
+  | v0 :: rest ->
+      let d0 = Graph.degree g v0 in
+      List.for_all (fun v -> Graph.degree g v = d0) rest
+
+let neighbour_degree_profile g v =
+  List.sort compare (List.map (Graph.degree g) (Graph.neighbours g v))
+
+let is_vertex_transitive_candidate g =
+  is_regular g
+  &&
+  match Graph.vertices g with
+  | [] -> true
+  | v0 :: rest ->
+      let p0 = neighbour_degree_profile g v0 in
+      List.for_all (fun v -> neighbour_degree_profile g v = p0) rest

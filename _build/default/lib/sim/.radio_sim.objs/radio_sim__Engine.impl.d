@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array List Metrics Radio_config Radio_drip Radio_graph Trace

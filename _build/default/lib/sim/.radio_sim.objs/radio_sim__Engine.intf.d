@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Metrics Radio_config Radio_drip Trace

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Engine Fun Hashtbl List Option Radio_config Radio_drip

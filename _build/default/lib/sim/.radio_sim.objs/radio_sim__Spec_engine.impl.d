@@ -1,0 +1,1 @@
+lib/sim/spec_engine.ml: Array Engine List Radio_config Radio_drip Radio_graph

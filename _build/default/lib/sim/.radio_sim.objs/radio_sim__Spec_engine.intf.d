@@ -1,0 +1,1 @@
+lib/sim/spec_engine.mli: Engine Radio_config Radio_drip

@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Array Buffer Engine Hashtbl List Metrics Printf Radio_drip Trace

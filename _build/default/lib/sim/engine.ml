@@ -1,0 +1,182 @@
+module Config = Radio_config.Config
+module G = Radio_graph.Graph
+module History = Radio_drip.History
+module Protocol = Radio_drip.Protocol
+
+type outcome = {
+  config : Config.t;
+  histories : History.t array;
+  wake_round : int array;
+  forced : bool array;
+  done_local : int array;
+  all_terminated : bool;
+  rounds : int;
+  first_transmission : (int * int list) option;
+  transmissions_by_node : int array;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+exception Round_limit_exceeded of outcome
+
+type node_state = {
+  mutable instance : Protocol.instance option;  (* None while asleep *)
+  mutable awake_at : int;  (* global wake round; -1 while asleep *)
+  mutable was_forced : bool;
+  mutable finished_at : int;  (* done_v; -1 while running *)
+  hist : History.Vec.t;
+}
+
+let run ?(max_rounds = 100_000) ?(record_trace = false) proto config =
+  let g = Config.graph config in
+  let n = Config.size config in
+  let metrics = Metrics.Acc.create () in
+  let trace = Trace.Acc.create ~enabled:record_trace in
+  let nodes =
+    Array.init n (fun _ ->
+        {
+          instance = None;
+          awake_at = -1;
+          was_forced = false;
+          finished_at = -1;
+          hist = History.Vec.create ();
+        })
+  in
+  let remaining = ref n in
+  let first_tx = ref None in
+  let tx_by_node = Array.make n 0 in
+  (* Per-round scratch: message transmitted by each node this round, if any. *)
+  let tx_msg : string option array = Array.make n None in
+  let wake st v ~round entry ~is_forced =
+    let inst = proto.Protocol.spawn () in
+    st.instance <- Some inst;
+    st.awake_at <- round;
+    st.was_forced <- is_forced;
+    History.Vec.push st.hist entry;
+    inst.Protocol.on_wakeup entry;
+    if is_forced then begin
+      Metrics.Acc.forced_wakeup metrics;
+      let m = match entry with History.Message m -> m | _ -> assert false in
+      Trace.Acc.wake trace ~round v (Trace.Forced m)
+    end
+    else begin
+      Metrics.Acc.spontaneous_wakeup metrics;
+      Trace.Acc.wake trace ~round v Trace.Spontaneous
+    end
+  in
+  let round = ref 0 in
+  let rounds_done = ref 0 in
+  while !remaining > 0 && !round < max_rounds do
+    let r = !round in
+    (* Phase A: decisions of nodes already awake (woken before round r). *)
+    Array.fill tx_msg 0 n None;
+    let transmitters = ref [] in
+    for v = 0 to n - 1 do
+      let st = nodes.(v) in
+      match st.instance with
+      | Some inst when st.finished_at < 0 && st.awake_at < r -> (
+          let local = r - st.awake_at in
+          match inst.Protocol.decide () with
+          | Protocol.Terminate ->
+              st.finished_at <- local;
+              decr remaining;
+              Trace.Acc.terminate trace ~round:r v
+          | Protocol.Transmit m ->
+              tx_msg.(v) <- Some m;
+              transmitters := v :: !transmitters;
+              tx_by_node.(v) <- tx_by_node.(v) + 1;
+              Metrics.Acc.transmission metrics;
+              Trace.Acc.transmit trace ~round:r v m
+          | Protocol.Listen -> ())
+      | _ -> ()
+    done;
+    if !transmitters <> [] && !first_tx = None then
+      first_tx := Some (r, List.sort compare !transmitters);
+    (* Phase B: receptions at awake, running nodes. *)
+    for v = 0 to n - 1 do
+      let st = nodes.(v) in
+      match st.instance with
+      | Some inst when st.finished_at < 0 && st.awake_at < r ->
+          let entry =
+            match tx_msg.(v) with
+            | Some _ -> History.Silence (* transmitters hear nothing *)
+            | None -> (
+                let heard = ref History.Silence in
+                let count = ref 0 in
+                G.iter_neighbours g v ~f:(fun w ->
+                    match tx_msg.(w) with
+                    | Some m ->
+                        incr count;
+                        heard := History.Message m
+                    | None -> ());
+                match !count with
+                | 0 -> History.Silence
+                | 1 ->
+                    Metrics.Acc.delivery metrics;
+                    !heard
+                | _ ->
+                    Metrics.Acc.collision_heard metrics;
+                    History.Collision)
+          in
+          History.Vec.push st.hist entry;
+          inst.Protocol.observe entry
+      | _ -> ()
+    done;
+    (* Phase C: wake-ups of sleeping nodes (forced by a lone transmitting
+       neighbour, else spontaneous when the tag says so). *)
+    for v = 0 to n - 1 do
+      let st = nodes.(v) in
+      if st.instance = None then begin
+        let count = ref 0 in
+        let heard = ref "" in
+        G.iter_neighbours g v ~f:(fun w ->
+            match tx_msg.(w) with
+            | Some m ->
+                incr count;
+                heard := m
+            | None -> ());
+        if !count = 1 then
+          wake st v ~round:r (History.Message !heard) ~is_forced:true
+        else if Config.tag config v = r then
+          wake st v ~round:r History.Silence ~is_forced:false
+      end
+    done;
+    incr round;
+    rounds_done := !round
+  done;
+  Metrics.Acc.set_rounds metrics !rounds_done;
+  {
+    config;
+    histories = Array.map (fun st -> History.Vec.snapshot st.hist) nodes;
+    wake_round = Array.map (fun st -> st.awake_at) nodes;
+    forced = Array.map (fun st -> st.was_forced) nodes;
+    done_local = Array.map (fun st -> st.finished_at) nodes;
+    all_terminated = !remaining = 0;
+    rounds = !rounds_done;
+    first_transmission = !first_tx;
+    transmissions_by_node = tx_by_node;
+    metrics = Metrics.Acc.freeze metrics;
+    trace = Trace.Acc.freeze trace;
+  }
+
+let run_exn ?max_rounds ?record_trace proto config =
+  let o = run ?max_rounds ?record_trace proto config in
+  if o.all_terminated then o else raise (Round_limit_exceeded o)
+
+let global_done_round o v =
+  if v < 0 || v >= Array.length o.done_local then
+    invalid_arg "Engine.global_done_round: bad vertex";
+  if o.done_local.(v) < 0 then
+    invalid_arg "Engine.global_done_round: node has not terminated";
+  o.wake_round.(v) + o.done_local.(v)
+
+let completion_round o =
+  let n = Array.length o.done_local in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      best := max !best (global_done_round o v)
+    done;
+    !best
+  end

@@ -1,0 +1,73 @@
+(** The synchronous radio-network engine.
+
+    Executes one anonymous protocol on a configuration, implementing the
+    model of Miller–Pelc–Yadav Section 1.1/2.1 verbatim:
+
+    - time is divided into global rounds [0, 1, 2, ...];
+    - a sleeping node wakes in round [r]: {e forced} if exactly one of its
+      neighbours transmits in [r] (its history starts with that message), or
+      {e spontaneously} if [r] equals its wake-up tag (history starts with
+      [Silence]); simultaneous transmissions by [>= 2] neighbours do not wake
+      it (DESIGN.md §3);
+    - an awake node at local round [i >= 1] (local round 0 is the wake-up
+      round) either transmits to all neighbours, listens, or terminates;
+    - a listening node hears the message if exactly one neighbour transmits,
+      noise ([Collision]) if more than one does, and silence otherwise; a
+      transmitting node hears nothing ([Silence]);
+    - terminated nodes are permanently silent and deaf.
+
+    The engine is deterministic given a deterministic protocol; randomized
+    protocols own their random state. *)
+
+type outcome = {
+  config : Radio_config.Config.t;
+  histories : Radio_drip.History.t array;
+      (** per node; index 0 is the wake-up entry; length = [done] local round
+          (the terminate decision consumes no entry) *)
+  wake_round : int array;  (** global wake-up round of each node *)
+  forced : bool array;  (** whether the wake-up was forced by a message *)
+  done_local : int array;
+      (** the paper's [done_v]: first local round whose decision was
+          [Terminate]; [-1] if the node was still running at the cutoff *)
+  all_terminated : bool;
+  rounds : int;  (** number of global rounds simulated *)
+  first_transmission : (int * int list) option;
+      (** earliest global round in which anyone transmitted, with the sorted
+          transmitting nodes *)
+  transmissions_by_node : int array;
+      (** per-node transmission counts — the energy ledger; transmission is
+          the dominant energy cost in real radios *)
+  metrics : Metrics.t;
+  trace : Trace.t;  (** empty unless [record_trace] *)
+}
+
+exception Round_limit_exceeded of outcome
+(** Raised by {!run_exn} when some node is still running after [max_rounds]
+    global rounds. *)
+
+val run :
+  ?max_rounds:int ->
+  ?record_trace:bool ->
+  Radio_drip.Protocol.t ->
+  Radio_config.Config.t ->
+  outcome
+(** Runs until every node has terminated or [max_rounds] (default 100_000)
+    global rounds have elapsed; inspect [all_terminated] to tell which. *)
+
+val run_exn :
+  ?max_rounds:int ->
+  ?record_trace:bool ->
+  Radio_drip.Protocol.t ->
+  Radio_config.Config.t ->
+  outcome
+(** Like {!run} but raises {!Round_limit_exceeded} when the protocol did not
+    terminate everywhere. *)
+
+val global_done_round : outcome -> int -> int
+(** [global_done_round o v] is the global round in which node [v] terminated
+    ([wake_round + done_local]); raises [Invalid_argument] if [v] had not
+    terminated. *)
+
+val completion_round : outcome -> int
+(** Largest {!global_done_round} over all nodes — the election time measured
+    on the global clock.  Raises if some node had not terminated. *)

@@ -1,0 +1,55 @@
+type t = {
+  transmissions : int;
+  deliveries : int;
+  collisions_heard : int;
+  forced_wakeups : int;
+  spontaneous_wakeups : int;
+  rounds : int;
+}
+
+let zero =
+  {
+    transmissions = 0;
+    deliveries = 0;
+    collisions_heard = 0;
+    forced_wakeups = 0;
+    spontaneous_wakeups = 0;
+    rounds = 0;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<hov 2>metrics(rounds=%d;@ tx=%d;@ delivered=%d;@ collisions=%d;@ \
+     forced=%d;@ spontaneous=%d)@]"
+    m.rounds m.transmissions m.deliveries m.collisions_heard m.forced_wakeups
+    m.spontaneous_wakeups
+
+module Acc = struct
+  type nonrec t = {
+    mutable tx : int;
+    mutable del : int;
+    mutable col : int;
+    mutable fw : int;
+    mutable sw : int;
+    mutable rnd : int;
+  }
+
+  let create () = { tx = 0; del = 0; col = 0; fw = 0; sw = 0; rnd = 0 }
+
+  let transmission a = a.tx <- a.tx + 1
+  let delivery a = a.del <- a.del + 1
+  let collision_heard a = a.col <- a.col + 1
+  let forced_wakeup a = a.fw <- a.fw + 1
+  let spontaneous_wakeup a = a.sw <- a.sw + 1
+  let set_rounds a r = a.rnd <- r
+
+  let freeze a =
+    {
+      transmissions = a.tx;
+      deliveries = a.del;
+      collisions_heard = a.col;
+      forced_wakeups = a.fw;
+      spontaneous_wakeups = a.sw;
+      rounds = a.rnd;
+    }
+end

@@ -1,0 +1,31 @@
+(** Aggregate counters collected during a simulation. *)
+
+type t = {
+  transmissions : int;  (** total transmit actions executed *)
+  deliveries : int;  (** listen rounds that yielded a message *)
+  collisions_heard : int;  (** listen rounds that yielded noise *)
+  forced_wakeups : int;  (** nodes woken by a message *)
+  spontaneous_wakeups : int;
+  rounds : int;  (** global rounds simulated *)
+}
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit
+
+(** Mutable accumulator used by the engine. *)
+module Acc : sig
+  type metrics := t
+  type t
+
+  val create : unit -> t
+
+  val transmission : t -> unit
+  val delivery : t -> unit
+  val collision_heard : t -> unit
+  val forced_wakeup : t -> unit
+  val spontaneous_wakeup : t -> unit
+  val set_rounds : t -> int -> unit
+
+  val freeze : t -> metrics
+end

@@ -1,0 +1,72 @@
+module History = Radio_drip.History
+
+type election = {
+  protocol : Radio_drip.Protocol.t;
+  decision : History.t -> bool;
+}
+
+type result = {
+  outcome : Engine.outcome;
+  winners : int list;
+  leader : int option;
+  rounds_to_elect : int option;
+}
+
+let run ?max_rounds ?record_trace e config =
+  let outcome = Engine.run ?max_rounds ?record_trace e.protocol config in
+  let winners =
+    if outcome.Engine.all_terminated then
+      List.filter
+        (fun v -> e.decision outcome.Engine.histories.(v))
+        (List.init (Radio_config.Config.size config) Fun.id)
+    else []
+  in
+  let leader =
+    match (outcome.Engine.all_terminated, winners) with
+    | true, [ v ] -> Some v
+    | _ -> None
+  in
+  let rounds_to_elect =
+    match leader with
+    | Some _ -> Some (Engine.completion_round outcome)
+    | None -> None
+  in
+  { outcome; winners; leader; rounds_to_elect }
+
+let elects_unique_leader r = Option.is_some r.leader
+
+let history_classes outcome =
+  let hists = outcome.Engine.histories in
+  let n = Array.length hists in
+  let classes = Array.make n 0 in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if classes.(v) = 0 then begin
+      incr next;
+      classes.(v) <- !next;
+      for w = v + 1 to n - 1 do
+        if classes.(w) = 0 && History.equal hists.(v) hists.(w) then
+          classes.(w) <- !next
+      done
+    end
+  done;
+  classes
+
+let history_class_sizes outcome =
+  let classes = history_classes outcome in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    classes;
+  List.sort compare (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [])
+
+let unique_history_nodes outcome =
+  let classes = history_classes outcome in
+  let n = Array.length classes in
+  let count = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace count c (1 + Option.value ~default:0 (Hashtbl.find_opt count c)))
+    classes;
+  List.filter (fun v -> Hashtbl.find count classes.(v) = 1) (List.init n Fun.id)

@@ -1,0 +1,19 @@
+(** ASCII space-time diagrams of executions: one row per node, one column
+    per global round.  Used by the [trace] CLI subcommand and handy in test
+    failures.
+
+    Symbols:
+    - [.] asleep
+    - [w] woke up this round (spontaneously)
+    - [W] woke up this round (forced by a message)
+    - [T] transmitted
+    - [m] listened and heard a message
+    - [*] listened and heard noise (collision)
+    - [space] listened and heard silence
+    - [#] terminated (first round after [done]); blank afterwards *)
+
+val render : ?max_cols:int -> Engine.outcome -> string
+(** Renders the execution; columns beyond [max_cols] (default 120) are
+    elided with a note.  Works for terminated and cut-off runs alike. *)
+
+val render_with_legend : ?max_cols:int -> Engine.outcome -> string

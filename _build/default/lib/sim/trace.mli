@@ -1,0 +1,35 @@
+(** Optional per-round execution traces for debugging and the [trace] CLI
+    subcommand. *)
+
+type wake_kind =
+  | Spontaneous
+  | Forced of string  (** the waking message *)
+
+type round_events = {
+  round : int;  (** global round number *)
+  transmitters : (int * string) list;  (** (node, message), ascending node *)
+  woken : (int * wake_kind) list;
+  terminated : int list;  (** nodes whose protocol terminated this round *)
+}
+
+type t = round_events list
+(** Rounds in increasing order; quiet rounds (no events) are omitted. *)
+
+val pp_round : Format.formatter -> round_events -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** Accumulator used by the engine. *)
+module Acc : sig
+  type trace := t
+  type t
+
+  val create : enabled:bool -> t
+
+  val transmit : t -> round:int -> int -> string -> unit
+  val wake : t -> round:int -> int -> wake_kind -> unit
+  val terminate : t -> round:int -> int -> unit
+
+  val freeze : t -> trace
+  (** Empty when the accumulator was created with [~enabled:false]. *)
+end

@@ -1,0 +1,1 @@
+lib/wired/port_graph.ml: Array Hashtbl List Radio_graph Random

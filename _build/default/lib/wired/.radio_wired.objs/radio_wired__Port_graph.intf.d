@@ -1,0 +1,1 @@
+lib/wired/port_graph.mli: Radio_graph Random

@@ -1,0 +1,1 @@
+lib/wired/view.ml: Array Hashtbl List Port_graph

@@ -1,0 +1,1 @@
+lib/wired/view.mli: Port_graph

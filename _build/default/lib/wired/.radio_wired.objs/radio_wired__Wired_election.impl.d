@@ -1,0 +1,1 @@
+lib/wired/wired_election.ml: Array Buffer List Port_graph Printf Set String View

@@ -1,0 +1,1 @@
+lib/wired/wired_election.mli: Port_graph View

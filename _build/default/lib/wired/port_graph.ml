@@ -1,0 +1,110 @@
+module G = Radio_graph.Graph
+
+type endpoint = {
+  neighbour : G.vertex;
+  remote_port : int;
+}
+
+type t = {
+  graph : G.t;
+  ports : endpoint array array;  (* ports.(v).(i) *)
+}
+
+let build graph ~order =
+  let n = G.size graph in
+  (* [order.(v)] lists v's neighbours in port order. *)
+  let port_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun v neighbours ->
+      List.iteri (fun i w -> Hashtbl.replace port_of (v, w) i) neighbours)
+    order;
+  let ports =
+    Array.init n (fun v ->
+        Array.of_list
+          (List.map
+             (fun w ->
+               { neighbour = w; remote_port = Hashtbl.find port_of (w, v) })
+             order.(v)))
+  in
+  { graph; ports }
+
+let of_graph graph =
+  build graph
+    ~order:(Array.init (G.size graph) (fun v -> G.neighbours graph v))
+
+let shuffled st graph =
+  let shuffle l =
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  build graph
+    ~order:(Array.init (G.size graph) (fun v -> shuffle (G.neighbours graph v)))
+
+let oriented_cycle n =
+  let graph = Radio_graph.Gen.cycle n in
+  {
+    graph;
+    ports =
+      Array.init n (fun v ->
+          [|
+            { neighbour = (v + 1) mod n; remote_port = 1 };
+            { neighbour = (v + n - 1) mod n; remote_port = 0 };
+          |]);
+  }
+
+let circulant_complete n =
+  if n < 2 then invalid_arg "Port_graph.circulant_complete: need n >= 2";
+  let graph = Radio_graph.Gen.complete n in
+  (* Port i of v leads to w = v + i + 1 (mod n); w reaches v through offset
+     n - i - 2 (mod n)... concretely w + j + 1 = v (mod n) gives
+     j = (v - w - 1) mod n = (n - i - 2) mod n. *)
+  {
+    graph;
+    ports =
+      Array.init n (fun v ->
+          Array.init (n - 1) (fun i ->
+              {
+                neighbour = (v + i + 1) mod n;
+                remote_port = (n - i - 2) mod n;
+              }));
+  }
+
+let dimension_hypercube d =
+  let graph = Radio_graph.Gen.hypercube d in
+  {
+    graph;
+    ports =
+      Array.init (1 lsl d) (fun v ->
+          Array.init d (fun i -> { neighbour = v lxor (1 lsl i); remote_port = i }));
+  }
+
+let graph pg = pg.graph
+let size pg = G.size pg.graph
+
+let degree pg v =
+  if v < 0 || v >= size pg then invalid_arg "Port_graph.degree: bad vertex";
+  Array.length pg.ports.(v)
+
+let endpoint pg v i =
+  if v < 0 || v >= size pg then invalid_arg "Port_graph.endpoint: bad vertex";
+  if i < 0 || i >= Array.length pg.ports.(v) then
+    invalid_arg "Port_graph.endpoint: bad port";
+  pg.ports.(v).(i)
+
+let check_consistent pg =
+  let ok = ref true in
+  Array.iteri
+    (fun v eps ->
+      Array.iteri
+        (fun i ep ->
+          let back = pg.ports.(ep.neighbour).(ep.remote_port) in
+          if back.neighbour <> v || back.remote_port <> i then ok := false)
+        eps)
+    pg.ports;
+  !ok

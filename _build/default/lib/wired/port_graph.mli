@@ -1,0 +1,59 @@
+(** Port-numbered anonymous networks — the {e wired} model the paper's
+    introduction contrasts with radio networks (Section 1.1, citing
+    Yamashita–Kameda [40, 41]).
+
+    Nodes are anonymous but every node privately numbers its incident edges
+    with ports [0 .. deg - 1]; a message sent on port [i] arrives at the
+    neighbour on the other end, tagged with {e that} node's port for the
+    shared edge.  Unlike radio: every message is always delivered (no
+    collisions), all ports operate in parallel, and all nodes start
+    simultaneously — symmetry can only be broken by {e topology}. *)
+
+type t
+
+type endpoint = {
+  neighbour : Radio_graph.Graph.vertex;
+  remote_port : int;  (** the neighbour's port for this same edge *)
+}
+
+val of_graph : Radio_graph.Graph.t -> t
+(** Canonical port numbering: node [v]'s port [i] leads to its [i]-th
+    smallest neighbour. *)
+
+val shuffled : Random.State.t -> Radio_graph.Graph.t -> t
+(** Random port numbering — algorithms must work for {e every} numbering,
+    so tests exercise random ones. *)
+
+(** {1 Symmetric numberings}
+
+    Electability in port-numbered networks depends on the numbering: the
+    sorted-neighbour numbering of {!of_graph} usually leaks identity through
+    remote ports, while the numberings below realize the model's perfectly
+    symmetric (inelectable) instances. *)
+
+val oriented_cycle : int -> t
+(** The [n >= 3] cycle with port 0 = successor, port 1 = predecessor at
+    every node: rotation-invariant, a single view class. *)
+
+val circulant_complete : int -> t
+(** [K_n] with port [i] of node [v] leading to [(v + i + 1) mod n]:
+    translation-invariant, a single view class.  [n >= 2]. *)
+
+val dimension_hypercube : int -> t
+(** The [d]-cube with port [i] = flip bit [i] (remote port also [i]):
+    fully transitive, a single view class. *)
+
+val graph : t -> Radio_graph.Graph.t
+
+val size : t -> int
+
+val degree : t -> Radio_graph.Graph.vertex -> int
+
+val endpoint : t -> Radio_graph.Graph.vertex -> int -> endpoint
+(** [endpoint pg v i] follows port [i] of node [v].  Raises
+    [Invalid_argument] on a bad port. *)
+
+val check_consistent : t -> bool
+(** Internal wiring invariant: following port [i] of [v] and coming back on
+    the reported remote port returns to [v] at port [i].  Always true for
+    values built by this module; exposed for tests. *)

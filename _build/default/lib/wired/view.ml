@@ -1,0 +1,84 @@
+type t = {
+  classes : int array;
+  num_classes : int;
+  rounds : int;
+}
+
+(* One refinement round: the signature of [v] is its colour plus the
+   port-ordered list of (remote port, neighbour colour).  Signatures are
+   renumbered 1.. in first-occurrence order, as everywhere else in this
+   library. *)
+let refine_once pg colours =
+  let n = Port_graph.size pg in
+  let signature v =
+    let eps = List.init (Port_graph.degree pg v) (Port_graph.endpoint pg v) in
+    ( colours.(v),
+      List.map
+        (fun ep ->
+          (ep.Port_graph.remote_port, colours.(ep.Port_graph.neighbour)))
+        eps )
+  in
+  let table = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  let fresh = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let s = signature v in
+    match Hashtbl.find_opt table s with
+    | Some c -> fresh.(v) <- c
+    | None ->
+        incr next;
+        Hashtbl.replace table s !next;
+        fresh.(v) <- !next
+  done;
+  (fresh, !next)
+
+let renumber colours =
+  let n = Array.length colours in
+  let table = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt table c with
+      | Some c' -> c'
+      | None ->
+          incr next;
+          Hashtbl.replace table c !next;
+          !next)
+    colours
+
+let refine pg =
+  let n = Port_graph.size pg in
+  let initial =
+    renumber (Array.init n (fun v -> Port_graph.degree pg v))
+  in
+  let count colours = Array.fold_left max 0 colours in
+  let rec go colours k rounds =
+    let fresh, k' = refine_once pg colours in
+    if k' = k then { classes = colours; num_classes = k; rounds }
+    else go fresh k' (rounds + 1)
+  in
+  if n = 0 then { classes = [||]; num_classes = 0; rounds = 0 }
+  else go initial (count initial) 0
+
+let classes t = Array.copy t.classes
+let num_classes t = t.num_classes
+let rounds_to_stabilize t = t.rounds
+
+let singleton t =
+  let sizes = Array.make (t.num_classes + 1) 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) t.classes;
+  let rec find k = if k > t.num_classes then None else if sizes.(k) = 1 then Some k else find (k + 1) in
+  find 1
+
+let electable t = singleton t <> None
+
+let leader t =
+  match singleton t with
+  | None -> None
+  | Some k ->
+      let rec find v =
+        if v >= Array.length t.classes then None
+        else if t.classes.(v) = k then Some v
+        else find (v + 1)
+      in
+      find 0

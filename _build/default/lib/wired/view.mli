@@ -1,0 +1,37 @@
+(** View equivalence by port-aware colour refinement.
+
+    The {e view} of a node in a port-numbered network (Yamashita–Kameda) is
+    the infinite unfolding of the network as seen through its ports; two
+    nodes can be distinguished by some deterministic algorithm iff their
+    views differ.  For deterministic port-numbered networks, view
+    equivalence coincides with the fixpoint of port-aware colour
+    refinement:
+
+    - every node starts with colour = its degree;
+    - each round, a node's new colour is determined by its old colour plus
+      the {e port-ordered} list of (remote port, neighbour's old colour);
+    - the partition stabilizes within [n] rounds.
+
+    Leader election (with [n] known) is possible iff some stabilized colour
+    class is a singleton — the wired analogue of the radio classifier's
+    criterion, except the symmetry broken here is purely topological: all
+    nodes start at the same time. *)
+
+type t
+
+val refine : Port_graph.t -> t
+(** Runs refinement to the fixpoint. *)
+
+val classes : t -> int array
+(** Stabilized class per node, numbered from 1 in first-occurrence order. *)
+
+val num_classes : t -> int
+
+val rounds_to_stabilize : t -> int
+(** Refinement rounds until the partition stopped changing. *)
+
+val electable : t -> bool
+(** Some class is a singleton. *)
+
+val leader : t -> int option
+(** The member of the smallest singleton class, when {!electable}. *)

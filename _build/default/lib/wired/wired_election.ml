@@ -1,0 +1,97 @@
+module SS = Set.Make (String)
+
+type result = {
+  electable : bool;
+  leader : int option;
+  rounds : int;
+  classes_seen : int;
+}
+
+type node_state = {
+  mutable colour : string;
+  mutable seen : SS.t;
+}
+
+(* The canonical colour string: old colour + port-ordered (remote port,
+   neighbour colour) pairs.  Distinct strings <=> distinct depth-k views,
+   with no global numbering needed - this is what makes the refinement
+   distributable. *)
+let combine colour inbox =
+  let buf = Buffer.create (String.length colour + 16) in
+  Buffer.add_char buf '(';
+  Buffer.add_string buf colour;
+  Array.iter
+    (fun (remote_port, msg) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int remote_port);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf msg)
+    inbox;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let run pg =
+  let n = Port_graph.size pg in
+  if n = 0 then invalid_arg "Wired_election.run: empty network";
+  let nodes =
+    Array.init n (fun v ->
+        { colour = Printf.sprintf "d%d" (Port_graph.degree pg v); seen = SS.empty })
+  in
+  (* Phase 1: n rounds of colour refinement.  Each round every node sends
+     its colour on every port; the engine delivers each message with the
+     sender's port for the shared edge. *)
+  let deliver_colours () =
+    Array.init n (fun v ->
+        Array.init (Port_graph.degree pg v) (fun i ->
+            let ep = Port_graph.endpoint pg v i in
+            (ep.Port_graph.remote_port, nodes.(ep.Port_graph.neighbour).colour)))
+  in
+  for _round = 1 to n do
+    let inboxes = deliver_colours () in
+    Array.iteri (fun v st -> st.colour <- combine st.colour inboxes.(v)) nodes
+  done;
+  (* Phase 2: n rounds of set flooding. *)
+  Array.iter (fun st -> st.seen <- SS.singleton st.colour) nodes;
+  let deliver_sets () =
+    Array.init n (fun v ->
+        List.init (Port_graph.degree pg v) (fun i ->
+            let ep = Port_graph.endpoint pg v i in
+            nodes.(ep.Port_graph.neighbour).seen))
+  in
+  for _round = 1 to n do
+    let inboxes = deliver_sets () in
+    Array.iteri
+      (fun v st -> st.seen <- List.fold_left SS.union st.seen inboxes.(v))
+      nodes
+  done;
+  (* Decision, locally at each node; we read node 0's set (all sets are
+     equal after n >= diameter + 1 rounds) and identify the minimum. *)
+  let classes_seen = SS.cardinal nodes.(0).seen in
+  let electable = classes_seen = n in
+  let leader =
+    if not electable then None
+    else begin
+      let minimum = SS.min_elt nodes.(0).seen in
+      let rec find v =
+        if v >= n then None
+        else if String.equal nodes.(v).colour minimum then Some v
+        else find (v + 1)
+      in
+      find 0
+    end
+  in
+  { electable; leader; rounds = 2 * n; classes_seen }
+
+let agrees_with_views r views =
+  r.electable = View.electable views
+  && r.classes_seen = View.num_classes views
+  &&
+  match r.leader with
+  | None -> true
+  | Some v ->
+      let classes = View.classes views in
+      let mine = classes.(v) in
+      Array.for_all
+        (fun c -> c <> mine)
+        (Array.init (Array.length classes) (fun w ->
+             if w = v then -1 else classes.(w)))

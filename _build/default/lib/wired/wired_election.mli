@@ -1,0 +1,42 @@
+(** Distributed leader election in anonymous {e wired} (port-numbered)
+    networks with known size [n] — the Yamashita–Kameda regime the paper's
+    introduction contrasts with radio networks.
+
+    The protocol is a distributed implementation of view refinement:
+
+    + rounds [1 .. n]: every node sends its current {e canonical colour
+      string} (initially its degree) on every port, each message tagged with
+      the sending port; a node's next colour is the canonical combination of
+      its old colour and the port-ordered received [(remote port, colour)]
+      pairs.  After [n] rounds, colours identify view-equivalence classes
+      exactly (Norris: depth [n - 1] suffices);
+    + rounds [n+1 .. 2n]: every node floods the {e set} of colour strings it
+      has seen; after [n] more rounds everyone holds the set of all classes;
+    + decision: by the equal-cardinality theorem every view class has the
+      same size [n/q], so a singleton class exists iff [q = n] iff the set
+      has [n] elements; the leader is the node whose own colour is the
+      lexicographic minimum.
+
+    Faithful to the cited model, messages can grow exponentially with the
+    refinement depth (so do Yamashita–Kameda views); this implementation is
+    meant for the small networks of the contrast experiment (E15), not for
+    scale.
+
+    Everything here works with {e simultaneous start} — precisely what is
+    impossible in the radio model (uniform wake-up tags are always
+    infeasible for [n >= 2]): topology breaks wired symmetry, never radio
+    symmetry. *)
+
+type result = {
+  electable : bool;
+  leader : int option;
+  rounds : int;  (** message-passing rounds used: [2n] *)
+  classes_seen : int;  (** [q], the number of view classes discovered *)
+}
+
+val run : Port_graph.t -> result
+(** Raises [Invalid_argument] on the empty network. *)
+
+val agrees_with_views : result -> View.t -> bool
+(** Consistency with the centralized refinement: same electability, and the
+    distributed leader (if any) lies in a singleton class. *)

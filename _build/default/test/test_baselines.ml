@@ -1,0 +1,163 @@
+(* Tests for the two related-work baselines: randomized splitting with
+   collision detection (single-hop) and labeled TDMA max-flood (multi-hop). *)
+
+module C = Radio_config.Config
+module Gen = Radio_graph.Gen
+module Runner = Radio_sim.Runner
+module Rand = Radio_baselines.Randomized
+module Lab = Radio_baselines.Labeled
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized splitting                                                *)
+(* ------------------------------------------------------------------ *)
+
+let clique n = C.uniform (Gen.complete n) 0
+
+let test_randomized_always_elects () =
+  let rng = Random.State.make [| 1 |] in
+  List.iter
+    (fun n ->
+      for _ = 1 to 10 do
+        let r =
+          Runner.run ~max_rounds:100_000 (Rand.election ~rng) (clique n)
+        in
+        check "unique leader" true (Runner.elects_unique_leader r)
+      done)
+    [ 2; 3; 5; 16 ]
+
+let test_randomized_two_nodes () =
+  (* n = 2 exercises the Message (rather than Collision) ack path. *)
+  let rng = Random.State.make [| 2 |] in
+  for _ = 1 to 20 do
+    let r = Runner.run ~max_rounds:100_000 (Rand.election ~rng) (clique 2) in
+    check "unique leader" true (Runner.elects_unique_leader r)
+  done
+
+let test_randomized_rounds_scale_logarithmically () =
+  (* Expected O(log n): mean rounds for n = 128 stay far below n. *)
+  let rng = Random.State.make [| 3 |] in
+  let mean = Rand.measure_rounds ~rng ~n:128 ~trials:15 in
+  check "well below linear" true (mean < 64.0);
+  check "at least one phase" true (mean >= 2.0)
+
+let test_randomized_reproducible () =
+  let run seed =
+    let rng = Random.State.make [| seed |] in
+    Rand.measure_rounds ~rng ~n:16 ~trials:5
+  in
+  Alcotest.(check (float 0.0)) "same seed, same rounds" (run 7) (run 7)
+
+let test_randomized_rejects_bad_args () =
+  let rng = Random.State.make [| 4 |] in
+  Alcotest.check_raises "n = 1"
+    (Invalid_argument "Randomized.measure_rounds: need n >= 2") (fun () ->
+      ignore (Rand.measure_rounds ~rng ~n:1 ~trials:1));
+  Alcotest.check_raises "trials = 0"
+    (Invalid_argument "Randomized.measure_rounds: need trials >= 1") (fun () ->
+      ignore (Rand.measure_rounds ~rng ~n:4 ~trials:0))
+
+(* ------------------------------------------------------------------ *)
+(* Labeled max-flood                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_labeled_clique () =
+  let o = Lab.run (clique 8) in
+  check "converged" true o.Lab.converged;
+  Alcotest.(check (option int)) "max id wins" (Some 7) o.Lab.leader
+
+let test_labeled_path () =
+  let o = Lab.run (C.uniform (Gen.path 10) 0) in
+  check "converged on a path" true o.Lab.converged;
+  Alcotest.(check (option int)) "max id wins" (Some 9) o.Lab.leader
+
+let test_labeled_grid_and_tree () =
+  List.iter
+    (fun g ->
+      let o = Lab.run (C.uniform g 0) in
+      check "converged" true o.Lab.converged;
+      Alcotest.(check (option int))
+        "max id wins"
+        (Some (Radio_graph.Graph.size g - 1))
+        o.Lab.leader)
+    [ Gen.grid 4 4; Gen.binary_tree 15; Gen.cycle 9; Gen.star 7 ]
+
+let test_labeled_rounds_budget () =
+  let n = 12 in
+  let o = Lab.run (clique n) in
+  check "rounds <= n * id_bound + slack" true (o.Lab.rounds <= (n * n) + 2)
+
+let test_labeled_single_node () =
+  let o = Lab.run (C.create (Radio_graph.Graph.empty 1) [| 0 |]) in
+  Alcotest.(check (option int)) "lonely leader" (Some 0) o.Lab.leader
+
+let test_labeled_rejects_nonuniform_tags () =
+  Alcotest.check_raises "nonuniform"
+    (Invalid_argument "Labeled.run: wake-up tags must be uniform") (fun () ->
+      ignore (Lab.run (C.create (Gen.path 2) [| 0; 1 |])))
+
+let test_labeled_explicit_ids () =
+  (* Identifiers decoupled from node order: the node holding the max id
+     wins, wherever it sits. *)
+  let o = Lab.run ~ids:[| 3; 9; 1; 4 |] (C.uniform (Gen.path 4) 0) in
+  check "converged" true o.Lab.converged;
+  Alcotest.(check (option int)) "node 1 holds max id" (Some 1) o.Lab.leader
+
+let test_labeled_rejects_bad_ids () =
+  let config = clique 3 in
+  List.iter
+    (fun ids ->
+      try
+        ignore (Lab.run ~ids config);
+        Alcotest.fail "bad ids accepted"
+      with Invalid_argument _ -> ())
+    [ [| 0; 1 |]; [| 0; 0; 1 |]; [| -1; 0; 1 |] ]
+
+let test_random_ids_multihop () =
+  (* The multihop randomized reduction: works on paths, grids and trees
+     with zero wake-up asymmetry. *)
+  let rng = Random.State.make [| 77 |] in
+  List.iter
+    (fun g ->
+      let o = Lab.run_random_ids ~rng (C.uniform g 0) in
+      check "converged" true o.Lab.converged;
+      check "has leader" true (o.Lab.leader <> None))
+    [ Gen.path 7; Gen.grid 3 3; Gen.binary_tree 7 ]
+
+let test_labeled_fewer_frames_may_fail () =
+  (* With a single frame, distant nodes cannot learn the max on a long
+     path: convergence must fail (negative control). *)
+  let o = Lab.run ~frames:1 (C.uniform (Gen.path 12) 0) in
+  check "single frame does not converge" false o.Lab.converged
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "randomized",
+        [
+          Alcotest.test_case "always elects" `Slow test_randomized_always_elects;
+          Alcotest.test_case "two nodes" `Quick test_randomized_two_nodes;
+          Alcotest.test_case "log scaling" `Quick
+            test_randomized_rounds_scale_logarithmically;
+          Alcotest.test_case "reproducible" `Quick test_randomized_reproducible;
+          Alcotest.test_case "argument checks" `Quick
+            test_randomized_rejects_bad_args;
+        ] );
+      ( "labeled",
+        [
+          Alcotest.test_case "clique" `Quick test_labeled_clique;
+          Alcotest.test_case "path" `Quick test_labeled_path;
+          Alcotest.test_case "grid & tree & cycle & star" `Quick
+            test_labeled_grid_and_tree;
+          Alcotest.test_case "round budget" `Quick test_labeled_rounds_budget;
+          Alcotest.test_case "single node" `Quick test_labeled_single_node;
+          Alcotest.test_case "nonuniform rejected" `Quick
+            test_labeled_rejects_nonuniform_tags;
+          Alcotest.test_case "explicit ids" `Quick test_labeled_explicit_ids;
+          Alcotest.test_case "bad ids rejected" `Quick test_labeled_rejects_bad_ids;
+          Alcotest.test_case "random-id multihop" `Quick test_random_ids_multihop;
+          Alcotest.test_case "too few frames" `Quick
+            test_labeled_fewer_frames_may_fail;
+        ] );
+    ]

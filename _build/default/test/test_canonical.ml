@@ -1,0 +1,301 @@
+(* Tests for the canonical DRIP: plan compilation, the phase schedule, the
+   distributed execution in the simulator, and the properties Lemmas 3.6-3.10
+   prove about it. *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module G = Radio_graph.Graph
+module Gen = Radio_graph.Gen
+module H = Radio_drip.History
+module Cl = Election.Classifier
+module Can = Election.Canonical
+module Fe = Election.Feasibility
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let plan_of config = Can.plan_of_run (Cl.classify config)
+
+(* ------------------------------------------------------------------ *)
+(* Plan structure                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_l1 () =
+  let plan = plan_of (F.two_cells ()) in
+  check_int "phases" 1 (Can.num_phases plan);
+  check_int "sigma" 1 plan.Can.sigma;
+  check_int "L1 single entry" 1 (Array.length plan.Can.tables.(0));
+  check_int "L1 prev class" 1 plan.Can.tables.(0).(0).Can.prev_class;
+  check "L1 null label" true (plan.Can.tables.(0).(0).Can.label = []);
+  Alcotest.(check (option int)) "singleton" (Some 1) plan.Can.singleton_class
+
+let test_phase_bounds () =
+  (* two_cells: sigma 1, one phase of 1 block: r_1 = 1*(2*1+1) + 1 = 4. *)
+  let plan = plan_of (F.two_cells ()) in
+  Alcotest.(check (array int)) "bounds" [| 0; 4 |] (Can.phase_bounds plan);
+  check_int "termination" 5 (Can.local_termination_round plan)
+
+let test_phase_bounds_multi () =
+  (* G_3: m = 3 iterations... num_phases = iterations count. *)
+  let config = F.g_family 3 in
+  let plan = plan_of config in
+  check_int "phases = iterations" 3 (Can.num_phases plan);
+  let bounds = Can.phase_bounds plan in
+  check_int "r_0" 0 bounds.(0);
+  let sigma = C.span config in
+  Array.iteri
+    (fun j b ->
+      if j >= 1 then begin
+        let blocks = Array.length plan.Can.tables.(j - 1) in
+        check_int "phase length"
+          (bounds.(j - 1) + (blocks * ((2 * sigma) + 1)) + sigma)
+          b
+      end)
+    bounds
+
+let test_upper_bound_formula () =
+  List.iter
+    (fun config ->
+      let plan = plan_of config in
+      let bound =
+        Can.upper_bound_rounds ~n:(C.size config) ~sigma:(C.span config)
+      in
+      check "schedule within O(n^2 sigma) bound" true
+        (Can.local_termination_round plan <= bound))
+    [
+      F.two_cells ();
+      F.h_family 4;
+      F.s_family 3;
+      F.g_family 4;
+      F.staircase_clique 7;
+    ]
+
+let test_infeasible_plan_has_no_singleton () =
+  let plan = plan_of (F.s_family 2) in
+  Alcotest.(check (option int)) "no singleton" None plan.Can.singleton_class;
+  check "decision always false" true
+    (not (Can.decision plan (Array.make 100 H.Silence)))
+
+(* ------------------------------------------------------------------ *)
+(* Distributed execution (Theorem 3.15)                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_dedicated config =
+  let a = Fe.analyze ~impl:`Reference config in
+  match Fe.verify_by_simulation ~max_rounds:2_000_000 a with
+  | Some r -> (a, r)
+  | None -> Alcotest.fail "expected feasible configuration"
+
+let test_election_on_families () =
+  List.iter
+    (fun (name, config) ->
+      let a, r = run_dedicated config in
+      check (name ^ ": unique leader") true (Runner.elects_unique_leader r);
+      Alcotest.(check (option int))
+        (name ^ ": leader = classifier prediction")
+        a.Fe.leader r.Runner.leader)
+    [
+      ("two_cells", F.two_cells ());
+      ("H_1", F.h_family 1);
+      ("H_5", F.h_family 5);
+      ("G_2", F.g_family 2);
+      ("G_5", F.g_family 5);
+      ("staircase_4", F.staircase_clique 4);
+      ("staircase_8", F.staircase_clique 8);
+      ("broken cycle", F.tagged_cycle [| 0; 1; 0; 1; 1; 1 |]);
+      ("distinct star", C.create (Gen.star 4) [| 0; 1; 2; 3 |]);
+      ("single node", C.create (G.empty 1) [| 0 |]);
+    ]
+
+let test_all_nodes_terminate_same_local_round () =
+  (* In D_G every node terminates in local round r_T + 1 (Lemma 3.11). *)
+  let config = F.g_family 3 in
+  let a, r = run_dedicated config in
+  let expected = a.Fe.election_local_rounds in
+  Array.iter
+    (fun d -> check_int "same done round" expected d)
+    r.Runner.outcome.Engine.done_local
+
+let test_patience_of_canonical () =
+  (* Lemma 3.6: no transmission in global rounds 0..sigma; every wake-up is
+     spontaneous. *)
+  List.iter
+    (fun config ->
+      let plan = plan_of config in
+      let o =
+        Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config
+      in
+      check "all spontaneous" true (Array.for_all not o.Engine.forced);
+      match o.Engine.first_transmission with
+      | Some (r, _) -> check "first tx after sigma" true (r > C.span config)
+      | None -> check "no transmissions only for n=1" true (C.size config = 1))
+    [ F.two_cells (); F.h_family 3; F.g_family 2; F.staircase_clique 5 ]
+
+let test_every_node_transmits_once_per_phase () =
+  (* Each node transmits exactly [num_phases] times overall (once per
+     phase; the canonical DRIP never goes lost on its own configuration). *)
+  let config = F.g_family 2 in
+  let plan = plan_of config in
+  let o =
+    Engine.run ~max_rounds:1_000_000 ~record_trace:true (Can.protocol plan)
+      config
+  in
+  let n = C.size config in
+  let tx_count = Array.make n 0 in
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun (v, _) -> tx_count.(v) <- tx_count.(v) + 1)
+        ev.Radio_sim.Trace.transmitters)
+    o.Engine.trace;
+  Array.iter
+    (fun c -> check_int "transmissions = phases" (Can.num_phases plan) c)
+    tx_count
+
+let test_block_trace_matches_classifier_classes () =
+  (* Statement (2) of Lemma 3.8: node v transmits in block k of phase j iff
+     its class in P_{j-1} is k. *)
+  let config = F.g_family 3 in
+  let run = Cl.classify config in
+  let plan = Can.plan_of_run run in
+  let o = Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config in
+  let iterations = Array.of_list run.Cl.iterations in
+  for v = 0 to C.size config - 1 do
+    let trace = Can.block_trace plan o.Engine.histories.(v) in
+    Array.iteri
+      (fun j_minus_1 tb ->
+        (* Block of phase j = class of v in P_{j-1}; P_0 is all-ones. *)
+        let expected =
+          if j_minus_1 = 0 then 1
+          else iterations.(j_minus_1 - 1).Cl.new_class.(v)
+        in
+        Alcotest.(check (option int)) "block = class" (Some expected) tb)
+      trace
+  done
+
+let test_history_classes_equal_partition () =
+  (* Lemma 3.9 at the final phase: equal full histories <=> same class in
+     P_T.  Holds for feasible and infeasible runs alike. *)
+  List.iter
+    (fun config ->
+      let run = Cl.classify config in
+      let plan = Can.plan_of_run run in
+      let o = Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config in
+      let hist_classes = Runner.history_classes o in
+      let final = (Cl.last_iteration run).Cl.new_class in
+      let n = C.size config in
+      for v = 0 to n - 1 do
+        for w = 0 to n - 1 do
+          check "Lemma 3.9" true
+            (hist_classes.(v) = hist_classes.(w) = (final.(v) = final.(w)))
+        done
+      done)
+    [ F.s_family 3; F.g_family 2; F.h_family 2; F.symmetric_pair () ]
+
+let test_decision_elects_singleton_member () =
+  let config = F.h_family 2 in
+  let run = Cl.classify config in
+  let plan = Can.plan_of_run run in
+  let o = Engine.run ~max_rounds:100_000 (Can.protocol plan) config in
+  let winners =
+    List.filter
+      (fun v -> Can.decision plan o.Engine.histories.(v))
+      (List.init (C.size config) Fun.id)
+  in
+  Alcotest.(check (list int))
+    "winners = canonical leader"
+    [ Option.get (Cl.canonical_leader run) ]
+    winners
+
+let test_final_class_matches_partition () =
+  let config = F.staircase_clique 5 in
+  let run = Cl.classify config in
+  let plan = Can.plan_of_run run in
+  let o = Engine.run ~max_rounds:100_000 (Can.protocol plan) config in
+  let final = (Cl.last_iteration run).Cl.new_class in
+  for v = 0 to C.size config - 1 do
+    Alcotest.(check (option int))
+      "final class from history" (Some final.(v))
+      (Can.final_class plan o.Engine.histories.(v))
+  done
+
+let test_block_trace_rejects_short_history () =
+  let plan = plan_of (F.h_family 2) in
+  Alcotest.check_raises "short history"
+    (Invalid_argument "Canonical.block_trace: history shorter than the schedule")
+    (fun () -> ignore (Can.block_trace plan [| H.Silence |]))
+
+let test_election_time_within_bound () =
+  (* Lemma 3.10 / Theorem 3.15: O(n^2 sigma) with our explicit constants,
+     measured on the global clock (wake-up offset <= sigma extra). *)
+  List.iter
+    (fun config ->
+      let _, r = run_dedicated config in
+      match r.Runner.rounds_to_elect with
+      | None -> Alcotest.fail "no election"
+      | Some rounds ->
+          let n = C.size config and sigma = C.span config in
+          check "global rounds within bound" true
+            (rounds <= Can.upper_bound_rounds ~n ~sigma + sigma))
+    [ F.g_family 4; F.h_family 6; F.staircase_clique 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Foreign execution: lost nodes                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_foreign_execution_is_well_defined () =
+  (* Run the plan compiled for H_2 on S_2 and on H_5: every node still
+     terminates on schedule (possibly lost), nobody crashes. *)
+  let plan = plan_of (F.h_family 2) in
+  List.iter
+    (fun foreign ->
+      let o = Engine.run ~max_rounds:100_000 (Can.protocol plan) foreign in
+      check "terminates everywhere" true o.Engine.all_terminated;
+      Array.iter
+        (fun d ->
+          check_int "schedule respected" (Can.local_termination_round plan) d)
+        o.Engine.done_local)
+    [ F.s_family 2; F.h_family 5; F.two_cells () ]
+
+let () =
+  Alcotest.run "canonical"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "L1" `Quick test_plan_l1;
+          Alcotest.test_case "phase bounds" `Quick test_phase_bounds;
+          Alcotest.test_case "multi-phase bounds" `Quick test_phase_bounds_multi;
+          Alcotest.test_case "upper bound formula" `Quick test_upper_bound_formula;
+          Alcotest.test_case "infeasible plan" `Quick
+            test_infeasible_plan_has_no_singleton;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "elections on families" `Slow
+            test_election_on_families;
+          Alcotest.test_case "uniform termination round" `Quick
+            test_all_nodes_terminate_same_local_round;
+          Alcotest.test_case "patience (Lemma 3.6)" `Quick
+            test_patience_of_canonical;
+          Alcotest.test_case "one tx per phase" `Quick
+            test_every_node_transmits_once_per_phase;
+          Alcotest.test_case "blocks = classes (Lemma 3.8)" `Quick
+            test_block_trace_matches_classifier_classes;
+          Alcotest.test_case "history classes (Lemma 3.9)" `Quick
+            test_history_classes_equal_partition;
+          Alcotest.test_case "decision elects singleton" `Quick
+            test_decision_elects_singleton_member;
+          Alcotest.test_case "final class" `Quick test_final_class_matches_partition;
+          Alcotest.test_case "short history rejected" `Quick
+            test_block_trace_rejects_short_history;
+          Alcotest.test_case "time bound (Lemma 3.10)" `Quick
+            test_election_time_within_bound;
+        ] );
+      ( "foreign",
+        [
+          Alcotest.test_case "lost nodes stay scheduled" `Quick
+            test_foreign_execution_is_well_defined;
+        ] );
+    ]

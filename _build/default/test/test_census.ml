@@ -1,0 +1,264 @@
+(* Tests for graph enumeration, the exhaustive census (E11), the Min_beacon
+   fast dedicated algorithm (E12) and the pure-DRIP transcription. *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module G = Radio_graph.Graph
+module Gen = Radio_graph.Gen
+module E = Radio_graph.Enumerate
+module H = Radio_drip.History
+module Cl = Election.Classifier
+module Can = Election.Canonical
+module Census = Election.Census
+module MB = Election.Min_beacon
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_labelled_counts () =
+  (* 2^(n(n-1)/2) labelled graphs. *)
+  check_int "n=0" 1 (List.length (E.all_labelled 0));
+  check_int "n=1" 1 (List.length (E.all_labelled 1));
+  check_int "n=2" 2 (List.length (E.all_labelled 2));
+  check_int "n=3" 8 (List.length (E.all_labelled 3));
+  check_int "n=4" 64 (List.length (E.all_labelled 4))
+
+let test_connected_labelled_counts () =
+  (* OEIS A001187: 1, 1, 1, 4, 38, 728 connected labelled graphs. *)
+  check_int "n=1" 1 (List.length (E.all_connected_labelled 1));
+  check_int "n=2" 1 (List.length (E.all_connected_labelled 2));
+  check_int "n=3" 4 (List.length (E.all_connected_labelled 3));
+  check_int "n=4" 38 (List.length (E.all_connected_labelled 4));
+  check_int "n=5" 728 (List.length (E.all_connected_labelled 5))
+
+let test_iso_counts () =
+  (* OEIS A001349: 1, 1, 2, 6, 21 connected graphs up to isomorphism. *)
+  check_int "n=1" 1 (E.count_up_to_iso 1);
+  check_int "n=2" 1 (E.count_up_to_iso 2);
+  check_int "n=3" 2 (E.count_up_to_iso 3);
+  check_int "n=4" 6 (E.count_up_to_iso 4);
+  check_int "n=5" 21 (E.count_up_to_iso 5)
+
+let test_canonical_key_detects_isomorphism () =
+  (* The path 0-1-2 relabelled is still the same key; the triangle isn't. *)
+  let p1 = G.of_edges 3 [ (0, 1); (1, 2) ] in
+  let p2 = G.of_edges 3 [ (1, 0); (0, 2) ] in
+  let tri = G.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check string) "isomorphic paths" (E.canonical_key p1) (E.canonical_key p2);
+  check "path vs triangle" false (E.canonical_key p1 = E.canonical_key tri)
+
+let test_enumerate_bounds () =
+  (try
+     ignore (E.all_labelled 7);
+     Alcotest.fail "n=7 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (E.canonical_key (Gen.path 8));
+    Alcotest.fail "n=8 key accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Census                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tag_assignments () =
+  (* (span+1)^n - span^n vectors containing a 0. *)
+  check_int "n=2 span=1" 3 (List.length (Census.tag_assignments ~n:2 ~max_span:1));
+  check_int "n=3 span=2" 19 (List.length (Census.tag_assignments ~n:3 ~max_span:2));
+  List.iter
+    (fun tags ->
+      check "contains a zero" true (Array.exists (fun t -> t = 0) tags))
+    (Census.tag_assignments ~n:3 ~max_span:2)
+
+let test_census_consistency () =
+  let report = Census.run ~max_n:4 ~max_span:2 () in
+  check "all consistent" true report.Census.all_consistent;
+  check_int "434 configurations" 434 report.Census.configurations
+
+let test_census_known_cells () =
+  let report = Census.run ~max_n:3 ~max_span:1 () in
+  let find n span =
+    List.find
+      (fun c -> c.Census.n = n && c.Census.span = span)
+      report.Census.cells
+  in
+  (* n=2, span=0: the symmetric pair - infeasible. *)
+  let c = find 2 0 in
+  check_int "pair total" 1 c.Census.total;
+  check_int "pair feasible" 0 c.Census.feasible;
+  (* n=2, span=1: both orientations of two_cells - feasible. *)
+  let c = find 2 1 in
+  check_int "two_cells total" 2 c.Census.total;
+  check_int "two_cells feasible" 2 c.Census.feasible;
+  (* n=3, span=1: 2 graphs x 6 asymmetric-ish assignments, all feasible. *)
+  let c = find 3 1 in
+  check_int "n3 span1 total" 12 c.Census.total;
+  check_int "n3 span1 feasible" 12 c.Census.feasible
+
+let test_census_span_zero_never_feasible_beyond_one () =
+  let report = Census.run ~max_n:4 ~max_span:0 () in
+  List.iter
+    (fun c ->
+      if c.Census.n >= 2 then check_int "span0 infeasible" 0 c.Census.feasible
+      else check_int "n=1 feasible" 1 c.Census.feasible)
+    report.Census.cells
+
+let test_census_rejects_bad_args () =
+  (try
+     ignore (Census.run ~max_n:0 ());
+     Alcotest.fail "max_n=0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Census.run ~max_span:(-1) ());
+    Alcotest.fail "negative span accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Min_beacon (E12)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_applies () =
+  check "staircase clique" true (MB.applies (F.staircase_clique 5));
+  check "single node" true (MB.applies (C.create (G.empty 1) [| 0 |]));
+  check "uniform clique (no unique min)" false
+    (MB.applies (C.uniform (Gen.complete 4) 0));
+  check "two_cells is K_2, so it applies" true (MB.applies (F.two_cells ()));
+  check "3-path (not single-hop)" false
+    (MB.applies (F.tagged_path [| 0; 1; 2 |]));
+  check "clique with twin minima" false
+    (MB.applies (C.create (Gen.complete 3) [| 0; 0; 1 |]))
+
+let test_predicted_leader () =
+  Alcotest.(check (option int)) "argmin" (Some 2)
+    (MB.predicted_leader (C.create (Gen.complete 4) [| 3; 2; 1; 5 |]));
+  Alcotest.(check (option int)) "none outside class" None
+    (MB.predicted_leader (F.tagged_path [| 0; 1; 2 |]))
+
+let test_elects_in_two_rounds () =
+  List.iter
+    (fun config ->
+      let r = Runner.run ~max_rounds:1_000 MB.election config in
+      check "unique leader" true (Runner.elects_unique_leader r);
+      Alcotest.(check (option int))
+        "leader = argmin" (MB.predicted_leader config) r.Runner.leader;
+      Alcotest.(check (option int))
+        "two global rounds"
+        (Some (MB.election_rounds config))
+        r.Runner.rounds_to_elect)
+    [
+      F.staircase_clique 4;
+      F.staircase_clique 16;
+      C.create (Gen.complete 5) [| 9; 3; 7; 8; 9 |];
+      C.create (G.empty 1) [| 0 |];
+    ]
+
+let test_agrees_with_classifier () =
+  (* On its class, Min_beacon elects a node the classifier confirms has a
+     unique history (applicability implies feasibility). *)
+  List.iter
+    (fun config ->
+      check "classifier confirms feasible" true
+        (Cl.is_feasible (Cl.classify config)))
+    [ F.staircase_clique 3; C.create (Gen.complete 4) [| 2; 0; 2; 2 |] ]
+
+let test_negative_control () =
+  (* Outside its class the protocol must NOT be trusted: on the symmetric
+     S_2 it elects nobody (or several). *)
+  let r = Runner.run ~max_rounds:1_000 MB.election (F.s_family 2) in
+  check "no unique leader on S_2" false (Runner.elects_unique_leader r);
+  (* Uniform clique: everyone spontaneous, everyone decides leader. *)
+  let r2 =
+    Runner.run ~max_rounds:1_000 MB.election (C.uniform (Gen.complete 3) 0)
+  in
+  check "several claimants" true (List.length r2.Runner.winners > 1)
+
+let test_speedup_vs_canonical () =
+  let config = F.staircase_clique 12 in
+  let a = Election.Feasibility.analyze config in
+  let canonical =
+    match Election.Feasibility.verify_by_simulation a with
+    | Some r -> Option.get r.Runner.rounds_to_elect
+    | None -> Alcotest.fail "staircase should be feasible"
+  in
+  let fast =
+    Option.get
+      (Runner.run ~max_rounds:1_000 MB.election config).Runner.rounds_to_elect
+  in
+  check "min-beacon strictly faster" true (fast < canonical);
+  check_int "constant" 2 fast
+
+(* ------------------------------------------------------------------ *)
+(* Pure DRIP transcription                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_pure_equals_stateful () =
+  List.iter
+    (fun config ->
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let o1 = Engine.run ~max_rounds:200_000 (Can.protocol plan) config in
+      let o2 = Engine.run ~max_rounds:200_000 (Can.pure_protocol plan) config in
+      check "identical executions" true
+        (Array.for_all2 H.equal o1.Engine.histories o2.Engine.histories);
+      check "identical termination" true
+        (o1.Engine.done_local = o2.Engine.done_local))
+    [
+      F.two_cells ();
+      F.h_family 2;
+      F.s_family 2;
+      F.g_family 2;
+      F.staircase_clique 4;
+      F.tagged_cycle [| 0; 1; 0; 1; 1; 1 |];
+    ]
+
+let test_pure_rejects_empty_prefix () =
+  let plan = Can.plan_of_run (Cl.classify (F.two_cells ())) in
+  Alcotest.check_raises "empty prefix"
+    (Invalid_argument "Canonical.pure_drip: empty history prefix") (fun () ->
+      ignore (Can.pure_drip plan [||]))
+
+let () =
+  Alcotest.run "census"
+    [
+      ( "enumerate",
+        [
+          Alcotest.test_case "labelled counts" `Quick test_all_labelled_counts;
+          Alcotest.test_case "connected labelled (A001187)" `Quick
+            test_connected_labelled_counts;
+          Alcotest.test_case "iso counts (A001349)" `Quick test_iso_counts;
+          Alcotest.test_case "canonical key" `Quick
+            test_canonical_key_detects_isomorphism;
+          Alcotest.test_case "bounds" `Quick test_enumerate_bounds;
+        ] );
+      ( "census",
+        [
+          Alcotest.test_case "tag assignments" `Quick test_tag_assignments;
+          Alcotest.test_case "full consistency n<=4" `Quick
+            test_census_consistency;
+          Alcotest.test_case "known cells" `Quick test_census_known_cells;
+          Alcotest.test_case "span 0" `Quick
+            test_census_span_zero_never_feasible_beyond_one;
+          Alcotest.test_case "bad args" `Quick test_census_rejects_bad_args;
+        ] );
+      ( "min-beacon",
+        [
+          Alcotest.test_case "applies" `Quick test_applies;
+          Alcotest.test_case "predicted leader" `Quick test_predicted_leader;
+          Alcotest.test_case "two-round election" `Quick
+            test_elects_in_two_rounds;
+          Alcotest.test_case "classifier agrees" `Quick
+            test_agrees_with_classifier;
+          Alcotest.test_case "negative control" `Quick test_negative_control;
+          Alcotest.test_case "speedup" `Quick test_speedup_vs_canonical;
+        ] );
+      ( "pure-drip",
+        [
+          Alcotest.test_case "pure == stateful" `Quick test_pure_equals_stateful;
+          Alcotest.test_case "empty prefix" `Quick test_pure_rejects_empty_prefix;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* End-to-end tests of the anorad command-line interface: exit codes,
+   pipeable output, and artifact round-trips, exercising the installed
+   binary exactly as a user would. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The binary is a declared dependency living next to this test in the
+   build tree (_build/default/bin/anorad.exe); resolve it relative to the
+   test executable itself so the tests work regardless of the caller's
+   working directory. *)
+let binary =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/anorad.exe"
+
+let run_cmd cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let output = In_channel.input_all ic in
+  let status = Unix.close_process_in ic in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  (code, output)
+
+let anorad args = run_cmd (Filename.quote binary ^ " " ^ args)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let with_family family m f =
+  let path = Filename.temp_file "anorad_cli" ".cfg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, out = anorad (Printf.sprintf "family %s %d" family m) in
+      check_int "family exit" 0 code;
+      Out_channel.with_open_text path (fun oc -> output_string oc out);
+      f path)
+
+let test_family_output () =
+  let code, out = anorad "family h 2" in
+  check_int "exit" 0 code;
+  check "header" true (contains out "config 4");
+  check "tags" true (contains out "tags 2 0 0 3")
+
+let test_classify_exit_codes () =
+  with_family "h" 2 (fun path ->
+      let code, out = anorad ("classify " ^ Filename.quote path) in
+      check_int "feasible exit 0" 0 code;
+      check "says FEASIBLE" true (contains out "FEASIBLE"));
+  with_family "s" 2 (fun path ->
+      let code, out = anorad ("classify " ^ Filename.quote path) in
+      check_int "infeasible exit 1" 1 code;
+      check "says INFEASIBLE" true (contains out "INFEASIBLE"))
+
+let test_elect () =
+  with_family "h" 1 (fun path ->
+      let code, out = anorad ("elect " ^ Filename.quote path) in
+      check_int "exit" 0 code;
+      check "leader named" true (contains out "leader: node 0"))
+
+let test_compile_run_plan_roundtrip () =
+  with_family "g" 2 (fun cfg ->
+      let plan = Filename.temp_file "anorad_cli" ".plan" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove plan)
+        (fun () ->
+          let code, _ =
+            anorad
+              (Printf.sprintf "compile %s -o %s" (Filename.quote cfg)
+                 (Filename.quote plan))
+          in
+          check_int "compile exit" 0 code;
+          let code, out =
+            anorad
+              (Printf.sprintf "run-plan %s %s" (Filename.quote plan)
+                 (Filename.quote cfg))
+          in
+          check_int "run-plan exit" 0 code;
+          check "elects" true (contains out "leader: node")))
+
+let test_repair () =
+  with_family "s" 2 (fun path ->
+      let code, out = anorad ("repair " ^ Filename.quote path) in
+      check_int "exit" 0 code;
+      check "plan shown" true (contains out "repair plan");
+      check "repaired config printed" true (contains out "config 4"))
+
+let test_audit () =
+  with_family "h" 1 (fun path ->
+      let code, out = anorad ("audit " ^ Filename.quote path) in
+      check_int "exit" 0 code;
+      check "all passed" true (contains out "ALL CHECKS PASSED"))
+
+let test_census_cli () =
+  let code, out = anorad "census --max-n 3 --max-span 1" in
+  check_int "exit" 0 code;
+  check "consistent" true (contains out "consistent: true")
+
+let test_catalog_cli () =
+  let code, out = anorad "catalog" in
+  check_int "list exit" 0 code;
+  check "lists h2" true (contains out "h2");
+  let code, out = anorad "catalog s2" in
+  check_int "entry exit" 0 code;
+  check "emits config" true (contains out "config 4");
+  let code, _ = anorad "catalog no-such-entry" in
+  check_int "unknown exit" 1 code
+
+let test_optimal_cli () =
+  with_family "h" 2 (fun path ->
+      let code, out = anorad ("optimal " ^ Filename.quote path) in
+      check_int "exit" 0 code;
+      check "round 2" true (contains out "round (over all algorithms): 2"))
+
+let test_refute_cli () =
+  with_family "h" 1 (fun path ->
+      let code, out = anorad ("refute " ^ Filename.quote path) in
+      check_int "exit" 0 code;
+      check "refuted" true (contains out "universality refuted: true"))
+
+let test_explain_dot_cli () =
+  with_family "s" 2 (fun path ->
+      let code, out = anorad ("explain --dot " ^ Filename.quote path) in
+      check_int "exit (infeasible)" 1 code;
+      check "dot output" true (contains out "graph explanation"))
+
+let test_trace_cli () =
+  with_family "h" 1 (fun path ->
+      let code, out = anorad ("trace " ^ Filename.quote path) in
+      check_int "exit" 0 code;
+      check "timeline legend" true (contains out "legend:");
+      check "leader decided" true (contains out "leader (by decision function)"))
+
+let test_bad_input () =
+  let code, _ = anorad "classify /nonexistent/path.cfg" in
+  check "nonzero on missing file" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "family" `Quick test_family_output;
+          Alcotest.test_case "classify exits" `Quick test_classify_exit_codes;
+          Alcotest.test_case "elect" `Quick test_elect;
+          Alcotest.test_case "compile/run-plan" `Quick
+            test_compile_run_plan_roundtrip;
+          Alcotest.test_case "repair" `Quick test_repair;
+          Alcotest.test_case "audit" `Quick test_audit;
+          Alcotest.test_case "census" `Quick test_census_cli;
+          Alcotest.test_case "catalog" `Quick test_catalog_cli;
+          Alcotest.test_case "optimal" `Quick test_optimal_cli;
+          Alcotest.test_case "refute" `Quick test_refute_cli;
+          Alcotest.test_case "explain --dot" `Quick test_explain_dot_cli;
+          Alcotest.test_case "trace" `Quick test_trace_cli;
+          Alcotest.test_case "bad input" `Quick test_bad_input;
+        ] );
+    ]

@@ -1,0 +1,326 @@
+(* Unit and property tests for configurations, families and their io. *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module RC = Radio_config.Random_config
+module CIo = Radio_config.Config_io
+module G = Radio_graph.Graph
+module Gen = Radio_graph.Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_tags = Alcotest.(check (array int))
+
+(* ------------------------------------------------------------------ *)
+(* Core configuration behaviour                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_normalizes () =
+  let c = C.create (Gen.path 3) [| 4; 2; 7 |] in
+  check_tags "shifted to 0" [| 2; 0; 5 |] (C.tags c);
+  check_int "span" 5 (C.span c);
+  check "normalized" true (C.is_normalized c);
+  check_int "min" 0 (C.min_tag c);
+  check_int "max" 5 (C.max_tag c)
+
+let test_create_no_normalize () =
+  let c = C.create ~normalize:false (Gen.path 2) [| 3; 5 |] in
+  check_tags "kept" [| 3; 5 |] (C.tags c);
+  check "not normalized" false (C.is_normalized c);
+  check_int "span still relative" 2 (C.span c)
+
+let test_create_errors () =
+  (try
+     ignore (C.create (Gen.path 3) [| 0; 1 |]);
+     Alcotest.fail "length mismatch accepted"
+   with C.Invalid_configuration _ -> ());
+  try
+    ignore (C.create ~normalize:false (Gen.path 2) [| 0; -1 |]);
+    Alcotest.fail "negative tag accepted"
+  with C.Invalid_configuration _ -> ()
+
+let test_tags_copy () =
+  let c = C.create (Gen.path 2) [| 0; 1 |] in
+  let t = C.tags c in
+  t.(0) <- 99;
+  check_int "internal tags unaffected" 0 (C.tag c 0)
+
+let test_uniform () =
+  let c = C.uniform (Gen.cycle 4) 7 in
+  check_tags "all zero after normalize" [| 0; 0; 0; 0 |] (C.tags c);
+  check_int "span 0" 0 (C.span c)
+
+let test_connectivity_and_degree () =
+  let c = C.create (Gen.star 5) [| 0; 1; 2; 3; 4 |] in
+  check "connected" true (C.is_connected c);
+  check_int "max degree" 4 (C.max_degree c);
+  let d = C.create (G.of_edges 3 [ (0, 1) ]) [| 0; 0; 1 |] in
+  check "disconnected accepted but flagged" false (C.is_connected d)
+
+let test_shift_tags () =
+  let c = C.create (Gen.path 3) [| 0; 1; 2 |] in
+  let c' = C.shift_tags c 10 in
+  check "shift normalizes back" true (C.equal c c');
+  try
+    ignore (C.shift_tags c (-1));
+    Alcotest.fail "negative shift below zero accepted"
+  with C.Invalid_configuration _ -> ()
+
+let test_relabel () =
+  let c = C.create (Gen.path 3) [| 0; 1; 2 |] in
+  let c' = C.relabel c [| 2; 1; 0 |] in
+  check_tags "tags follow" [| 2; 1; 0 |] (C.tags c');
+  check "edges follow" true (G.mem_edge (C.graph c') 2 1);
+  check "old edge gone" false (G.mem_edge (C.graph c') 0 2);
+  check "identity relabel" true (C.equal c (C.relabel c [| 0; 1; 2 |]))
+
+let test_relabel_errors () =
+  let c = C.create (Gen.path 3) [| 0; 1; 2 |] in
+  List.iter
+    (fun p ->
+      try
+        ignore (C.relabel c p);
+        Alcotest.fail "bad permutation accepted"
+      with C.Invalid_configuration _ -> ())
+    [ [| 0; 1 |]; [| 0; 0; 1 |]; [| 0; 1; 3 |] ]
+
+let test_equal () =
+  let c1 = C.create (Gen.path 2) [| 0; 1 |] in
+  let c2 = C.create (Gen.path 2) [| 5; 6 |] in
+  check "normalized equal" true (C.equal c1 c2);
+  let c3 = C.create (Gen.path 2) [| 1; 0 |] in
+  check "different tags" false (C.equal c1 c3)
+
+(* ------------------------------------------------------------------ *)
+(* Paper families                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_g_family_shape () =
+  let m = 3 in
+  let c = F.g_family m in
+  check_int "n = 4m+1" ((4 * m) + 1) (C.size c);
+  check_int "span 1" 1 (C.span c);
+  (* a-nodes 0..m-1 tag 0, b-nodes m..3m tag 1, c-nodes 3m+1..4m tag 0 *)
+  for i = 0 to m - 1 do
+    check_int "a tag" 0 (C.tag c i);
+    check_int "c tag" 0 (C.tag c ((4 * m) - i))
+  done;
+  for i = m to 3 * m do
+    check_int "b tag" 1 (C.tag c i)
+  done;
+  check_int "centre index" (2 * m) (F.g_family_center m);
+  check "path shape" true (G.mem_edge (C.graph c) 0 1);
+  check_int "path edges" (4 * m) (G.num_edges (C.graph c))
+
+let test_g_family_rejects () =
+  try
+    ignore (F.g_family 1);
+    Alcotest.fail "m=1 accepted"
+  with C.Invalid_configuration _ -> ()
+
+let test_h_family_shape () =
+  let c = F.h_family 4 in
+  check_tags "tags a,b,c,d" [| 4; 0; 0; 5 |] (C.tags c);
+  check_int "span m+1" 5 (C.span c);
+  check_int "n" 4 (C.size c)
+
+let test_s_family_shape () =
+  let c = F.s_family 4 in
+  check_tags "tags symmetric" [| 4; 0; 0; 4 |] (C.tags c);
+  check_int "span m" 4 (C.span c)
+
+let test_family_bounds () =
+  List.iter
+    (fun f ->
+      try
+        ignore (f 0);
+        Alcotest.fail "m=0 accepted"
+      with C.Invalid_configuration _ -> ())
+    [ F.h_family; F.s_family ]
+
+let test_staircase () =
+  let c = F.staircase_clique 5 in
+  check_int "span" 4 (C.span c);
+  check_int "degree" 4 (C.max_degree c)
+
+let test_small_families () =
+  check_int "two cells span" 1 (C.span (F.two_cells ()));
+  check_int "symmetric pair span" 0 (C.span (F.symmetric_pair ()))
+
+(* ------------------------------------------------------------------ *)
+(* Random configurations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_tags_span () =
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 50 do
+    let tags = RC.random_tags st ~n:10 ~span:6 in
+    let mn = Array.fold_left min tags.(0) tags in
+    let mx = Array.fold_left max tags.(0) tags in
+    check_int "min forced to 0" 0 mn;
+    check_int "max forced to span" 6 mx
+  done
+
+let test_random_tags_span_zero () =
+  let st = Random.State.make [| 4 |] in
+  let tags = RC.random_tags st ~n:5 ~span:0 in
+  check_tags "all zero" [| 0; 0; 0; 0; 0 |] tags
+
+let test_random_tags_single_node () =
+  let st = Random.State.make [| 5 |] in
+  let tags = RC.random_tags st ~n:1 ~span:9 in
+  check_int "single node tag normalized" 0 tags.(0)
+
+let test_connected_gnp_config () =
+  let st = Random.State.make [| 6 |] in
+  for _ = 1 to 10 do
+    let c = RC.connected_gnp st ~n:15 ~p:0.1 ~span:4 in
+    check "connected" true (C.is_connected c);
+    check_int "span" 4 (C.span c)
+  done
+
+let test_random_tree_config () =
+  let st = Random.State.make [| 7 |] in
+  let c = RC.random_tree st ~n:12 ~span:3 in
+  check_int "tree edges" 11 (G.num_edges (C.graph c));
+  check_int "span" 3 (C.span c)
+
+let test_perturb () =
+  let st = Random.State.make [| 8 |] in
+  let c = RC.random_path st ~n:6 ~span:3 in
+  let c' = RC.perturb_one_tag st c in
+  check_int "same size" (C.size c) (C.size c');
+  check "same graph" true (G.equal (C.graph c) (C.graph c'))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_config_io_roundtrip () =
+  let c = F.g_family 3 in
+  let c' = CIo.of_string (CIo.to_string c) in
+  check "roundtrip" true (C.equal c c')
+
+let test_config_io_malformed () =
+  List.iter
+    (fun s ->
+      try
+        ignore (CIo.of_string s);
+        Alcotest.fail ("accepted: " ^ s)
+      with Failure _ -> ())
+    [
+      "";
+      "config 2\n";
+      "config 2\ntags 0\n";
+      "config 2\ntags 0 1 2\n";
+      "graph 2\ntags 0 1\n";
+      "config 2\ntags 0 1\n0 1 2\n";
+    ]
+
+let test_config_dot () =
+  let s = CIo.to_dot (F.two_cells ()) in
+  check "mentions tag" true (contains s "t=1");
+  check "mentions edge" true (contains s "0 -- 1")
+
+let test_config_file_roundtrip () =
+  let path = Filename.temp_file "anorad" ".cfg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let c = F.h_family 2 in
+      CIo.write_file path c;
+      check "file roundtrip" true (C.equal c (CIo.read_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let arbitrary_cfg =
+  QCheck.make
+    ~print:(fun (n, span, seed) -> Printf.sprintf "n=%d span=%d seed=%d" n span seed)
+    QCheck.Gen.(triple (int_range 1 25) (int_range 0 6) (int_range 0 100_000))
+
+let prop_random_config_normalized =
+  QCheck.Test.make ~name:"random configs are normalized with exact span"
+    ~count:200 arbitrary_cfg (fun (n, span, seed) ->
+      let st = Random.State.make [| seed |] in
+      let c = RC.connected_gnp st ~n ~p:0.3 ~span in
+      C.is_normalized c && (n = 1 || C.span c = span))
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"config io roundtrip" ~count:100 arbitrary_cfg
+    (fun (n, span, seed) ->
+      let st = Random.State.make [| seed |] in
+      let c = RC.random_tree st ~n ~span in
+      C.equal c (CIo.of_string (CIo.to_string c)))
+
+let prop_relabel_involution =
+  QCheck.Test.make ~name:"relabel by a permutation then its inverse" ~count:100
+    arbitrary_cfg (fun (n, span, seed) ->
+      let st = Random.State.make [| seed |] in
+      let c = RC.connected_gnp st ~n ~p:0.3 ~span in
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let inv = Array.make n 0 in
+      Array.iteri (fun i p -> inv.(p) <- i) perm;
+      C.equal c (C.relabel (C.relabel c perm) inv))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_config_normalized; prop_io_roundtrip; prop_relabel_involution ]
+
+let () =
+  Alcotest.run "radio_config"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "create normalizes" `Quick test_create_normalizes;
+          Alcotest.test_case "create no-normalize" `Quick test_create_no_normalize;
+          Alcotest.test_case "create errors" `Quick test_create_errors;
+          Alcotest.test_case "tags are copies" `Quick test_tags_copy;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "connectivity & degree" `Quick
+            test_connectivity_and_degree;
+          Alcotest.test_case "shift tags" `Quick test_shift_tags;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "relabel errors" `Quick test_relabel_errors;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "G_m shape" `Quick test_g_family_shape;
+          Alcotest.test_case "G_m rejects m<2" `Quick test_g_family_rejects;
+          Alcotest.test_case "H_m shape" `Quick test_h_family_shape;
+          Alcotest.test_case "S_m shape" `Quick test_s_family_shape;
+          Alcotest.test_case "family bounds" `Quick test_family_bounds;
+          Alcotest.test_case "staircase" `Quick test_staircase;
+          Alcotest.test_case "small families" `Quick test_small_families;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "tags span" `Quick test_random_tags_span;
+          Alcotest.test_case "tags span zero" `Quick test_random_tags_span_zero;
+          Alcotest.test_case "single node" `Quick test_random_tags_single_node;
+          Alcotest.test_case "connected gnp" `Quick test_connected_gnp_config;
+          Alcotest.test_case "random tree" `Quick test_random_tree_config;
+          Alcotest.test_case "perturb" `Quick test_perturb;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_config_io_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_config_io_malformed;
+          Alcotest.test_case "dot" `Quick test_config_dot;
+          Alcotest.test_case "file roundtrip" `Quick test_config_file_roundtrip;
+        ] );
+      ("qcheck", qcheck_cases);
+    ]

@@ -1,0 +1,268 @@
+(* Tests for histories, protocol adapters and the patient transform
+   (Lemma 3.12). *)
+
+module H = Radio_drip.History
+module P = Radio_drip.Protocol
+module Patient = Radio_drip.Patient
+module C = Radio_config.Config
+module F = Radio_config.Families
+module Gen = Radio_graph.Gen
+module Engine = Radio_sim.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* History                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_entry_equal () =
+  check "silence" true (H.equal_entry H.Silence H.Silence);
+  check "collision" true (H.equal_entry H.Collision H.Collision);
+  check "same message" true (H.equal_entry (H.Message "x") (H.Message "x"));
+  check "different message" false (H.equal_entry (H.Message "x") (H.Message "y"));
+  check "mixed" false (H.equal_entry H.Silence H.Collision)
+
+let test_history_equal () =
+  let h1 = [| H.Silence; H.Message "1"; H.Collision |] in
+  let h2 = [| H.Silence; H.Message "1"; H.Collision |] in
+  let h3 = [| H.Silence; H.Message "1" |] in
+  check "equal" true (H.equal h1 h2);
+  check "prefix not equal" false (H.equal h1 h3);
+  check "empty equal" true (H.equal [||] [||])
+
+let test_history_to_string () =
+  Alcotest.(check string)
+    "render" "∅.(1).*"
+    (H.to_string [| H.Silence; H.Message "1"; H.Collision |])
+
+let test_vec () =
+  let v = H.Vec.create () in
+  check_int "empty" 0 (H.Vec.length v);
+  for i = 1 to 40 do
+    H.Vec.push v (H.Message (string_of_int i))
+  done;
+  check_int "length" 40 (H.Vec.length v);
+  check "get" true (H.equal_entry (H.Message "7") (H.Vec.get v 6));
+  let snap = H.Vec.snapshot v in
+  check_int "snapshot length" 40 (Array.length snap);
+  H.Vec.push v H.Silence;
+  check_int "snapshot unaffected" 40 (Array.length snap);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "History.Vec.get: index out of bounds") (fun () ->
+      ignore (H.Vec.get v 100))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol adapters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive an instance by hand with a scripted observation sequence and
+   collect its actions. *)
+let drive proto ~wakeup ~script =
+  let inst = proto.P.spawn () in
+  inst.P.on_wakeup wakeup;
+  List.map
+    (fun obs ->
+      let a = inst.P.decide () in
+      (match a with P.Terminate -> () | _ -> inst.P.observe obs);
+      a)
+    script
+
+let test_beacon () =
+  let actions =
+    drive (P.beacon ~message:"hi" ~delay:1 ()) ~wakeup:H.Silence
+      ~script:[ H.Silence; H.Silence; H.Silence ]
+  in
+  check "listen, transmit, terminate" true
+    (actions = [ P.Listen; P.Transmit "hi"; P.Terminate ])
+
+let test_silent () =
+  let actions =
+    drive (P.silent ~lifetime:2 ()) ~wakeup:H.Silence
+      ~script:[ H.Silence; H.Silence; H.Silence ]
+  in
+  check "listens then terminates" true
+    (actions = [ P.Listen; P.Listen; P.Terminate ])
+
+let test_of_pure_matches_stateful () =
+  (* A pure DRIP equivalent to [beacon ~delay:2]: transmit in local round 3. *)
+  let pure =
+    P.of_pure ~name:"pure-beacon" (fun h ->
+        match Array.length h with
+        | 3 -> P.Transmit "1"
+        | k when k > 3 -> P.Terminate
+        | _ -> P.Listen)
+  in
+  let script = [ H.Silence; H.Message "z"; H.Silence; H.Silence ] in
+  let a1 = drive pure ~wakeup:H.Silence ~script in
+  let a2 = drive (P.beacon ~delay:2 ()) ~wakeup:H.Silence ~script in
+  check "same actions" true (a1 = a2)
+
+let test_pure_sees_prefix () =
+  (* The pure DRIP at local round i must see exactly H[0..i-1]. *)
+  let lengths = ref [] in
+  let proto =
+    P.of_pure ~name:"len-probe" (fun h ->
+        lengths := Array.length h :: !lengths;
+        if Array.length h >= 3 then P.Terminate else P.Listen)
+  in
+  ignore (drive proto ~wakeup:H.Silence ~script:[ H.Silence; H.Silence; H.Silence ]);
+  check "prefix lengths 1,2,3" true (List.rev !lengths = [ 1; 2; 3 ])
+
+let test_stateful_requires_wakeup () =
+  let proto =
+    P.stateful ~name:"x"
+      ~init:(fun _ -> ())
+      ~decide:(fun () -> P.Terminate)
+      ~observe:(fun () _ -> ())
+  in
+  let inst = proto.P.spawn () in
+  Alcotest.check_raises "decide before wakeup"
+    (Invalid_argument "Protocol.stateful: decide before on_wakeup") (fun () ->
+      ignore (inst.P.decide ()))
+
+(* ------------------------------------------------------------------ *)
+(* Patient transform (Lemma 3.12)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_start_round () =
+  let sigma = 3 in
+  (* forced wake-up: s = 0 *)
+  check_int "forced" 0
+    (Patient.start_round ~sigma [| H.Message "m"; H.Silence |]);
+  (* message at round 2 <= sigma: s = 2 *)
+  check_int "early message" 2
+    (Patient.start_round ~sigma
+       [| H.Silence; H.Silence; H.Message "m"; H.Silence |]);
+  (* no message within sigma: s = sigma *)
+  check_int "quiet start" 3
+    (Patient.start_round ~sigma
+       [| H.Silence; H.Silence; H.Silence; H.Silence; H.Message "late" |]);
+  (* sigma = 0: start immediately *)
+  check_int "sigma zero" 0 (Patient.start_round ~sigma:0 [| H.Silence |])
+
+let test_patient_listens_first () =
+  let sigma = 4 in
+  let proto = Patient.make ~sigma (P.beacon ()) in
+  let actions =
+    drive proto ~wakeup:H.Silence
+      ~script:[ H.Silence; H.Silence; H.Silence; H.Silence; H.Silence; H.Silence ]
+  in
+  (* Listens through local rounds 1..sigma, inner beacon fires at round
+     sigma + 1, inner terminate at sigma + 2. *)
+  check "delayed beacon" true
+    (actions
+    = [ P.Listen; P.Listen; P.Listen; P.Listen; P.Transmit "1"; P.Terminate ])
+
+let test_patient_forced_wakeup_starts_inner () =
+  let proto = Patient.make ~sigma:5 (P.beacon ()) in
+  let actions =
+    drive proto ~wakeup:(H.Message "wake") ~script:[ H.Silence; H.Silence ]
+  in
+  (* Forced wake-up means s_w = 0: the inner DRIP starts right away. *)
+  check "inner immediate" true (actions = [ P.Transmit "1"; P.Terminate ])
+
+let test_patient_message_restarts_clock () =
+  let sigma = 5 in
+  let proto = Patient.make ~sigma (P.beacon ()) in
+  (* Message received at local round 2 => inner round 0 is outer round 2,
+     inner transmits at outer round 3. *)
+  let actions =
+    drive proto ~wakeup:H.Silence
+      ~script:[ H.Silence; H.Message "m"; H.Silence; H.Silence ]
+  in
+  check "inner starts after message" true
+    (actions = [ P.Listen; P.Listen; P.Transmit "1"; P.Terminate ])
+
+let test_patient_no_transmission_before_sigma_in_network () =
+  (* Executed on a configuration of span σ, a patient DRIP must be silent in
+     global rounds 0..σ (Claim 1 of Lemma 3.12).  The raw beacon violates
+     patience; its patient wrap must not. *)
+  let config = F.h_family 4 in
+  let sigma = C.span config in
+  let proto = Patient.make ~sigma (P.beacon ()) in
+  let o = Engine.run ~max_rounds:200 proto config in
+  (match o.Engine.first_transmission with
+  | Some (r, _) -> check "first tx after sigma" true (r > sigma)
+  | None -> Alcotest.fail "expected a transmission");
+  check "all wake spontaneously" true
+    (Array.for_all not o.Engine.forced)
+
+let test_patient_preserves_election_outcome () =
+  (* A hand-rolled inner algorithm for the 2-node path [0; 1]: whoever is
+     woken by a message loses, the early riser wins.  Its patient wrap plus
+     the transformed decision must elect the same node (Lemma 3.12). *)
+  let inner =
+    P.stateful ~name:"first-shout"
+      ~init:(fun e -> (e, 0))
+      ~decide:(fun (wake, rounds) ->
+        match (wake, rounds) with
+        | H.Message _, 0 -> P.Listen (* woken by the rival: lose quietly *)
+        | _, 0 -> P.Transmit "me"
+        | _, _ -> P.Terminate)
+      ~observe:(fun (wake, rounds) _ -> (wake, rounds + 1))
+  in
+  let inner_decision h = Array.length h > 0 && not (H.equal_entry h.(0) (H.Message "me")) in
+  let config = F.two_cells () in
+  let sigma = C.span config in
+  let wrapped =
+    {
+      Radio_sim.Runner.protocol = Patient.make ~sigma inner;
+      decision = Patient.decision ~sigma inner_decision;
+    }
+  in
+  let r = Radio_sim.Runner.run ~max_rounds:100 wrapped config in
+  check "unique leader" true (Radio_sim.Runner.elects_unique_leader r);
+  Alcotest.(check (option int)) "leader is the early riser" (Some 0) r.Radio_sim.Runner.leader
+
+let test_patient_decision_suffix () =
+  let sigma = 2 in
+  let f h = Array.length h = 2 && H.equal_entry h.(1) (H.Message "x") in
+  (* Outer history: quiet rounds then the suffix the inner f expects. *)
+  let outer = [| H.Silence; H.Silence; H.Silence; H.Message "x" |] in
+  check "suffix applied" true (Patient.decision ~sigma f outer);
+  let outer_forced = [| H.Message "w"; H.Message "x" |] in
+  check "forced wakeup suffix" true (Patient.decision ~sigma f outer_forced)
+
+let test_patient_rejects_negative_sigma () =
+  Alcotest.check_raises "negative sigma"
+    (Invalid_argument "Patient.make: sigma must be >= 0") (fun () ->
+      ignore (Patient.make ~sigma:(-1) (P.beacon ())))
+
+let () =
+  Alcotest.run "radio_drip"
+    [
+      ( "history",
+        [
+          Alcotest.test_case "entry equality" `Quick test_entry_equal;
+          Alcotest.test_case "history equality" `Quick test_history_equal;
+          Alcotest.test_case "to_string" `Quick test_history_to_string;
+          Alcotest.test_case "vec" `Quick test_vec;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "beacon" `Quick test_beacon;
+          Alcotest.test_case "silent" `Quick test_silent;
+          Alcotest.test_case "of_pure vs stateful" `Quick
+            test_of_pure_matches_stateful;
+          Alcotest.test_case "pure sees prefix" `Quick test_pure_sees_prefix;
+          Alcotest.test_case "stateful wakeup guard" `Quick
+            test_stateful_requires_wakeup;
+        ] );
+      ( "patient",
+        [
+          Alcotest.test_case "start_round" `Quick test_start_round;
+          Alcotest.test_case "listens first" `Quick test_patient_listens_first;
+          Alcotest.test_case "forced wakeup" `Quick
+            test_patient_forced_wakeup_starts_inner;
+          Alcotest.test_case "message restarts clock" `Quick
+            test_patient_message_restarts_clock;
+          Alcotest.test_case "patience in a network" `Quick
+            test_patient_no_transmission_before_sigma_in_network;
+          Alcotest.test_case "election preserved" `Quick
+            test_patient_preserves_election_outcome;
+          Alcotest.test_case "decision suffix" `Quick test_patient_decision_suffix;
+          Alcotest.test_case "negative sigma" `Quick
+            test_patient_rejects_negative_sigma;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* The fast (hash-based) classifier must be observationally identical to the
+   literal one: same verdicts, same per-iteration partitions, labels and
+   representatives.  Heavier randomized equivalence checks live in
+   test_properties.ml; these are the deterministic cases. *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module G = Radio_graph.Graph
+module Gen = Radio_graph.Gen
+module RC = Radio_config.Random_config
+module Cl = Election.Classifier
+module Fast = Election.Fast_classifier
+module Label = Election.Label
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let same_verdict v1 v2 =
+  match (v1, v2) with
+  | Cl.Infeasible, Cl.Infeasible -> true
+  | Cl.Feasible { singleton_class = a }, Cl.Feasible { singleton_class = b } ->
+      a = b
+  | _ -> false
+
+let runs_identical r1 r2 =
+  same_verdict r1.Cl.verdict r2.Cl.verdict
+  && List.length r1.Cl.iterations = List.length r2.Cl.iterations
+  && List.for_all2
+       (fun i1 i2 ->
+         i1.Cl.index = i2.Cl.index
+         && i1.Cl.old_class = i2.Cl.old_class
+         && i1.Cl.new_class = i2.Cl.new_class
+         && i1.Cl.num_classes = i2.Cl.num_classes
+         && i1.Cl.reps = i2.Cl.reps
+         && List.for_all2 Label.equal
+              (Array.to_list i1.Cl.labels)
+              (Array.to_list i2.Cl.labels))
+       r1.Cl.iterations r2.Cl.iterations
+
+let assert_equivalent config =
+  check "identical runs" true
+    (runs_identical (Cl.classify config) (Fast.classify config))
+
+let test_families_equivalent () =
+  List.iter assert_equivalent
+    [
+      F.two_cells ();
+      F.symmetric_pair ();
+      F.h_family 1;
+      F.h_family 7;
+      F.s_family 1;
+      F.s_family 6;
+      F.g_family 2;
+      F.g_family 5;
+      F.staircase_clique 9;
+      F.tagged_cycle [| 0; 1; 0; 1; 0; 1 |];
+      F.tagged_cycle [| 0; 2; 1; 0; 1; 2 |];
+      C.create (G.empty 1) [| 0 |];
+      C.uniform (Gen.hypercube 3) 0;
+    ]
+
+let test_random_configs_equivalent () =
+  let st = Random.State.make [| 2024 |] in
+  for _ = 1 to 30 do
+    let n = 2 + Random.State.int st 20 in
+    let span = Random.State.int st 5 in
+    assert_equivalent (RC.connected_gnp st ~n ~p:0.3 ~span)
+  done
+
+let test_refine_with_table_unit () =
+  (* One refinement step by hand: old partition {1,1,2}, labels a/b/b:
+     node 0 keeps class 1 (it is rep 1), node 1 gets a fresh class 3,
+     node 2 keeps class 2 (matches rep 2's label). *)
+  let la = [ { Label.block = 1; slot = 1; mark = Label.One } ] in
+  let lb = [ { Label.block = 1; slot = 2; mark = Label.One } ] in
+  let new_class, num, reps =
+    Fast.refine_with_table ~old_class:[| 1; 1; 2 |]
+      ~labels:[| la; lb; lb |] ~num_classes:2 ~reps:[| 0; 2 |]
+  in
+  Alcotest.(check (array int)) "classes" [| 1; 3; 2 |] new_class;
+  check_int "count" 3 num;
+  Alcotest.(check (array int)) "reps" [| 0; 2; 1 |] reps
+
+let test_rep_seeding_keeps_numbers () =
+  (* A class whose representative's label is unchanged keeps its number
+     even when scanned late in node order. *)
+  let l0 = [] in
+  let new_class, num, _ =
+    Fast.refine_with_table ~old_class:[| 2; 2; 1 |]
+      ~labels:[| l0; l0; l0 |] ~num_classes:2 ~reps:[| 2; 0 |]
+  in
+  (* reps: class 1 rep = node 2, class 2 rep = node 0. *)
+  Alcotest.(check (array int)) "stable numbering" [| 2; 2; 1 |] new_class;
+  check_int "no new classes" 2 num
+
+let test_fast_speed_sanity () =
+  (* Not a benchmark, just a liveness guard: the fast classifier finishes a
+     mid-sized instance quickly. *)
+  let st = Random.State.make [| 99 |] in
+  let config = RC.connected_gnp st ~n:120 ~p:0.05 ~span:6 in
+  let t0 = Sys.time () in
+  ignore (Fast.classify config);
+  check "under 5 CPU seconds" true (Sys.time () -. t0 < 5.0)
+
+let () =
+  Alcotest.run "fast_classifier"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "families" `Quick test_families_equivalent;
+          Alcotest.test_case "random configs" `Quick
+            test_random_configs_equivalent;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "single step" `Quick test_refine_with_table_unit;
+          Alcotest.test_case "stable numbering" `Quick
+            test_rep_seeding_keeps_numbers;
+        ] );
+      ("sanity", [ Alcotest.test_case "speed" `Quick test_fast_speed_sanity ]);
+    ]

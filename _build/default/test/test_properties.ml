@@ -1,0 +1,490 @@
+(* Property-based cross-validation of the whole stack on random
+   configurations.  These are the strongest checks in the repository: they
+   tie the centralized combinatorial Classifier to the distributed
+   simulation through the equivalences the paper proves (Lemmas 3.8-3.11),
+   and the fast classifier to the literal one. *)
+
+module C = Radio_config.Config
+module RC = Radio_config.Random_config
+module F = Radio_config.Families
+module Gen = Radio_graph.Gen
+module H = Radio_drip.History
+module P = Radio_drip.Protocol
+module Patient = Radio_drip.Patient
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+module Cl = Election.Classifier
+module Fast = Election.Fast_classifier
+module Can = Election.Canonical
+module Fe = Election.Feasibility
+module Label = Election.Label
+
+(* Random configuration generator shared by all properties: connected
+   G(n,p) or random tree, small n so thousands of cases stay fast. *)
+let gen_config =
+  QCheck.make
+    ~print:(fun (kind, n, span, seed) ->
+      Printf.sprintf "%s n=%d span=%d seed=%d"
+        (if kind then "gnp" else "tree")
+        n span seed)
+    QCheck.Gen.(
+      quad bool (int_range 1 16) (int_range 0 4) (int_range 0 1_000_000))
+
+let build (kind, n, span, seed) =
+  let st = Random.State.make [| seed |] in
+  if kind then RC.connected_gnp st ~n ~p:0.35 ~span
+  else RC.random_tree st ~n ~span
+
+let runs_agree r1 r2 =
+  (match (r1.Cl.verdict, r2.Cl.verdict) with
+  | Cl.Infeasible, Cl.Infeasible -> true
+  | Cl.Feasible { singleton_class = a }, Cl.Feasible { singleton_class = b } ->
+      a = b
+  | _ -> false)
+  && List.for_all2
+       (fun i1 i2 ->
+         i1.Cl.new_class = i2.Cl.new_class && i1.Cl.reps = i2.Cl.reps)
+       r1.Cl.iterations r2.Cl.iterations
+
+(* P1: fast classifier == literal classifier, in full detail. *)
+let prop_fast_equals_reference =
+  QCheck.Test.make ~name:"fast classifier == literal classifier" ~count:800
+    gen_config (fun params ->
+      let config = build params in
+      runs_agree (Cl.classify config) (Fast.classify config))
+
+(* P2 (Theorem 3.15): on feasible configurations the dedicated algorithm
+   elects exactly the classifier's predicted leader in the simulator, and
+   every node stops in local round r_T + 1. *)
+let prop_feasible_elects_predicted_leader =
+  QCheck.Test.make ~name:"feasible => dedicated algorithm elects predicted leader"
+    ~count:500 gen_config (fun params ->
+      let config = build params in
+      let a = Fe.analyze config in
+      match Fe.verify_by_simulation ~max_rounds:3_000_000 a with
+      | None -> QCheck.assume_fail () (* infeasible: checked in P3 *)
+      | Some r ->
+          Runner.elects_unique_leader r
+          && r.Runner.leader = a.Fe.leader
+          && Array.for_all
+               (fun d -> d = a.Fe.election_local_rounds)
+               r.Runner.outcome.Engine.done_local)
+
+(* P3 (Lemma 3.9): the history partition after executing the canonical DRIP
+   equals the classifier's final partition - feasible or not. *)
+let prop_history_partition_matches =
+  QCheck.Test.make ~name:"history classes == classifier partition (Lemma 3.9)"
+    ~count:500 gen_config (fun params ->
+      let config = build params in
+      let run = Cl.classify config in
+      let plan = Can.plan_of_run run in
+      let o = Engine.run ~max_rounds:3_000_000 (Can.protocol plan) config in
+      if not o.Engine.all_terminated then false
+      else begin
+        let hc = Runner.history_classes o in
+        let final = (Cl.last_iteration run).Cl.new_class in
+        let n = C.size config in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          for w = v + 1 to n - 1 do
+            if hc.(v) = hc.(w) <> (final.(v) = final.(w)) then ok := false
+          done
+        done;
+        !ok
+      end)
+
+(* P4 (Lemma 3.6): the canonical DRIP is patient: all wake-ups spontaneous
+   and no transmission in global rounds 0..sigma. *)
+let prop_canonical_patient =
+  QCheck.Test.make ~name:"canonical DRIP is patient (Lemma 3.6)" ~count:500
+    gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let o = Engine.run ~max_rounds:3_000_000 (Can.protocol plan) config in
+      Array.for_all not o.Engine.forced
+      &&
+      match o.Engine.first_transmission with
+      | Some (r, _) -> r > C.span config
+      | None -> C.size config = 1)
+
+(* P5: the schedule length respects the explicit O(n^2 sigma) constant
+   (Lemma 3.10). *)
+let prop_schedule_bound =
+  QCheck.Test.make ~name:"schedule within explicit O(n^2 sigma) bound"
+    ~count:800 gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      Can.local_termination_round plan
+      <= Can.upper_bound_rounds ~n:(C.size config) ~sigma:(C.span config))
+
+(* P6: feasibility is invariant under node relabelling, and the predicted
+   leader maps through the permutation. *)
+let prop_relabel_invariance =
+  QCheck.Test.make ~name:"feasibility invariant under relabelling" ~count:200
+    gen_config (fun params ->
+      let kind, n, _, seed = params in
+      ignore kind;
+      let config = build params in
+      let st = Random.State.make [| seed + 1 |] in
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let a = Fe.analyze config in
+      let a' = Fe.analyze (C.relabel config perm) in
+      a.Fe.feasible = a'.Fe.feasible
+      &&
+      match (a.Fe.leader, a'.Fe.leader) with
+      | None, None -> true
+      | Some v, Some v' ->
+          (* Both leaders have globally unique histories; relabelling maps
+             unique-history nodes onto each other, though the *smallest
+             singleton class* can differ in numbering: accept either exact
+             mapping or both being legitimate singleton members. *)
+          v' = perm.(v)
+          || (let final = (Cl.last_iteration a'.Fe.run).Cl.new_class in
+              let sizes = Hashtbl.create 8 in
+              Array.iter
+                (fun c ->
+                  Hashtbl.replace sizes c
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt sizes c)))
+                final;
+              Hashtbl.find sizes final.(v') = 1
+              && Hashtbl.find sizes final.(perm.(v)) = 1)
+      | _ -> false)
+
+(* P7: shifting all tags by a constant changes nothing (Section 2.1). *)
+let prop_shift_invariance =
+  QCheck.Test.make ~name:"verdict invariant under global tag shift" ~count:200
+    gen_config (fun params ->
+      let config = build params in
+      let shifted =
+        C.create ~normalize:false (C.graph config)
+          (Array.map (fun t -> t + 5) (C.tags config))
+      in
+      let a = Fe.analyze config in
+      let a' = Fe.analyze shifted in
+      a.Fe.feasible = a'.Fe.feasible && a.Fe.leader = a'.Fe.leader)
+
+(* P8: a patient wrap of any protocol never transmits in rounds 0..sigma. *)
+let prop_patient_wrap_is_patient =
+  QCheck.Test.make ~name:"patient transform is patient (Lemma 3.12 Claim 1)"
+    ~count:200 gen_config (fun params ->
+      let config = build params in
+      let sigma = C.span config in
+      let proto = Patient.make ~sigma (P.beacon ~delay:1 ()) in
+      let o = Engine.run ~max_rounds:10_000 proto config in
+      (match o.Engine.first_transmission with
+      | Some (r, _) -> r > sigma
+      | None -> true)
+      && Array.for_all not o.Engine.forced)
+
+(* P9 (Observation 3.2 / Corollary 3.3): refinement along iterations. *)
+let prop_refinement_monotone =
+  QCheck.Test.make ~name:"class counts non-decreasing, separation persists"
+    ~count:300 gen_config (fun params ->
+      let config = build params in
+      let run = Cl.classify config in
+      let ok = ref true in
+      let prev_count = ref 1 in
+      List.iter
+        (fun it ->
+          if it.Cl.num_classes < !prev_count then ok := false;
+          prev_count := it.Cl.num_classes;
+          let n = Array.length it.Cl.new_class in
+          for v = 0 to n - 1 do
+            for w = v + 1 to n - 1 do
+              if
+                it.Cl.old_class.(v) <> it.Cl.old_class.(w)
+                && it.Cl.new_class.(v) = it.Cl.new_class.(w)
+              then ok := false
+            done
+          done)
+        run.Cl.iterations;
+      !ok)
+
+(* P10: the pure-function transcription of the canonical DRIP (via
+   block_trace replay) agrees with what the stateful instance actually did:
+   transmission rounds recovered from the history coincide with the trace
+   recorded by the engine. *)
+let prop_replay_consistency =
+  QCheck.Test.make ~name:"history replay recovers actual transmission blocks"
+    ~count:150 gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let o =
+        Engine.run ~max_rounds:3_000_000 ~record_trace:true
+          (Can.protocol plan) config
+      in
+      let n = C.size config in
+      let bounds = Can.phase_bounds plan in
+      let sigma = plan.Can.sigma in
+      (* Recorded transmissions per node, as (phase, block) pairs derived
+         from global round and wake offset. *)
+      let actual = Array.make n [] in
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun (v, _) ->
+              let local = ev.Radio_sim.Trace.round - o.Engine.wake_round.(v) in
+              (* find the phase *)
+              let rec phase j =
+                if j > Can.num_phases plan then None
+                else if local <= bounds.(j) then Some j
+                else phase (j + 1)
+              in
+              match phase 1 with
+              | None -> ()
+              | Some j ->
+                  let offset = local - bounds.(j - 1) in
+                  let block = ((offset - 1) / ((2 * sigma) + 1)) + 1 in
+                  actual.(v) <- (j, block) :: actual.(v))
+            ev.Radio_sim.Trace.transmitters)
+        o.Engine.trace;
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let replayed = Can.block_trace plan o.Engine.histories.(v) in
+        let expected =
+          List.sort compare
+            (List.filteri (fun _ _ -> true) (Array.to_list replayed)
+            |> List.mapi (fun j tb -> (j + 1, tb))
+            |> List.filter_map (fun (j, tb) ->
+                   Option.map (fun b -> (j, b)) tb))
+        in
+        if List.sort compare actual.(v) <> expected then ok := false
+      done;
+      !ok)
+
+(* P11: uniform tags on >= 2 nodes are always infeasible. *)
+let prop_uniform_infeasible =
+  QCheck.Test.make ~name:"uniform wake-up is infeasible for n >= 2" ~count:200
+    gen_config (fun params ->
+      let kind, n, _, seed = params in
+      ignore kind;
+      QCheck.assume (n >= 2);
+      let st = Random.State.make [| seed |] in
+      let g = Gen.random_connected_gnp st n 0.4 in
+      not (Fe.is_feasible (C.uniform g 0)))
+
+(* P12: decision function of the dedicated algorithm marks exactly one
+   winner among the simulated histories (restating P2 through the pure
+   decision interface). *)
+let prop_decision_unique_winner =
+  QCheck.Test.make ~name:"dedicated decision marks exactly one history"
+    ~count:150 gen_config (fun params ->
+      let config = build params in
+      let run = Cl.classify config in
+      QCheck.assume (Cl.is_feasible run);
+      let plan = Can.plan_of_run run in
+      let o = Engine.run ~max_rounds:3_000_000 (Can.protocol plan) config in
+      let winners =
+        List.filter
+          (fun v -> Can.decision plan o.Engine.histories.(v))
+          (List.init (C.size config) Fun.id)
+      in
+      List.length winners = 1)
+
+(* P13: the optimized engine and the executable specification agree on
+   arbitrary scripted protocols. *)
+let prop_engine_matches_spec =
+  QCheck.Test.make ~name:"engine == executable specification" ~count:500
+    gen_config (fun params ->
+      let kind, _, _, seed = params in
+      ignore kind;
+      let config = build params in
+      let st = Random.State.make [| seed + 99 |] in
+      let length = 1 + Random.State.int st 10 in
+      let script =
+        Array.init length (fun _ ->
+            match Random.State.int st 4 with
+            | 0 -> P.Transmit "x"
+            | 1 -> P.Transmit "y"
+            | _ -> P.Listen)
+      in
+      let proto =
+        P.stateful ~name:"script"
+          ~init:(fun _ -> 0)
+          ~decide:(fun i -> if i >= length then P.Terminate else script.(i))
+          ~observe:(fun i _ -> i + 1)
+      in
+      let o = Engine.run ~max_rounds:10_000 proto config in
+      let s = Radio_sim.Spec_engine.run ~max_rounds:10_000 proto config in
+      Radio_sim.Spec_engine.agrees_with_engine s o)
+
+(* P14: the pure (history-function) canonical DRIP is the state machine. *)
+let prop_pure_drip_equivalence =
+  QCheck.Test.make ~name:"pure canonical DRIP == state machine" ~count:120
+    gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let o1 = Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config in
+      let o2 = Engine.run ~max_rounds:1_000_000 (Can.pure_protocol plan) config in
+      Array.for_all2 H.equal o1.Engine.histories o2.Engine.histories)
+
+(* P15: plans survive serialization, structurally and behaviourally. *)
+let prop_plan_roundtrip =
+  QCheck.Test.make ~name:"plan serialization roundtrip" ~count:200 gen_config
+    (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      Election.Plan_io.of_string (Election.Plan_io.to_string plan) = plan)
+
+(* P16: Repair's output is sound (repaired configurations are feasible and
+   differ only in the reported changes). *)
+let prop_repair_sound =
+  QCheck.Test.make ~name:"repair output is feasible and minimalistic"
+    ~count:60 gen_config (fun params ->
+      let kind, n, _, _ = params in
+      ignore kind;
+      QCheck.assume (n <= 8);
+      let config = build params in
+      match Election.Repair.repair ~max_changes:2 config with
+      | None -> true (* nothing within budget: acceptable *)
+      | Some plan ->
+          Fe.is_feasible plan.Election.Repair.repaired
+          && List.length plan.Election.Repair.changes <= 2
+          (* an already-feasible input yields the empty plan, and only it *)
+          && Fe.is_feasible config = (plan.Election.Repair.changes = []))
+
+(* P17: Wave_election's precondition implies a correct, on-schedule
+   election of the root on random depth-tagged trees. *)
+let prop_wave_correct_on_trees =
+  QCheck.Test.make ~name:"wave election on depth-tagged trees" ~count:150
+    gen_config (fun params ->
+      let kind, n, _, seed = params in
+      ignore kind;
+      let st = Random.State.make [| seed |] in
+      let g = Gen.random_tree st n in
+      let root = Random.State.int st n in
+      let dist = Radio_graph.Props.bfs_distances g root in
+      let slack = Random.State.int st 3 in
+      let config =
+        C.create g (Array.map (fun d -> if d = 0 then 0 else d + slack) dist)
+      in
+      QCheck.assume (Election.Wave_election.applies config);
+      let r = Runner.run ~max_rounds:10_000 Election.Wave_election.election config in
+      r.Runner.leader = Some root
+      && r.Runner.rounds_to_elect = Election.Wave_election.election_rounds config
+      && Cl.is_feasible (Cl.classify config))
+
+(* P18: the timeline renderer never raises, for terminated and cut-off
+   executions alike. *)
+let prop_timeline_total =
+  QCheck.Test.make ~name:"timeline renders any outcome" ~count:100 gen_config
+    (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let o =
+        Engine.run ~max_rounds:50 ~record_trace:true (Can.protocol plan) config
+      in
+      String.length (Radio_sim.Timeline.render_with_legend o) > 0)
+
+(* P19: energy conservation: the per-node ledger sums to the metric. *)
+let prop_energy_ledger =
+  QCheck.Test.make ~name:"per-node transmissions sum to the metric" ~count:150
+    gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let o = Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config in
+      Array.fold_left ( + ) 0 o.Engine.transmissions_by_node
+      = o.Engine.metrics.Radio_sim.Metrics.transmissions)
+
+(* P20: the audit battery passes on random configurations. *)
+let prop_audit_passes =
+  QCheck.Test.make ~name:"audit battery passes" ~count:60 gen_config
+    (fun params ->
+      let config = build params in
+      (Election.Audit.run ~max_rounds:1_000_000 config).Election.Audit.all_passed)
+
+(* P21: symmetry certificates are sound: certified => classifier says
+   infeasible, and the returned permutation passes the elementary check. *)
+let prop_symmetry_sound =
+  QCheck.Test.make ~name:"automorphism certificates are sound" ~count:200
+    gen_config (fun params ->
+      let config = build params in
+      match Election.Symmetry.find ~budget:50_000 config with
+      | None -> true
+      | Some cert ->
+          Election.Symmetry.is_certificate config cert
+          && not (Fe.is_feasible config))
+
+(* P22: the optimal symmetry-breaking search is consistent with the
+   canonical DRIP on tiny instances: Never iff infeasible, and when broken,
+   optimal <= the canonical DRIP's separation round. *)
+let prop_optimal_consistent =
+  QCheck.Test.make ~name:"optimal breaking time consistent" ~count:80
+    gen_config (fun params ->
+      let _, n, span, _ = params in
+      QCheck.assume (n <= 5 && span <= 3);
+      let config = build params in
+      match Election.Optimal.breaking_time ~max_states:100_000 config with
+      | Election.Optimal.Never -> not (Fe.is_feasible config)
+      | Election.Optimal.Broken_at opt -> (
+          Fe.is_feasible config
+          &&
+          match Election.Optimal.canonical_breaking_time config with
+          | Some can -> opt <= can
+          | None -> false)
+      | Election.Optimal.Not_within_horizon
+      | Election.Optimal.Search_budget_exhausted -> true)
+
+(* P23: repair and fragility are mutual inverses at the boundary: a
+   breaking perturbation reported by Fragility is repaired back to
+   feasibility by Repair with cost <= the perturbation's own cost. *)
+let prop_fragility_repair_duality =
+  QCheck.Test.make ~name:"fragility/repair duality" ~count:40 gen_config
+    (fun params ->
+      let _, n, _, _ = params in
+      QCheck.assume (n <= 7);
+      let config = build params in
+      QCheck.assume (Fe.is_feasible config);
+      let report = Election.Fragility.single_tag config in
+      List.for_all
+        (fun (v, t) ->
+          let tags = C.tags config in
+          let cost = abs (t - tags.(v)) in
+          tags.(v) <- t;
+          let broken = C.create (C.graph config) tags in
+          match Election.Repair.repair_one ~max_tag:(C.span config + 1) broken with
+          | Some plan -> plan.Election.Repair.cost <= cost
+          | None -> false (* undoing the slip always works, so never None *))
+        report.Election.Fragility.breaking)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "cross-validation",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fast_equals_reference;
+            prop_feasible_elects_predicted_leader;
+            prop_history_partition_matches;
+            prop_canonical_patient;
+            prop_schedule_bound;
+            prop_relabel_invariance;
+            prop_shift_invariance;
+            prop_patient_wrap_is_patient;
+            prop_refinement_monotone;
+            prop_replay_consistency;
+            prop_uniform_infeasible;
+            prop_decision_unique_winner;
+          ] );
+      ( "tooling",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_engine_matches_spec;
+            prop_pure_drip_equivalence;
+            prop_plan_roundtrip;
+            prop_repair_sound;
+            prop_wave_correct_on_trees;
+            prop_timeline_total;
+            prop_energy_ledger;
+            prop_audit_passes;
+            prop_symmetry_sound;
+            prop_optimal_consistent;
+            prop_fragility_repair_duality;
+          ] );
+    ]

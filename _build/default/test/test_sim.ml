@@ -1,0 +1,300 @@
+(* Tests for the radio engine: the reception rule, wake-up semantics,
+   termination, metrics, traces and history-class helpers. *)
+
+module H = Radio_drip.History
+module P = Radio_drip.Protocol
+module C = Radio_config.Config
+module F = Radio_config.Families
+module Gen = Radio_graph.Gen
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+module Trace = Radio_sim.Trace
+module Metrics = Radio_sim.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A protocol scripted purely by local round number (ignores what it
+   hears): the action for local round i is [script.(i - 1)]; terminates once
+   the script is exhausted. *)
+let scripted name script =
+  P.stateful ~name
+    ~init:(fun _ -> 0)
+    ~decide:(fun i -> if i >= Array.length script then P.Terminate else script.(i))
+    ~observe:(fun i _ -> i + 1)
+
+let hist o v = o.Engine.histories.(v)
+
+(* ------------------------------------------------------------------ *)
+(* Reception rule                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_transmitter_heard () =
+  (* Star, all awake at 0; only the centre transmits in round 1. *)
+  let config = C.uniform (Gen.star 4) 0 in
+  (* Centre is node 0; we need a protocol where only the centre transmits:
+     exploit degree?  Nodes are anonymous, so script by wake-up instead:
+     use tags [0;1;1;1] — the centre transmits before leaves act. *)
+  let config = C.create (C.graph config) [| 0; 1; 1; 1 |] in
+  let proto = scripted "b" [| P.Transmit "hello" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  (* Centre wakes at 0, transmits at global 1; leaves are woken by it. *)
+  check "leaf 1 woken by message" true
+    (H.equal_entry (hist o 1).(0) (H.Message "hello"));
+  check "leaf woken forced" true o.Engine.forced.(1);
+  check_int "leaf wake round" 1 o.Engine.wake_round.(1);
+  check "centre spontaneous" false o.Engine.forced.(0)
+
+let test_collision_noise () =
+  (* Path a - v - b where a and b transmit simultaneously: v hears noise. *)
+  let config = C.create (Gen.path 3) [| 0; 0; 0 |] in
+  (* All wake at 0.  Ends have degree 1, middle degree 2: again use tags to
+     differentiate: not needed — all transmit in round 1, so the middle
+     node transmits too and hears nothing.  Instead: ends transmit in round
+     1, middle listens; but anonymity forces identical scripts.  Use a
+     2-script protocol where a node transmits iff it heard nothing... keep
+     it simple with a dedicated star config below instead. *)
+  ignore config;
+  let config = C.create (Gen.star 3) [| 1; 0; 0 |] in
+  (* Leaves (tags 0) transmit at global 1 while the centre (tag 1, local
+     round 0 at global 1... wakes at global 1) is still asleep?  No: centre
+     wakes at global 1, its local round 1 is global 2.  Let leaves transmit
+     in local round 2 = global 2?  Then the centre listens at global 2 and
+     hears the collision. *)
+  let proto = scripted "late-tx" [| P.Listen; P.Transmit "x" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  (* Centre = node 0 (tag 1): local round 1 = global 2, when both leaves
+     transmit: collision. *)
+  check "centre hears noise" true (H.equal_entry (hist o 0).(1) H.Collision);
+  check_int "collisions counted" 1 o.Engine.metrics.Metrics.collisions_heard
+
+let test_transmitter_hears_nothing () =
+  let config = C.create (Gen.path 2) [| 0; 0 |] in
+  let proto = scripted "both-tx" [| P.Transmit "x" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  check "tx entry is silence" true (H.equal_entry (hist o 0).(1) H.Silence);
+  check "symmetric" true (H.equal (hist o 0) (hist o 1));
+  check_int "two transmissions" 2 o.Engine.metrics.Metrics.transmissions;
+  check_int "no deliveries" 0 o.Engine.metrics.Metrics.deliveries
+
+let test_silence_when_nobody_transmits () =
+  let config = C.create (Gen.path 2) [| 0; 0 |] in
+  let proto = scripted "quiet" [| P.Listen; P.Listen |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  check "all silence" true
+    (Array.for_all (fun e -> H.equal_entry e H.Silence) (hist o 0))
+
+(* ------------------------------------------------------------------ *)
+(* Wake-up semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_forced_wakeup_at_exact_tag_round () =
+  (* Section 2.1: a node waking in round r <= t_v because it received a
+     message has a forced wake-up, even when r = t_v. *)
+  let config = C.create (Gen.path 2) [| 0; 1 |] in
+  let proto = scripted "b" [| P.Transmit "m" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  (* Node 0 transmits at global 1 = node 1's tag round. *)
+  check "forced at own tag round" true o.Engine.forced.(1);
+  check "message recorded" true (H.equal_entry (hist o 1).(0) (H.Message "m"))
+
+let test_collision_does_not_wake () =
+  (* Two tag-0 leaves transmit simultaneously at the sleeping centre
+     (tag 5): the centre must stay asleep (DESIGN.md §3). *)
+  let config = C.create (Gen.star 3) [| 5; 0; 0 |] in
+  let proto = scripted "tx-now" [| P.Transmit "x" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  check_int "centre waits for its tag" 5 o.Engine.wake_round.(0);
+  check "centre spontaneous" false o.Engine.forced.(0)
+
+let test_beacon_relay_wave () =
+  (* Every node transmits once in its first local round, so a single early
+     riser wakes the whole path like a travelling wave, one hop per round. *)
+  let config = C.create (Gen.path 4) [| 0; 9; 9; 9 |] in
+  let proto = scripted "one-shot" [| P.Transmit "go" |] in
+  let o = Engine.run ~max_rounds:60 proto config in
+  Alcotest.(check (array int)) "wave wake rounds" [| 0; 1; 2; 3 |]
+    o.Engine.wake_round;
+  check_int "metrics forced" 3 o.Engine.metrics.Metrics.forced_wakeups;
+  check_int "metrics spontaneous" 1 o.Engine.metrics.Metrics.spontaneous_wakeups
+
+(* ------------------------------------------------------------------ *)
+(* Termination                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_done_round_and_history_length () =
+  let config = C.create (Gen.path 2) [| 0; 3 |] in
+  let proto = scripted "l3" [| P.Listen; P.Listen; P.Listen |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  check_int "done_v = 4" 4 o.Engine.done_local.(0);
+  (* History holds entries for local rounds 0..3: the terminate decision at
+     round 4 consumes no entry. *)
+  check_int "history length" 4 (Array.length (hist o 0));
+  check_int "global done of node 1" 7 (Engine.global_done_round o 1);
+  check_int "completion round" 7 (Engine.completion_round o);
+  check "terminated" true o.Engine.all_terminated
+
+let test_terminated_nodes_are_deaf_and_silent () =
+  (* Node 0 (tag 0) terminates at local 1 (immediately);
+     node 1 (tag 0) transmits at round 2.  Node 0 must not record it. *)
+  let config = C.create (Gen.path 2) [| 0; 1 |] in
+  (* tag-0 node terminates immediately; tag-1 node... anonymity again: both
+     run the same script.  Script: terminate at once.  Then nobody ever
+     transmits.  Instead verify via history length: after termination the
+     history stops growing even though the *other* node keeps transmitting:
+     needs asymmetry, which tags provide: script = transmit at local 1,
+     then terminate.  Node 0 transmits at global 1 (waking node 1 is
+     impossible - node 1 tag 1 wakes at 1 anyway...).  Simpler check:
+     terminated nodes keep their history frozen. *)
+  let proto = scripted "tx-once" [| P.Transmit "x" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  (* Node 0 terminates in local round 2 (after transmitting in round 1), so
+     its history covers rounds 0..1 only: node 1's transmission at global 2
+     reaches a terminated node and must not be recorded. *)
+  check_int "node 0 history frozen at done" 2 (Array.length (hist o 0));
+  check "node 0 never heard anything" true
+    (Array.for_all (fun e -> H.equal_entry e H.Silence) (hist o 0));
+  check "node 1 forced" true o.Engine.forced.(1);
+  check_int "node 1 done local" 2 o.Engine.done_local.(1)
+
+let test_round_limit () =
+  let config = C.create (Gen.path 2) [| 0; 0 |] in
+  let forever =
+    P.stateful ~name:"forever"
+      ~init:(fun _ -> ())
+      ~decide:(fun () -> P.Listen)
+      ~observe:(fun () _ -> ())
+  in
+  let o = Engine.run ~max_rounds:30 forever config in
+  check "not terminated" false o.Engine.all_terminated;
+  check_int "ran 30 rounds" 30 o.Engine.rounds;
+  check_int "done flag" (-1) o.Engine.done_local.(0);
+  try
+    ignore (Engine.run_exn ~max_rounds:30 forever config);
+    Alcotest.fail "run_exn did not raise"
+  with Engine.Round_limit_exceeded _ -> ()
+
+let test_first_transmission () =
+  let config = C.create (Gen.path 3) [| 0; 2; 4 |] in
+  let proto = scripted "b" [| P.Listen; P.Transmit "x" |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  match o.Engine.first_transmission with
+  | Some (r, vs) ->
+      check_int "round" 2 r;
+      Alcotest.(check (list int)) "transmitters" [ 0 ] vs
+  | None -> Alcotest.fail "no transmission recorded"
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_events () =
+  let config = C.create (Gen.path 2) [| 0; 3 |] in
+  let proto = scripted "b" [| P.Transmit "z" |] in
+  let o = Engine.run ~max_rounds:50 ~record_trace:true proto config in
+  let events = o.Engine.trace in
+  check "trace non-empty" true (events <> []);
+  let r1 = List.find (fun e -> e.Trace.round = 1) events in
+  check "tx recorded" true (r1.Trace.transmitters = [ (0, "z") ]);
+  check "wake recorded" true (r1.Trace.woken = [ (1, Trace.Forced "z") ]);
+  (* Without record_trace the trace is empty. *)
+  let o2 = Engine.run ~max_rounds:50 proto config in
+  check "trace disabled" true (o2.Engine.trace = [])
+
+(* ------------------------------------------------------------------ *)
+(* Runner helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_classes () =
+  (* Symmetric pair: both nodes share one history class. *)
+  let config = F.symmetric_pair () in
+  let proto = scripted "b" [| P.Transmit "x"; P.Listen |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  let classes = Runner.history_classes o in
+  check_int "same class" classes.(0) classes.(1);
+  Alcotest.(check (list int)) "sizes" [ 2 ] (Runner.history_class_sizes o);
+  Alcotest.(check (list int)) "no unique nodes" [] (Runner.unique_history_nodes o)
+
+let test_history_classes_distinct () =
+  let config = F.two_cells () in
+  let proto = scripted "b" [| P.Transmit "x"; P.Listen |] in
+  let o = Engine.run ~max_rounds:50 proto config in
+  Alcotest.(check (list int)) "sizes" [ 1; 1 ] (Runner.history_class_sizes o);
+  Alcotest.(check (list int)) "both unique" [ 0; 1 ] (Runner.unique_history_nodes o)
+
+let test_runner_election () =
+  (* Decide by "was woken spontaneously and heard a message at round 2". *)
+  let config = F.two_cells () in
+  let proto = scripted "b" [| P.Listen; P.Transmit "x"; P.Listen |] in
+  let decision h =
+    Array.length h >= 2 && H.equal_entry h.(1) (H.Message "x")
+  in
+  let r = Runner.run ~max_rounds:50 { Runner.protocol = proto; decision } config in
+  check "unique" true (Runner.elects_unique_leader r);
+  (* Node 1 wakes at 1; node 0 transmits at 2 = node 1's local round 1...
+     verify winners non-empty and consistent. *)
+  check_int "one winner" 1 (List.length r.Runner.winners);
+  match (r.Runner.leader, r.Runner.rounds_to_elect) with
+  | Some v, Some rounds ->
+      check "leader among winners" true (List.mem v r.Runner.winners);
+      check "rounds positive" true (rounds > 0)
+  | _ -> Alcotest.fail "expected a leader"
+
+let test_runner_no_leader_when_symmetric () =
+  let config = F.symmetric_pair () in
+  let proto = scripted "b" [| P.Transmit "x" |] in
+  let decision _ = true in
+  let r = Runner.run ~max_rounds:50 { Runner.protocol = proto; decision } config in
+  check "no unique leader" false (Runner.elects_unique_leader r);
+  check_int "two winners" 2 (List.length r.Runner.winners)
+
+let test_determinism () =
+  let config = F.g_family 3 in
+  let proto = scripted "b" [| P.Listen; P.Transmit "x"; P.Listen |] in
+  let o1 = Engine.run ~max_rounds:100 proto config in
+  let o2 = Engine.run ~max_rounds:100 proto config in
+  check "identical histories" true
+    (Array.for_all2 H.equal o1.Engine.histories o2.Engine.histories)
+
+let () =
+  Alcotest.run "radio_sim"
+    [
+      ( "reception",
+        [
+          Alcotest.test_case "single transmitter heard" `Quick
+            test_single_transmitter_heard;
+          Alcotest.test_case "collision noise" `Quick test_collision_noise;
+          Alcotest.test_case "transmitter hears nothing" `Quick
+            test_transmitter_hears_nothing;
+          Alcotest.test_case "silence" `Quick test_silence_when_nobody_transmits;
+        ] );
+      ( "wakeup",
+        [
+          Alcotest.test_case "forced at tag round" `Quick
+            test_forced_wakeup_at_exact_tag_round;
+          Alcotest.test_case "collision does not wake" `Quick
+            test_collision_does_not_wake;
+          Alcotest.test_case "beacon relay wave" `Quick
+            test_beacon_relay_wave;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "done rounds & history length" `Quick
+            test_done_round_and_history_length;
+          Alcotest.test_case "terminated deaf and silent" `Quick
+            test_terminated_nodes_are_deaf_and_silent;
+          Alcotest.test_case "round limit" `Quick test_round_limit;
+          Alcotest.test_case "first transmission" `Quick test_first_transmission;
+        ] );
+      ("trace", [ Alcotest.test_case "events" `Quick test_trace_events ]);
+      ( "runner",
+        [
+          Alcotest.test_case "history classes merge" `Quick test_history_classes;
+          Alcotest.test_case "history classes distinct" `Quick
+            test_history_classes_distinct;
+          Alcotest.test_case "election" `Quick test_runner_election;
+          Alcotest.test_case "no leader on symmetry" `Quick
+            test_runner_no_leader_when_symmetric;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]

@@ -1,0 +1,237 @@
+(* Tests for Wave_election (the O(D) wave-dominated class), the Audit lemma
+   battery, and the per-node energy accounting added to the engine. *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module G = Radio_graph.Graph
+module Gen = Radio_graph.Gen
+module Props = Radio_graph.Props
+module RC = Radio_config.Random_config
+module Cl = Election.Classifier
+module Wave = Election.Wave_election
+module Audit = Election.Audit
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A rooted tree with tags = depth + slack: always wave-dominated. *)
+let depth_tagged_tree g root slack =
+  let dist = Props.bfs_distances g root in
+  C.create g (Array.map (fun d -> if d = 0 then 0 else d + slack) dist)
+
+(* ------------------------------------------------------------------ *)
+(* Wave_election: applicability                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_applies_on_depth_trees () =
+  List.iter
+    (fun g ->
+      let config = depth_tagged_tree g 0 0 in
+      check "tree applies" true (Wave.applies config))
+    [ Gen.path 7; Gen.binary_tree 15; Gen.star 6; Gen.caterpillar 4 2 ]
+
+let test_applies_on_staircase_path () =
+  (* Path with tags 0,1,2,...: dist = tag, unique parents. *)
+  let n = 8 in
+  check "staircase path" true
+    (Wave.applies (C.create (Gen.path n) (Array.init n Fun.id)))
+
+let test_rejects_two_zeros () =
+  check "two zeros" false
+    (Wave.applies (C.create (Gen.path 4) [| 0; 1; 1; 0 |]))
+
+let test_rejects_alarm_beats_wave () =
+  (* Node at distance 2 with tag 1 wakes before the wave arrives. *)
+  check "early alarm" false
+    (Wave.applies (C.create (Gen.path 4) [| 0; 1; 1; 3 |]))
+
+let test_rejects_double_parent () =
+  (* A 4-cycle: the node opposite the root has two neighbours at distance
+     1 - the wavefronts collide at it. *)
+  let config = C.create (Gen.cycle 4) [| 0; 1; 2; 1 |] in
+  check "double parent" false (Wave.applies config)
+
+let test_rejects_disconnected () =
+  let g = G.of_edges 3 [ (0, 1) ] in
+  check "disconnected" false (Wave.applies (C.create g [| 0; 1; 2 |]))
+
+let test_accepts_unique_parent_mesh () =
+  (* A path with an extra chord that preserves unique parents:
+     0-1, 1-2, 2-3, plus 1-3 would give node 3 parents {2}?  dist(3) via
+     chord = 2, so neighbours of 3: 2 (dist 2) and 1 (dist 1): node 3 at
+     dist 2 has unique parent 1!  Then node 2 at dist 2 also unique parent
+     1.  Applies. *)
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (2, 3); (1, 3) ] in
+  let config = depth_tagged_tree g 0 1 in
+  check "chorded path applies" true (Wave.applies config)
+
+(* ------------------------------------------------------------------ *)
+(* Wave_election: execution                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_elects_root_on_schedule () =
+  List.iter
+    (fun (g, root) ->
+      let config = depth_tagged_tree g root 2 in
+      check "applies" true (Wave.applies config);
+      let r = Runner.run ~max_rounds:10_000 Wave.election config in
+      check "unique leader" true (Runner.elects_unique_leader r);
+      Alcotest.(check (option int)) "root wins" (Some root) r.Runner.leader;
+      Alcotest.(check (option int))
+        "on schedule"
+        (Wave.election_rounds config)
+        r.Runner.rounds_to_elect)
+    [ (Gen.path 9, 0); (Gen.binary_tree 31, 0); (Gen.star 8, 0) ]
+
+let test_schedule_is_eccentricity () =
+  let g = Gen.path 10 in
+  let config = depth_tagged_tree g 0 0 in
+  Alcotest.(check (option int)) "ecc + 2" (Some 11) (Wave.election_rounds config)
+
+let test_wave_beats_canonical () =
+  let g = Gen.binary_tree 15 in
+  let config = depth_tagged_tree g 0 3 in
+  let a = Election.Feasibility.analyze config in
+  check "classifier confirms feasibility" true a.Election.Feasibility.feasible;
+  let canonical =
+    match Election.Feasibility.verify_by_simulation ~max_rounds:1_000_000 a with
+    | Some r -> Option.get r.Runner.rounds_to_elect
+    | None -> Alcotest.fail "expected feasible"
+  in
+  let wave =
+    Option.get
+      (Runner.run ~max_rounds:10_000 Wave.election config).Runner.rounds_to_elect
+  in
+  check "wave much faster" true (wave < canonical)
+
+let test_applies_implies_feasible () =
+  (* Wave_election is a dedicated algorithm, so its class is feasible. *)
+  let st = Random.State.make [| 77 |] in
+  for _ = 1 to 25 do
+    let n = 2 + Random.State.int st 12 in
+    let g = Gen.random_tree st n in
+    let config = depth_tagged_tree g (Random.State.int st n) (Random.State.int st 3) in
+    if Wave.applies config then
+      check "feasible" true (Cl.is_feasible (Cl.classify config))
+  done
+
+let test_negative_control_outside_class () =
+  let config = F.s_family 2 in
+  let r = Runner.run ~max_rounds:10_000 Wave.election config in
+  check "no unique leader on S_2" false (Runner.elects_unique_leader r)
+
+let test_wave_energy_budget () =
+  (* Every node transmits exactly once: n transmissions total. *)
+  let g = Gen.binary_tree 15 in
+  let config = depth_tagged_tree g 0 0 in
+  let o = Engine.run ~max_rounds:10_000 Wave.election.Runner.protocol config in
+  check "one tx each" true
+    (Array.for_all (fun k -> k = 1) o.Engine.transmissions_by_node)
+
+(* ------------------------------------------------------------------ *)
+(* Audit battery                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_passes_on_families () =
+  List.iter
+    (fun config ->
+      let report = Audit.run ~max_rounds:1_000_000 config in
+      if not report.Audit.all_passed then
+        Alcotest.failf "audit failed:@.%a" (fun ppf () -> Audit.pp ppf report) ())
+    [
+      F.two_cells ();
+      F.symmetric_pair ();
+      F.h_family 3;
+      F.s_family 3;
+      F.g_family 3;
+      F.staircase_clique 6;
+      C.create (G.empty 1) [| 0 |];
+      depth_tagged_tree (Gen.binary_tree 7) 0 1;
+    ]
+
+let test_audit_passes_on_random () =
+  let st = Random.State.make [| 88 |] in
+  for _ = 1 to 15 do
+    let n = 2 + Random.State.int st 10 in
+    let span = Random.State.int st 4 in
+    let config = RC.connected_gnp st ~n ~p:0.4 ~span in
+    let report = Audit.run ~max_rounds:1_000_000 config in
+    check "random audit" true report.Audit.all_passed
+  done
+
+let test_audit_includes_class_checks () =
+  let report = Audit.run (F.staircase_clique 4) in
+  check "min-beacon check present" true
+    (List.exists (fun c -> c.Audit.name = "min-beacon-agreement") report.Audit.checks);
+  let wave_report = Audit.run (depth_tagged_tree (Gen.path 5) 0 0) in
+  check "wave check present" true
+    (List.exists
+       (fun c -> c.Audit.name = "wave-election-agreement")
+       wave_report.Audit.checks)
+
+let test_audit_pp () =
+  let s = Format.asprintf "%a" Audit.pp (Audit.run (F.h_family 1)) in
+  check "mentions PASS" true (String.length s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Energy accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_energy_sums_match_metrics () =
+  let config = F.g_family 2 in
+  let plan = Election.Canonical.plan_of_run (Cl.classify config) in
+  let o = Engine.run ~max_rounds:1_000_000 (Election.Canonical.protocol plan) config in
+  let sum = Array.fold_left ( + ) 0 o.Engine.transmissions_by_node in
+  check_int "ledger total = metric" o.Engine.metrics.Radio_sim.Metrics.transmissions sum
+
+let test_energy_canonical_is_phases () =
+  (* Each node transmits once per phase in the canonical DRIP. *)
+  let config = F.g_family 2 in
+  let plan = Election.Canonical.plan_of_run (Cl.classify config) in
+  let o = Engine.run ~max_rounds:1_000_000 (Election.Canonical.protocol plan) config in
+  let phases = Election.Canonical.num_phases plan in
+  check "phases each" true
+    (Array.for_all (fun k -> k = phases) o.Engine.transmissions_by_node)
+
+let () =
+  Alcotest.run "wave_audit"
+    [
+      ( "wave-applies",
+        [
+          Alcotest.test_case "depth trees" `Quick test_applies_on_depth_trees;
+          Alcotest.test_case "staircase path" `Quick test_applies_on_staircase_path;
+          Alcotest.test_case "two zeros" `Quick test_rejects_two_zeros;
+          Alcotest.test_case "early alarm" `Quick test_rejects_alarm_beats_wave;
+          Alcotest.test_case "double parent" `Quick test_rejects_double_parent;
+          Alcotest.test_case "disconnected" `Quick test_rejects_disconnected;
+          Alcotest.test_case "chorded mesh" `Quick test_accepts_unique_parent_mesh;
+        ] );
+      ( "wave-execution",
+        [
+          Alcotest.test_case "elects root on schedule" `Quick
+            test_elects_root_on_schedule;
+          Alcotest.test_case "schedule = ecc + 2" `Quick
+            test_schedule_is_eccentricity;
+          Alcotest.test_case "beats canonical" `Quick test_wave_beats_canonical;
+          Alcotest.test_case "applies => feasible" `Quick
+            test_applies_implies_feasible;
+          Alcotest.test_case "negative control" `Quick
+            test_negative_control_outside_class;
+          Alcotest.test_case "energy budget" `Quick test_wave_energy_budget;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "families" `Slow test_audit_passes_on_families;
+          Alcotest.test_case "random configs" `Slow test_audit_passes_on_random;
+          Alcotest.test_case "class checks" `Quick test_audit_includes_class_checks;
+          Alcotest.test_case "pp" `Quick test_audit_pp;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "ledger total" `Quick test_energy_sums_match_metrics;
+          Alcotest.test_case "canonical = phases" `Quick
+            test_energy_canonical_is_phases;
+        ] );
+    ]
