@@ -1,0 +1,28 @@
+# Single entry point for CI and local hygiene: `make check` runs the
+# build, the test battery (which includes the model-conformance checks),
+# the source lint, and the formatting check.
+
+DUNE ?= dune
+
+.PHONY: check build test lint fmt clean
+
+check: build test lint fmt
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+lint:
+	$(DUNE) exec tools/lint/radiolint.exe -- lib
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed; skipping formatting check"; \
+	fi
+
+clean:
+	$(DUNE) clean

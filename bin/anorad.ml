@@ -15,7 +15,9 @@
      fragility  - which single tag slips break feasibility
      census     - exhaustively verify the small-configuration universe
      catalog    - named example configurations
-     optimal    - exhaustive minimal symmetry-breaking-round search *)
+     optimal    - exhaustive minimal symmetry-breaking-round search
+     lint       - source-level determinism lint (radiolint rules)
+     check-trace - run the canonical DRIP and verify every model invariant *)
 
 module C = Radio_config.Config
 module CIo = Radio_config.Config_io
@@ -441,6 +443,68 @@ let repair_cmd =
     Term.(const run $ config_arg $ max_changes_arg $ max_tag_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint / check-trace                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let paths_arg =
+    let doc = "Files or directories to lint (default: lib)." in
+    Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
+  in
+  let run paths =
+    let module R = Radiolint_core.Rules in
+    match
+      List.concat_map
+        (fun root ->
+          if not (Sys.file_exists root) then begin
+            Format.eprintf "anorad lint: no such file or directory: %s@." root;
+            exit 2
+          end;
+          if Sys.is_directory root then R.lint_tree root else R.lint_file root)
+        paths
+    with
+    | [] -> 0
+    | vs ->
+        List.iter (fun v -> Format.printf "%a@." R.pp_violation v) vs;
+        Format.eprintf "%d violation%s@." (List.length vs)
+          (if List.length vs = 1 then "" else "s");
+        1
+  in
+  let doc =
+    "lint sources for determinism hazards (stray Random.*, Hashtbl \
+     iteration, physical equality, Obj.magic, missing .mli)"
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ paths_arg)
+
+let check_trace_cmd =
+  let run path max_rounds =
+    let config = load_config path in
+    let a = Fe.analyze config in
+    let proto = Can.protocol a.Fe.plan in
+    let o = Engine.run ~max_rounds ~record_trace:true proto config in
+    Format.printf "protocol: %s@." proto.Radio_drip.Protocol.name;
+    Format.printf "rounds: %d, all terminated: %b@." o.Engine.rounds
+      o.Engine.all_terminated;
+    match Radio_lint.Invariants.validate ~protocol:proto o with
+    | [] ->
+        Format.printf
+          "all model invariants hold (collision semantics, termination \
+           permanence, forced wake-ups, history consistency, anonymity, \
+           purity of instances)@.";
+        0
+    | vs ->
+        Format.printf "%a@." Radio_lint.Report.pp vs;
+        2
+  in
+  let doc =
+    "execute the configuration's canonical DRIP with a trace and verify \
+     every model invariant of Sections 2.1/2.2 against the outcome"
+  in
+  Cmd.v
+    (Cmd.info "check-trace" ~doc)
+    Term.(const run $ config_arg $ max_rounds_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "deterministic leader election in anonymous radio networks" in
@@ -463,4 +527,6 @@ let () =
             census_cmd;
             catalog_cmd;
             optimal_cmd;
+            lint_cmd;
+            check_trace_cmd;
           ]))

@@ -1,0 +1,389 @@
+module Config = Radio_config.Config
+module G = Radio_graph.Graph
+module Engine = Radio_sim.Engine
+module Metrics = Radio_sim.Metrics
+module Trace = Radio_sim.Trace
+module History = Radio_drip.History
+module Protocol = Radio_drip.Protocol
+
+let hlen (o : Engine.outcome) v = Array.length o.Engine.histories.(v)
+
+let structural (o : Engine.outcome) =
+  Report.collect @@ fun rep ->
+  let n = Config.size o.Engine.config in
+  let shape_ok =
+    Array.length o.Engine.histories = n
+    && Array.length o.Engine.wake_round = n
+    && Array.length o.Engine.forced = n
+    && Array.length o.Engine.done_local = n
+    && Array.length o.Engine.transmissions_by_node = n
+  in
+  if not shape_ok then
+    rep.Report.f ~check:"shape"
+      "per-node arrays do not all have length n = %d (histories %d, wake %d, \
+       forced %d, done %d, transmissions %d)"
+      n
+      (Array.length o.Engine.histories)
+      (Array.length o.Engine.wake_round)
+      (Array.length o.Engine.forced)
+      (Array.length o.Engine.done_local)
+      (Array.length o.Engine.transmissions_by_node)
+  else begin
+    let all_done = ref true in
+    for v = 0 to n - 1 do
+      let wake = o.Engine.wake_round.(v) in
+      let dn = o.Engine.done_local.(v) in
+      let len = hlen o v in
+      if dn < 0 then all_done := false;
+      if wake < 0 then begin
+        (* Asleep for the whole run. *)
+        if len <> 0 then
+          rep.Report.f ~node:v ~check:"history-length"
+            "sleeping node has %d history entries" len;
+        if o.Engine.forced.(v) then
+          rep.Report.f ~node:v ~check:"wakeup" "sleeping node is marked forced";
+        if dn >= 0 then
+          rep.Report.f ~node:v ~check:"termination"
+            "sleeping node is marked terminated (done_local = %d)" dn
+      end
+      else begin
+        if wake >= o.Engine.rounds then
+          rep.Report.f ~node:v ~check:"wakeup"
+            "wake round %d but only %d rounds were simulated" wake
+            o.Engine.rounds;
+        (* History length = done_local for terminated nodes (engine.mli):
+           the wake-up entry plus one entry per completed local round, the
+           terminate decision consuming none. *)
+        if dn >= 0 then begin
+          if dn < 1 then
+            rep.Report.f ~node:v ~check:"termination"
+              "done_local = %d < 1: termination cannot precede the first \
+               decision round"
+              dn;
+          if len <> dn then
+            rep.Report.f ~node:v ~check:"history-length"
+              "terminated node: history has %d entries, done_local = %d" len
+              dn;
+          if wake + dn > o.Engine.rounds then
+            rep.Report.f ~node:v ~check:"termination"
+              "terminates at global round %d beyond the %d simulated rounds"
+              (wake + dn) o.Engine.rounds
+        end
+        else if len <> o.Engine.rounds - wake then
+          rep.Report.f ~node:v ~check:"history-length"
+            "running node: history has %d entries, expected rounds - wake = \
+             %d"
+            len
+            (o.Engine.rounds - wake);
+        if len > 0 then begin
+          let tag = Config.tag o.Engine.config v in
+          (match o.Engine.histories.(v).(0) with
+          | History.Collision ->
+              rep.Report.f ~node:v ~round:wake ~check:"wakeup"
+                "Collision at history index 0: collisions do not wake \
+                 sleeping nodes"
+          | History.Message _ ->
+              if not o.Engine.forced.(v) then
+                rep.Report.f ~node:v ~round:wake ~check:"wakeup"
+                  "history starts with a message but the wake-up is marked \
+                   spontaneous"
+          | History.Silence ->
+              if o.Engine.forced.(v) then
+                rep.Report.f ~node:v ~round:wake ~check:"wakeup"
+                  "history starts with Silence but the wake-up is marked \
+                   forced");
+          if o.Engine.forced.(v) then begin
+            if wake > tag then
+              rep.Report.f ~node:v ~round:wake ~check:"wakeup"
+                "forced wake-up at round %d after the spontaneous tag %d"
+                wake tag
+          end
+          else if wake <> tag then
+            rep.Report.f ~node:v ~round:wake ~check:"wakeup"
+              "spontaneous wake-up at round %d instead of the tag %d" wake
+              tag
+        end
+      end
+    done;
+      if o.Engine.all_terminated <> !all_done then
+        rep.Report.f ~check:"termination"
+          "all_terminated = %b but done_local says %b" o.Engine.all_terminated
+          !all_done;
+      (* Ledgers. *)
+      let m = o.Engine.metrics in
+      let tx_sum = Array.fold_left ( + ) 0 o.Engine.transmissions_by_node in
+      if tx_sum <> m.Metrics.transmissions then
+        rep.Report.f ~check:"ledger"
+          "per-node transmission ledger sums to %d, metric says %d" tx_sum
+          m.Metrics.transmissions;
+      if m.Metrics.rounds <> o.Engine.rounds then
+        rep.Report.f ~check:"ledger" "metrics.rounds = %d, outcome.rounds = %d"
+          m.Metrics.rounds o.Engine.rounds;
+      let forced_count = ref 0 and spont_count = ref 0 in
+      let deliveries = ref 0 and collisions = ref 0 in
+      for v = 0 to n - 1 do
+        if o.Engine.wake_round.(v) >= 0 then
+          if o.Engine.forced.(v) then incr forced_count else incr spont_count;
+        let h = o.Engine.histories.(v) in
+        for i = 1 to Array.length h - 1 do
+          match h.(i) with
+          | History.Message _ -> incr deliveries
+          | History.Collision -> incr collisions
+          | History.Silence -> ()
+        done
+      done;
+      if !forced_count <> m.Metrics.forced_wakeups then
+        rep.Report.f ~check:"ledger" "forced wake-ups: histories say %d, metric %d"
+          !forced_count m.Metrics.forced_wakeups;
+      if !spont_count <> m.Metrics.spontaneous_wakeups then
+        rep.Report.f ~check:"ledger"
+          "spontaneous wake-ups: histories say %d, metric %d" !spont_count
+          m.Metrics.spontaneous_wakeups;
+      if !deliveries <> m.Metrics.deliveries then
+        rep.Report.f ~check:"ledger" "deliveries: histories say %d, metric %d"
+          !deliveries m.Metrics.deliveries;
+      if !collisions <> m.Metrics.collisions_heard then
+        rep.Report.f ~check:"ledger" "collisions heard: histories say %d, metric %d"
+          !collisions m.Metrics.collisions_heard;
+      (* first_transmission consistency without a trace. *)
+      match o.Engine.first_transmission with
+      | None ->
+          if tx_sum <> 0 then
+            rep.Report.f ~check:"ledger"
+              "first_transmission = None but %d transmissions were counted"
+              tx_sum
+      | Some (fr, vs) ->
+          if fr < 0 || fr >= o.Engine.rounds then
+            rep.Report.f ~round:fr ~check:"ledger"
+              "first_transmission round outside the simulated range";
+          if vs = [] then
+            rep.Report.f ~round:fr ~check:"ledger"
+              "first_transmission has an empty transmitter list";
+          if List.sort compare vs <> vs then
+            rep.Report.f ~round:fr ~check:"ledger"
+              "first_transmission node list is not sorted";
+          List.iter
+            (fun v ->
+              if v < 0 || v >= n || o.Engine.transmissions_by_node.(v) = 0
+              then
+                rep.Report.f ~node:v ~round:fr ~check:"ledger"
+                  "first_transmission names a node with no counted \
+                   transmissions")
+            vs
+  end
+
+let trace_conformance (o : Engine.outcome) =
+  if o.Engine.trace = [] then []
+  else
+    Report.collect @@ fun rep ->
+    let g = Config.graph o.Engine.config in
+    let n = Config.size o.Engine.config in
+    let tx = Purity.tx_by_round o in
+    let transmitted_at r v =
+      r >= 0 && r < Array.length tx && List.mem_assoc v tx.(r)
+    in
+    (* Every traced transmission comes from an awake, running node. *)
+    Array.iteri
+      (fun r txs ->
+        List.iter
+          (fun (v, _m) ->
+            if v < 0 || v >= n then
+              rep.Report.f ~node:v ~round:r ~check:"trace"
+                "transmission by an out-of-range node"
+            else begin
+              let wake = o.Engine.wake_round.(v) in
+              let dn = o.Engine.done_local.(v) in
+              if wake < 0 || wake >= r then
+                rep.Report.f ~node:v ~round:r ~check:"trace"
+                  "transmission by a node not yet awake (wake round %d)" wake
+              else if dn >= 0 && r - wake >= dn then
+                rep.Report.f ~node:v ~round:r ~check:"termination-permanence"
+                  "transmission at local round %d but the node terminated at \
+                   local round %d — terminated nodes are permanently silent"
+                  (r - wake) dn
+            end)
+          txs)
+      tx;
+    (* Collision semantics: recompute every reception from the transmitter
+       sets and compare with the recorded history entries. *)
+    for v = 0 to n - 1 do
+      let wake = o.Engine.wake_round.(v) in
+      if wake >= 0 then begin
+        let h = o.Engine.histories.(v) in
+        for i = 1 to Array.length h - 1 do
+          let r = wake + i in
+          let expected =
+            if transmitted_at r v then History.Silence
+            else begin
+              let count = ref 0 and heard = ref History.Silence in
+              G.iter_neighbours g v ~f:(fun w ->
+                  if r < Array.length tx then
+                    match List.assoc_opt w tx.(r) with
+                    | Some m ->
+                        incr count;
+                        heard := History.Message m
+                    | None -> ());
+              match !count with
+              | 0 -> History.Silence
+              | 1 -> !heard
+              | _ -> History.Collision
+            end
+          in
+          if not (History.equal_entry h.(i) expected) then
+            rep.Report.f ~node:v ~round:r ~check:"collision-semantics"
+              "recorded entry %s but the transmitter set implies %s"
+              (Format.asprintf "%a" History.pp_entry h.(i))
+              (Format.asprintf "%a" History.pp_entry expected)
+        done
+      end
+    done;
+    (* Wake-up events: kind, round and uniqueness of the waking
+       transmitter. *)
+    let lone_neighbour_tx r v =
+      let count = ref 0 and msg = ref "" in
+      G.iter_neighbours g v ~f:(fun w ->
+          if r < Array.length tx then
+            match List.assoc_opt w tx.(r) with
+            | Some m ->
+                incr count;
+                msg := m
+            | None -> ());
+      if !count = 1 then Some !msg else None
+    in
+    let neighbour_tx_count r v =
+      let count = ref 0 in
+      G.iter_neighbours g v ~f:(fun w ->
+          if r < Array.length tx then
+            if List.mem_assoc w tx.(r) then incr count);
+      !count
+    in
+    List.iter
+      (fun (ev : Trace.round_events) ->
+        let r = ev.Trace.round in
+        List.iter
+          (fun (v, kind) ->
+            if o.Engine.wake_round.(v) <> r then
+              rep.Report.f ~node:v ~round:r ~check:"wakeup"
+                "trace wakes the node here but wake_round = %d"
+                o.Engine.wake_round.(v);
+            match kind with
+            | Trace.Forced m -> (
+                if not o.Engine.forced.(v) then
+                  rep.Report.f ~node:v ~round:r ~check:"wakeup"
+                    "trace says forced, outcome says spontaneous";
+                match lone_neighbour_tx r v with
+                | Some m' when m' = m -> ()
+                | Some m' ->
+                    rep.Report.f ~node:v ~round:r ~check:"forced-uniqueness"
+                      "woken by %S but the lone transmitting neighbour sent \
+                       %S"
+                      m m'
+                | None ->
+                    rep.Report.f ~node:v ~round:r ~check:"forced-uniqueness"
+                      "forced wake-up without exactly one transmitting \
+                       neighbour (%d transmit)"
+                      (neighbour_tx_count r v))
+            | Trace.Spontaneous ->
+                if o.Engine.forced.(v) then
+                  rep.Report.f ~node:v ~round:r ~check:"wakeup"
+                    "trace says spontaneous, outcome says forced";
+                if Config.tag o.Engine.config v <> r then
+                  rep.Report.f ~node:v ~round:r ~check:"wakeup"
+                    "spontaneous wake-up away from the tag %d"
+                    (Config.tag o.Engine.config v);
+                if neighbour_tx_count r v = 1 then
+                  rep.Report.f ~node:v ~round:r ~check:"forced-uniqueness"
+                    "exactly one neighbour transmits, so this wake-up should \
+                     have been forced")
+          ev.Trace.woken;
+        List.iter
+          (fun v ->
+            let expected = r - o.Engine.wake_round.(v) in
+            if o.Engine.done_local.(v) <> expected then
+              rep.Report.f ~node:v ~round:r ~check:"termination"
+                "trace terminates the node here (local round %d) but \
+                 done_local = %d"
+                expected o.Engine.done_local.(v))
+          ev.Trace.terminated)
+      o.Engine.trace;
+    (* Missed wake-ups: a sleeping node with exactly one transmitting
+       neighbour must wake (forced), and a sleeping node must not sleep
+       through its tag. *)
+    for v = 0 to n - 1 do
+      let wake = o.Engine.wake_round.(v) in
+      let asleep_through r = wake < 0 || wake > r in
+      for r = 0 to o.Engine.rounds - 1 do
+        if asleep_through r then begin
+          if neighbour_tx_count r v = 1 then
+            rep.Report.f ~node:v ~round:r ~check:"forced-uniqueness"
+              "sleeping node has exactly one transmitting neighbour but was \
+               not woken";
+          if Config.tag o.Engine.config v = r then
+            rep.Report.f ~node:v ~round:r ~check:"wakeup"
+              "node slept through its spontaneous wake-up tag"
+        end
+      done
+    done;
+    (* first_transmission against the trace. *)
+    let earliest = ref None in
+    Array.iteri
+      (fun r txs ->
+        if txs <> [] && !earliest = None then
+          earliest := Some (r, List.sort compare (List.map fst txs)))
+      tx;
+    if o.Engine.first_transmission <> !earliest then
+      rep.Report.f ~check:"trace"
+        "first_transmission disagrees with the earliest traced transmission"
+
+let anonymity (o : Engine.outcome) =
+  if o.Engine.trace = [] then []
+  else
+    Report.collect @@ fun rep ->
+    let n = Array.length o.Engine.histories in
+    let tx = Purity.tx_by_round o in
+    let action v i = Purity.recorded_action o tx v i in
+    for v = 0 to n - 1 do
+      for w = v + 1 to n - 1 do
+        let hv = o.Engine.histories.(v) and hw = o.Engine.histories.(w) in
+        let lcp = ref 0 in
+        let m = min (Array.length hv) (Array.length hw) in
+        while !lcp < m && History.equal_entry hv.(!lcp) hw.(!lcp) do
+          incr lcp
+        done;
+        (* Identical prefixes of length i >= 1 force identical actions at
+           local round i (Section 2.2). *)
+        let last =
+          min
+            (min (Purity.last_decision_round o v)
+               (Purity.last_decision_round o w))
+            !lcp
+        in
+        let i = ref 1 in
+        let broken = ref false in
+        while (not !broken) && !i <= last do
+          let av = action v !i and aw = action w !i in
+          if av <> aw then begin
+            broken := true;
+            rep.Report.f ~node:v ~check:"anonymity"
+              "nodes %d and %d share the history prefix %s but act \
+               differently at local round %d (%a vs %a)"
+              v w
+              (History.to_string (Array.sub hv 0 !i))
+              !i Purity.pp_action av Purity.pp_action aw
+          end;
+          incr i
+        done
+      done
+    done
+
+let validate ?protocol (o : Engine.outcome) =
+  structural o @ trace_conformance o @ anonymity o
+  @
+  match protocol with
+  | None -> []
+  | Some p -> Purity.replay p o @ Purity.rerun p o
+
+let validate_exn ?protocol o =
+  match validate ?protocol o with
+  | [] -> ()
+  | vs -> failwith (Report.to_string vs)

@@ -1,0 +1,55 @@
+(** Model-conformance checker for engine outcomes.
+
+    Verifies that an {!Radio_sim.Engine.outcome} satisfies every invariant
+    promised by [lib/sim/engine.mli] — the Miller–Pelc–Yadav model of
+    Sections 2.1/2.2:
+
+    - {b shape}: all per-node arrays have length [n]; [all_terminated]
+      agrees with [done_local]; terminated nodes satisfy
+      [wake + done <= rounds];
+    - {b history length}: a terminated node's history has exactly
+      [done_local] entries (the terminate decision consumes none); a node
+      still running at the cutoff has [rounds - wake_round] entries; a
+      sleeping node has none;
+    - {b wake-up semantics}: [forced] nodes start with [Message _] and woke
+      no later than their tag; spontaneous nodes start with [Silence] and
+      woke exactly at their tag; [Collision] never appears at index 0;
+    - {b energy/metric ledgers}: [transmissions_by_node] sums to the
+      transmission metric; wake-up and reception counters agree with the
+      histories;
+    - {b collision semantics} (traced outcomes only): replaying the trace's
+      transmitter sets through the graph must reproduce every recorded
+      history entry — exactly one transmitting neighbour yields its message,
+      two or more yield [Collision], transmitters hear [Silence];
+    - {b termination permanence} (traced): no node transmits at or after its
+      termination round;
+    - {b forced wake-up uniqueness} (traced): a sleeping node wakes iff
+      exactly one neighbour transmits (else it stays asleep until its tag);
+    - {b anonymity} (traced): nodes with identical history prefixes take
+      identical actions — the defining property of a DRIP.
+
+    Passing [?protocol] additionally replays each recorded history into a
+    fresh [spawn] and re-executes the whole configuration ({!Purity}),
+    which catches shared mutable state between instances and internal
+    nondeterminism.  Only pass deterministic protocols. *)
+
+val structural : Radio_sim.Engine.outcome -> Report.t
+(** The trace-independent checks. *)
+
+val trace_conformance : Radio_sim.Engine.outcome -> Report.t
+(** Collision semantics, termination permanence and forced-wake-up
+    uniqueness.  Empty when the outcome carries no trace. *)
+
+val anonymity : Radio_sim.Engine.outcome -> Report.t
+(** The cross-node DRIP law: identical history prefixes imply identical
+    actions.  Empty when the outcome carries no trace. *)
+
+val validate :
+  ?protocol:Radio_drip.Protocol.t -> Radio_sim.Engine.outcome -> Report.t
+(** All of the above, plus {!Purity.replay} and {!Purity.rerun} when
+    [protocol] is given. *)
+
+val validate_exn :
+  ?protocol:Radio_drip.Protocol.t -> Radio_sim.Engine.outcome -> unit
+(** Raises [Failure] with a rendered report when {!validate} finds
+    violations. *)

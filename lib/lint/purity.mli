@@ -1,0 +1,51 @@
+(** Anonymity/purity checks on protocol instances (Miller–Pelc–Yadav,
+    Section 2.2).
+
+    A deterministic DRIP is a function of the local history alone, and
+    [Protocol.t] forbids deterministic instances from sharing mutable state
+    across [spawn]s.  These checks catch violations {e dynamically}: the
+    recorded history of every node is replayed into a {e fresh} instance and
+    the fresh decisions must coincide bit-for-bit with what the original
+    instance did during the run.  Any hidden cross-instance state mutated by
+    the recorded run makes the replay diverge. *)
+
+val tx_by_round : Radio_sim.Engine.outcome -> (int * string) list array
+(** [(node, message)] transmitters per global round, rebuilt from the
+    outcome's trace.  Index = global round; length = [outcome.rounds].
+    All-empty when the outcome was produced without [~record_trace:true]. *)
+
+val last_decision_round : Radio_sim.Engine.outcome -> int -> int
+(** Last local round at which node [v]'s instance was asked to decide:
+    [done_local v] for terminated nodes, [history length - 1] for nodes
+    still running at the cutoff, [0] for nodes that never woke (no decision
+    was ever taken). *)
+
+val recorded_action :
+  Radio_sim.Engine.outcome ->
+  (int * string) list array ->
+  int ->
+  int ->
+  Radio_drip.Protocol.action
+(** [recorded_action o tx v i] is the action node [v] took at local round
+    [i] during the recorded run, reconstructed from the trace-derived
+    transmitter map [tx] (see {!tx_by_round}) and [done_local].  Only
+    meaningful for traced outcomes. *)
+
+val pp_action : Format.formatter -> Radio_drip.Protocol.action -> unit
+
+val replay : Radio_drip.Protocol.t -> Radio_sim.Engine.outcome -> Report.t
+(** Replays every node's recorded history into a fresh
+    [Protocol.spawn ()] and compares the fresh decisions with the recorded
+    run: termination must occur exactly at [done_local], and — when the
+    outcome carries a trace — transmissions must reproduce the recorded
+    rounds and messages exactly.  Without a trace the check degrades
+    gracefully (a replayed [Transmit] is only required to be consistent
+    with the node's own history).  Only meaningful for deterministic
+    protocols; randomized baselines will legitimately diverge. *)
+
+val rerun : Radio_drip.Protocol.t -> Radio_sim.Engine.outcome -> Report.t
+(** Executes the protocol from scratch on [outcome.config] and requires the
+    resulting histories, wake-up rounds, wake-up kinds and termination
+    rounds to be identical — the engine is deterministic, so any difference
+    is nondeterminism inside the protocol (e.g. a stray [Random.*] or
+    iteration over a [Hashtbl]). *)

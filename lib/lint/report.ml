@@ -1,0 +1,51 @@
+type violation = {
+  check : string;
+  node : int option;
+  round : int option;
+  detail : string;
+}
+
+type t = violation list
+
+let v ?node ?round ~check detail = { check; node; round; detail }
+
+let ok = function [] -> true | _ :: _ -> false
+
+type reporter = {
+  f :
+    'a.
+    ?node:int ->
+    ?round:int ->
+    check:string ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a;
+}
+
+let collect body =
+  let violations = ref [] in
+  let file ?node ?round ~check fmt =
+    Format.kasprintf
+      (fun detail -> violations := v ?node ?round ~check detail :: !violations)
+      fmt
+  in
+  body { f = file };
+  List.rev !violations
+
+let pp_violation ppf { check; node; round; detail } =
+  Format.fprintf ppf "[%s]" check;
+  (match node with
+  | Some n -> Format.fprintf ppf " node %d" n
+  | None -> ());
+  (match round with
+  | Some r -> Format.fprintf ppf " round %d" r
+  | None -> ());
+  Format.fprintf ppf ": %s" detail
+
+let pp ppf = function
+  | [] -> Format.fprintf ppf "no violations"
+  | vs ->
+      Format.fprintf ppf "%d violation%s:" (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      List.iter (fun x -> Format.fprintf ppf "@.  %a" pp_violation x) vs
+
+let to_string r = Format.asprintf "%a" pp r

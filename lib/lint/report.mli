@@ -1,0 +1,42 @@
+(** Diagnostics produced by the model-conformance checkers.
+
+    A violation pins one broken invariant to the node and global round it was
+    observed at (when meaningful).  An empty report means the outcome is
+    consistent with the Miller–Pelc–Yadav model as specified in
+    [lib/sim/engine.mli] and [lib/drip/protocol.mli]. *)
+
+type violation = {
+  check : string;  (** stable machine-readable check identifier *)
+  node : int option;
+  round : int option;  (** global round, when the violation is localized *)
+  detail : string;  (** human-readable explanation *)
+}
+
+type t = violation list
+
+val v : ?node:int -> ?round:int -> check:string -> string -> violation
+
+val ok : t -> bool
+(** [ok r] is [true] iff [r] is empty. *)
+
+type reporter = {
+  f :
+    'a.
+    ?node:int ->
+    ?round:int ->
+    check:string ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a;
+}
+(** Accumulating reporter handed to checker bodies; the polymorphic field
+    lets one reporter serve format strings of any arity. *)
+
+val collect : (reporter -> unit) -> t
+(** [collect body] runs [body] with a fresh reporter and returns the
+    violations it filed, in filing order. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -59,6 +59,8 @@ let history_class_sizes outcome =
     (fun c ->
       Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
     classes;
+  (* radiolint: allow hashtbl-iteration — the fold's result is sorted, so
+     iteration order cannot leak *)
   List.sort compare (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [])
 
 let unique_history_nodes outcome =

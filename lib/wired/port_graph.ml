@@ -36,6 +36,8 @@ let shuffled st graph =
   let shuffle l =
     let a = Array.of_list l in
     for i = Array.length a - 1 downto 1 do
+      (* radiolint: allow random — caller-seeded Random.State for test-only
+         port shufflings; deterministic given [st] *)
       let j = Random.State.int st (i + 1) in
       let t = a.(i) in
       a.(i) <- a.(j);

@@ -1,0 +1,343 @@
+(* Tests for the two-layer analysis subsystem:
+
+   - Radiolint_core.Rules: the source-level determinism lint (comment/string
+     awareness, allow-list annotations, per-rule positives and negatives);
+   - Radio_lint.{Invariants,Purity}: the model-conformance checker, fed both
+     clean executions (must accept) and deliberately broken protocols or
+     corrupted outcomes (must flag). *)
+
+module Rules = Radiolint_core.Rules
+module G = Radio_graph.Graph
+module C = Radio_config.Config
+module H = Radio_drip.History
+module P = Radio_drip.Protocol
+module Engine = Radio_sim.Engine
+module Report = Radio_lint.Report
+module Invariants = Radio_lint.Invariants
+module Purity = Radio_lint.Purity
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: source rules                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rules_of vs = List.map (fun v -> v.Rules.rule) vs
+
+let flags rule ~path source =
+  List.mem rule (rules_of (Rules.lint_source ~path source))
+
+let check_flags rule ~path source () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires in %s" rule path)
+    true (flags rule ~path source)
+
+let check_clean rule ~path source () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s silent in %s" rule path)
+    false (flags rule ~path source)
+
+let random_tests =
+  [
+    Alcotest.test_case "Random.* flagged in lib/core" `Quick
+      (check_flags "random" ~path:"lib/core/foo.ml"
+         "let x = Random.int 10\n");
+    Alcotest.test_case "Stdlib.Random flagged too" `Quick
+      (check_flags "random" ~path:"lib/sim/foo.ml"
+         "let x = Stdlib.Random.bits ()\n");
+    Alcotest.test_case "allowed in lib/baselines" `Quick
+      (check_clean "random" ~path:"lib/baselines/foo.ml"
+         "let x = Random.int 10\n");
+    Alcotest.test_case "allowed in lib/graph/gen.ml" `Quick
+      (check_clean "random" ~path:"lib/graph/gen.ml"
+         "let x = Random.int 10\n");
+    Alcotest.test_case "allowed in lib/config/random_config.ml" `Quick
+      (check_clean "random" ~path:"lib/config/random_config.ml"
+         "let x = Random.int 10\n");
+    Alcotest.test_case "identifier prefix does not fire" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "let y = MyRandom.int 10\n");
+    Alcotest.test_case "comment mention does not fire" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "(* uses Random.int internally *)\nlet x = 1\n");
+    Alcotest.test_case "string mention does not fire" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "let s = \"Random.int\"\n");
+    Alcotest.test_case "same-line allow suppresses" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "let x = Random.int 10 (* radiolint: allow random — seeded *)\n");
+    Alcotest.test_case "preceding-line allow suppresses" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow random — seeded by caller *)\n\
+          let x = Random.int 10\n");
+    Alcotest.test_case "multi-line allow comment suppresses" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow random — a justification that wraps\n\
+         \   across two comment lines *)\n\
+          let x = Random.int 10\n");
+    Alcotest.test_case "allow for another rule does not suppress" `Quick
+      (check_flags "random" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow obj-magic *)\nlet x = Random.int 10\n");
+  ]
+
+let obj_magic_tests =
+  [
+    Alcotest.test_case "Obj.magic flagged" `Quick
+      (check_flags "obj-magic" ~path:"lib/analysis/foo.ml"
+         "let cast = Obj.magic x\n");
+    Alcotest.test_case "comment mention clean" `Quick
+      (check_clean "obj-magic" ~path:"lib/analysis/foo.ml"
+         "(* never use Obj.magic *)\nlet x = 1\n");
+  ]
+
+let physical_eq_tests =
+  [
+    Alcotest.test_case "== flagged" `Quick
+      (check_flags "physical-equality" ~path:"lib/core/foo.ml"
+         "let b = a == b\n");
+    Alcotest.test_case "!= flagged" `Quick
+      (check_flags "physical-equality" ~path:"lib/core/foo.ml"
+         "let b = a != b\n");
+    Alcotest.test_case "structural = clean" `Quick
+      (check_clean "physical-equality" ~path:"lib/core/foo.ml"
+         "let b = a = b && c <> d && x <= y && x >= y\n");
+    Alcotest.test_case "string literal clean" `Quick
+      (check_clean "physical-equality" ~path:"lib/core/foo.ml"
+         "let s = \"a == b\"\n");
+    Alcotest.test_case "allow suppresses" `Quick
+      (check_clean "physical-equality" ~path:"lib/core/foo.ml"
+         "let b = a == b (* radiolint: allow physical-equality *)\n");
+  ]
+
+let hashtbl_tests =
+  [
+    Alcotest.test_case "Hashtbl.iter flagged in lib/sim" `Quick
+      (check_flags "hashtbl-iteration" ~path:"lib/sim/foo.ml"
+         "let () = Hashtbl.iter f tbl\n");
+    Alcotest.test_case "Hashtbl.fold flagged in lib/drip" `Quick
+      (check_flags "hashtbl-iteration" ~path:"lib/drip/foo.ml"
+         "let x = Hashtbl.fold f tbl []\n");
+    Alcotest.test_case "Hashtbl.replace clean" `Quick
+      (check_clean "hashtbl-iteration" ~path:"lib/core/foo.ml"
+         "let () = Hashtbl.replace tbl k v\n");
+    Alcotest.test_case "iteration outside hot paths clean" `Quick
+      (check_clean "hashtbl-iteration" ~path:"lib/analysis/foo.ml"
+         "let () = Hashtbl.iter f tbl\n");
+    Alcotest.test_case "allow suppresses" `Quick
+      (check_clean "hashtbl-iteration" ~path:"lib/sim/foo.ml"
+         "(* radiolint: allow hashtbl-iteration — result sorted *)\n\
+          let x = List.sort compare (Hashtbl.fold f tbl [])\n");
+  ]
+
+let with_temp_tree f =
+  let dir = Filename.temp_file "radiolint" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let lib = Filename.concat dir "lib" in
+  Unix.mkdir lib 0o755;
+  let core = Filename.concat lib "core" in
+  Unix.mkdir core 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      rm dir)
+    (fun () -> f ~dir ~core)
+
+let write path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let missing_mli_tests =
+  [
+    Alcotest.test_case "ml without mli flagged" `Quick (fun () ->
+        with_temp_tree (fun ~dir ~core ->
+            write (Filename.concat core "a.ml") "let x = 1\n";
+            let vs = Rules.lint_tree dir in
+            Alcotest.(check bool) "missing-mli fires" true
+              (List.mem "missing-mli" (rules_of vs))));
+    Alcotest.test_case "ml with mli clean" `Quick (fun () ->
+        with_temp_tree (fun ~dir ~core ->
+            write (Filename.concat core "a.ml") "let x = 1\n";
+            write (Filename.concat core "a.mli") "val x : int\n";
+            let vs = Rules.lint_tree dir in
+            Alcotest.(check (list string)) "clean" [] (rules_of vs)));
+    Alcotest.test_case "seeded tree trips every rule" `Quick (fun () ->
+        with_temp_tree (fun ~dir ~core ->
+            write
+              (Filename.concat core "bad.ml")
+              "let a = Random.int 2\n\
+               let b = Obj.magic a\n\
+               let c = a == b\n\
+               let d = Hashtbl.iter (fun _ _ -> ()) tbl\n";
+            let vs = Rules.lint_tree dir in
+            let fired = List.sort_uniq compare (rules_of vs) in
+            Alcotest.(check (list string))
+              "all five rules fire"
+              (List.sort compare Rules.rule_names)
+              fired));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: model-conformance checker                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A 4-cycle with staggered tags: feasible, collision-free beacon probes. *)
+let cycle4 = C.create (G.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ])
+    [| 0; 1; 2; 3 |]
+
+(* Two nodes joined by an edge, waking together: simultaneous transmissions
+   and a clean double-transmitter round. *)
+let pair = C.create (G.of_edges 2 [ (0, 1) ]) [| 0; 0 |]
+
+let run ?(config = cycle4) proto =
+  Engine.run ~max_rounds:1_000 ~record_trace:true proto config
+
+let check_ok name report =
+  Alcotest.(check string) name "no violations" (Report.to_string report)
+
+let has_check name vs =
+  List.exists (fun v -> v.Report.check = name) vs
+
+let clean_tests =
+  [
+    Alcotest.test_case "beacon outcome validates" `Quick (fun () ->
+        let proto = P.beacon () in
+        check_ok "beacon" (Invariants.validate ~protocol:proto (run proto)));
+    Alcotest.test_case "silent outcome validates" `Quick (fun () ->
+        let proto = P.silent ~lifetime:3 () in
+        check_ok "silent" (Invariants.validate ~protocol:proto (run proto)));
+    Alcotest.test_case "colliding pair validates" `Quick (fun () ->
+        let proto = P.beacon ~delay:1 () in
+        check_ok "pair"
+          (Invariants.validate ~protocol:proto (run ~config:pair proto)));
+    Alcotest.test_case "cut-off run validates" `Quick (fun () ->
+        let proto = P.silent ~lifetime:100 () in
+        let o = Engine.run ~max_rounds:10 ~record_trace:true proto cycle4 in
+        Alcotest.(check bool) "not terminated" false o.Engine.all_terminated;
+        check_ok "cutoff" (Invariants.validate ~protocol:proto o));
+  ]
+
+(* A deterministic-looking protocol whose instances share a spawn counter:
+   exactly the shared mutable state protocol.mli forbids.  Every node
+   transmits its spawn index, so nodes with identical histories act
+   differently and a fresh replay diverges. *)
+let shared_state_protocol () =
+  let spawned = ref 0 in
+  {
+    P.name = "shared-spawn-counter";
+    spawn =
+      (fun () ->
+        incr spawned;
+        let me = string_of_int !spawned in
+        let rounds = ref 0 in
+        {
+          P.on_wakeup = (fun _ -> ());
+          decide =
+            (fun () ->
+              if !rounds = 0 then P.Transmit me else P.Terminate);
+          observe = (fun _ -> incr rounds);
+        });
+  }
+
+(* A protocol whose behaviour flips between whole runs: nondeterminism that
+   only the rerun check can see. *)
+let run_flipping_protocol () =
+  let first_run = ref true in
+  {
+    P.name = "run-flipper";
+    spawn =
+      (fun () ->
+        let transmit = !first_run in
+        let rounds = ref 0 in
+        {
+          P.on_wakeup = (fun _ -> first_run := false);
+          decide =
+            (fun () ->
+              if !rounds = 0 && transmit then P.Transmit "x"
+              else if !rounds >= 1 then P.Terminate
+              else P.Listen);
+          observe = (fun _ -> incr rounds);
+        });
+  }
+
+let broken_protocol_tests =
+  [
+    Alcotest.test_case "shared spawn state is flagged" `Quick (fun () ->
+        let proto = shared_state_protocol () in
+        let o = run ~config:pair proto in
+        let vs = Invariants.validate ~protocol:proto o in
+        Alcotest.(check bool) "replay diverges" true
+          (has_check "purity.replay" vs);
+        Alcotest.(check bool) "anonymity broken" true
+          (has_check "anonymity" vs));
+    Alcotest.test_case "cross-run nondeterminism is flagged" `Quick (fun () ->
+        let proto = run_flipping_protocol () in
+        let o = run proto in
+        let vs = Purity.rerun proto o in
+        Alcotest.(check bool) "rerun diverges" true
+          (has_check "purity.rerun" vs));
+  ]
+
+let corrupted_outcome_tests =
+  [
+    Alcotest.test_case "post-terminate transmission is flagged" `Quick
+      (fun () ->
+        (* The engine can never produce this (it stops consulting an
+           instance after Terminate), so corrupt a real outcome: pretend
+           node 0 terminated before its recorded transmission. *)
+        let o = run (P.beacon ()) in
+        o.Engine.done_local.(0) <- 1;
+        let vs = Invariants.validate o in
+        Alcotest.(check bool) "termination permanence" true
+          (has_check "termination-permanence" vs));
+    Alcotest.test_case "corrupted reception entry is flagged" `Quick
+      (fun () ->
+        let o = run (P.beacon ()) in
+        (* Node 1 is woken by node 0's lone beacon; forge a collision. *)
+        o.Engine.histories.(1).(1) <- H.Collision;
+        let vs = Invariants.validate o in
+        Alcotest.(check bool) "collision semantics" true
+          (has_check "collision-semantics" vs));
+    Alcotest.test_case "corrupted wake-up kind is flagged" `Quick (fun () ->
+        let o = run (P.beacon ()) in
+        let v =
+          match Array.to_list o.Engine.forced |> List.mapi (fun i f -> (i, f))
+                |> List.find_opt (fun (_, f) -> f)
+          with
+          | Some (v, _) -> v
+          | None -> Alcotest.fail "expected a forced wake-up"
+        in
+        o.Engine.forced.(v) <- false;
+        let vs = Invariants.validate o in
+        Alcotest.(check bool) "wakeup kind" true (has_check "wakeup" vs));
+    Alcotest.test_case "truncated history is flagged" `Quick (fun () ->
+        let o = run (P.silent ~lifetime:2 ()) in
+        o.Engine.done_local.(2) <- o.Engine.done_local.(2) + 1;
+        let vs = Invariants.validate o in
+        Alcotest.(check bool) "history length" true
+          (has_check "history-length" vs));
+    Alcotest.test_case "corrupted all_terminated is flagged" `Quick (fun () ->
+        let o = run (P.beacon ()) in
+        o.Engine.done_local.(3) <- -1;
+        let vs = Invariants.validate o in
+        Alcotest.(check bool) "termination consistency" true
+          (has_check "termination" vs));
+  ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ("rule-random", random_tests);
+      ("rule-obj-magic", obj_magic_tests);
+      ("rule-physical-equality", physical_eq_tests);
+      ("rule-hashtbl-iteration", hashtbl_tests);
+      ("rule-missing-mli", missing_mli_tests);
+      ("invariants-clean", clean_tests);
+      ("invariants-broken-protocols", broken_protocol_tests);
+      ("invariants-corrupted-outcomes", corrupted_outcome_tests);
+    ]

@@ -35,6 +35,22 @@ let build (kind, n, span, seed) =
   if kind then RC.connected_gnp st ~n ~p:0.35 ~span
   else RC.random_tree st ~n ~span
 
+(* Every engine outcome this suite produces is additionally vetted by the
+   model-conformance checker (lib/lint): beyond the property under test,
+   the run itself must satisfy every invariant of engine.mli — history
+   lengths, wake-up and collision semantics, ledgers, the anonymity law —
+   and the protocol must replay purely into fresh instances. *)
+let assert_valid ?protocol o =
+  match Radio_lint.Invariants.validate ?protocol o with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "model invariants violated:@.%a" Radio_lint.Report.pp vs
+
+let checked_run ?max_rounds ?record_trace proto config =
+  let o = Engine.run ?max_rounds ?record_trace proto config in
+  assert_valid ~protocol:proto o;
+  o
+
 let runs_agree r1 r2 =
   (match (r1.Cl.verdict, r2.Cl.verdict) with
   | Cl.Infeasible, Cl.Infeasible -> true
@@ -78,7 +94,7 @@ let prop_history_partition_matches =
       let config = build params in
       let run = Cl.classify config in
       let plan = Can.plan_of_run run in
-      let o = Engine.run ~max_rounds:3_000_000 (Can.protocol plan) config in
+      let o = checked_run ~max_rounds:3_000_000 (Can.protocol plan) config in
       if not o.Engine.all_terminated then false
       else begin
         let hc = Runner.history_classes o in
@@ -100,7 +116,7 @@ let prop_canonical_patient =
     gen_config (fun params ->
       let config = build params in
       let plan = Can.plan_of_run (Cl.classify config) in
-      let o = Engine.run ~max_rounds:3_000_000 (Can.protocol plan) config in
+      let o = checked_run ~max_rounds:3_000_000 (Can.protocol plan) config in
       Array.for_all not o.Engine.forced
       &&
       match o.Engine.first_transmission with
@@ -176,7 +192,7 @@ let prop_patient_wrap_is_patient =
       let config = build params in
       let sigma = C.span config in
       let proto = Patient.make ~sigma (P.beacon ~delay:1 ()) in
-      let o = Engine.run ~max_rounds:10_000 proto config in
+      let o = checked_run ~max_rounds:10_000 proto config in
       (match o.Engine.first_transmission with
       | Some (r, _) -> r > sigma
       | None -> true)
@@ -216,7 +232,7 @@ let prop_replay_consistency =
       let config = build params in
       let plan = Can.plan_of_run (Cl.classify config) in
       let o =
-        Engine.run ~max_rounds:3_000_000 ~record_trace:true
+        checked_run ~max_rounds:3_000_000 ~record_trace:true
           (Can.protocol plan) config
       in
       let n = C.size config in
@@ -279,7 +295,7 @@ let prop_decision_unique_winner =
       let run = Cl.classify config in
       QCheck.assume (Cl.is_feasible run);
       let plan = Can.plan_of_run run in
-      let o = Engine.run ~max_rounds:3_000_000 (Can.protocol plan) config in
+      let o = checked_run ~max_rounds:3_000_000 (Can.protocol plan) config in
       let winners =
         List.filter
           (fun v -> Can.decision plan o.Engine.histories.(v))
@@ -310,7 +326,7 @@ let prop_engine_matches_spec =
           ~decide:(fun i -> if i >= length then P.Terminate else script.(i))
           ~observe:(fun i _ -> i + 1)
       in
-      let o = Engine.run ~max_rounds:10_000 proto config in
+      let o = checked_run ~max_rounds:10_000 proto config in
       let s = Radio_sim.Spec_engine.run ~max_rounds:10_000 proto config in
       Radio_sim.Spec_engine.agrees_with_engine s o)
 
@@ -320,8 +336,8 @@ let prop_pure_drip_equivalence =
     gen_config (fun params ->
       let config = build params in
       let plan = Can.plan_of_run (Cl.classify config) in
-      let o1 = Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config in
-      let o2 = Engine.run ~max_rounds:1_000_000 (Can.pure_protocol plan) config in
+      let o1 = checked_run ~max_rounds:1_000_000 (Can.protocol plan) config in
+      let o2 = checked_run ~max_rounds:1_000_000 (Can.pure_protocol plan) config in
       Array.for_all2 H.equal o1.Engine.histories o2.Engine.histories)
 
 (* P15: plans survive serialization, structurally and behaviourally. *)
@@ -366,6 +382,8 @@ let prop_wave_correct_on_trees =
       in
       QCheck.assume (Election.Wave_election.applies config);
       let r = Runner.run ~max_rounds:10_000 Election.Wave_election.election config in
+      assert_valid ~protocol:Election.Wave_election.election.Runner.protocol
+        r.Runner.outcome;
       r.Runner.leader = Some root
       && r.Runner.rounds_to_elect = Election.Wave_election.election_rounds config
       && Cl.is_feasible (Cl.classify config))
@@ -378,7 +396,7 @@ let prop_timeline_total =
       let config = build params in
       let plan = Can.plan_of_run (Cl.classify config) in
       let o =
-        Engine.run ~max_rounds:50 ~record_trace:true (Can.protocol plan) config
+        checked_run ~max_rounds:50 ~record_trace:true (Can.protocol plan) config
       in
       String.length (Radio_sim.Timeline.render_with_legend o) > 0)
 
@@ -388,7 +406,7 @@ let prop_energy_ledger =
     gen_config (fun params ->
       let config = build params in
       let plan = Can.plan_of_run (Cl.classify config) in
-      let o = Engine.run ~max_rounds:1_000_000 (Can.protocol plan) config in
+      let o = checked_run ~max_rounds:1_000_000 (Can.protocol plan) config in
       Array.fold_left ( + ) 0 o.Engine.transmissions_by_node
       = o.Engine.metrics.Radio_sim.Metrics.transmissions)
 
@@ -453,6 +471,19 @@ let prop_fragility_repair_duality =
           | None -> false (* undoing the slip always works, so never None *))
         report.Election.Fragility.breaking)
 
+(* P24: the model-conformance checker (lib/lint) accepts every traced
+   canonical execution: collision semantics, termination permanence,
+   forced-wake-up uniqueness, the anonymity law and fresh-spawn replay all
+   hold by construction — any engine or protocol regression trips this. *)
+let prop_invariant_checker_traced =
+  QCheck.Test.make ~name:"traced executions satisfy all model invariants"
+    ~count:200 gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let proto = Can.protocol plan in
+      let o = Engine.run ~max_rounds:3_000_000 ~record_trace:true proto config in
+      Radio_lint.Report.ok (Radio_lint.Invariants.validate ~protocol:proto o))
+
 let () =
   Alcotest.run "properties"
     [
@@ -486,5 +517,6 @@ let () =
             prop_symmetry_sound;
             prop_optimal_consistent;
             prop_fragility_repair_duality;
+            prop_invariant_checker_traced;
           ] );
     ]

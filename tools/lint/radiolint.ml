@@ -1,0 +1,39 @@
+(* radiolint — source-level determinism lint (see docs/LINTING.md).
+
+   Usage: radiolint [PATH ...]
+   Scans each PATH (directory or .ml file; default: lib) and exits nonzero
+   when any rule fires. *)
+
+let usage () =
+  prerr_endline "usage: radiolint [PATH ...]";
+  prerr_endline "  Lints .ml sources under each PATH (default: lib).";
+  Printf.eprintf "  Rules: %s\n" (String.concat ", " Radiolint_core.Rules.rule_names);
+  prerr_endline
+    "  Suppress a finding with (* radiolint: allow <rule> — reason *) on \
+     or above the offending line."
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "--help" || a = "-h") args then begin
+    usage ();
+    exit 0
+  end;
+  let roots = if args = [] then [ "lib" ] else args in
+  let violations =
+    List.concat_map
+      (fun root ->
+        if not (Sys.file_exists root) then begin
+          Printf.eprintf "radiolint: no such file or directory: %s\n" root;
+          exit 2
+        end;
+        if Sys.is_directory root then Radiolint_core.Rules.lint_tree root
+        else Radiolint_core.Rules.lint_file root)
+      roots
+  in
+  List.iter (fun v -> Format.printf "%a@." Radiolint_core.Rules.pp_violation v) violations;
+  match violations with
+  | [] -> exit 0
+  | vs ->
+      Printf.eprintf "radiolint: %d violation%s\n" (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      exit 1

@@ -1,0 +1,349 @@
+type violation = { path : string; line : int; rule : string; message : string }
+
+let pp_violation ppf { path; line; rule; message } =
+  Format.fprintf ppf "%s:%d: [%s] %s" path line rule message
+
+(* ------------------------------------------------------------------ *)
+(* Comment / string stripping                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Blank out comments (nested), string literals and character literals,
+   preserving length and newlines so line/column arithmetic survives.  Type
+   variables ('a) are distinguished from character literals by looking
+   ahead for the closing quote. *)
+let strip source =
+  let n = String.length source in
+  let out = Bytes.of_string source in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = source.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+        incr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+        decr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+      comment_depth := 1;
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      (* String literal: skip to the unescaped closing quote. *)
+      blank !i;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match source.[!i] with
+        | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            i := !i + 1
+        | '"' -> closed := true
+        | _ -> blank !i);
+        incr i
+      done
+    end
+    else if c = '\'' then begin
+      (* Character literal or type variable. *)
+      if !i + 2 < n && source.[!i + 1] = '\\' then begin
+        (* '\n', '\\', '\'' and numeric escapes: blank to closing quote. *)
+        let j = ref (!i + 2) in
+        while !j < n && source.[!j] <> '\'' do
+          incr j
+        done;
+        for k = !i to min !j (n - 1) do
+          blank k
+        done;
+        i := !j + 1
+      end
+      else if !i + 2 < n && source.[!i + 2] = '\'' then begin
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        i := !i + 3
+      end
+      else incr i (* type variable or object clone syntax *)
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let lines_of s = String.split_on_char '\n' s |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Allow annotations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Rules allowed on each (1-based) line: an annotation covers its own line
+   and, when the annotated line holds no code, the following line. *)
+let allowances ~raw_lines ~stripped_lines =
+  let tbl = Hashtbl.create 8 in
+  let add line rule =
+    Hashtbl.replace tbl (line, rule) ()
+  in
+  Array.iteri
+    (fun idx raw ->
+      match String.index_opt raw 'r' with
+      | None -> ()
+      | Some _ ->
+          if contains ~needle:"radiolint: allow" raw then begin
+            let after =
+              let marker = "radiolint: allow" in
+              let rec find i =
+                if i + String.length marker > String.length raw then ""
+                else if String.sub raw i (String.length marker) = marker then
+                  String.sub raw
+                    (i + String.length marker)
+                    (String.length raw - i - String.length marker)
+                else find (i + 1)
+              in
+              find 0
+            in
+            let upto =
+              match String.index_opt after '*' with
+              | Some j -> String.sub after 0 j
+              | None -> after
+            in
+            let rules =
+              String.split_on_char ' ' upto
+              |> List.concat_map (String.split_on_char ',')
+              |> List.filter_map (fun w ->
+                     let w = String.trim w in
+                     if w = "" then None else Some w)
+            in
+            let line = idx + 1 in
+            List.iter
+              (fun rule ->
+                add line rule;
+                (* An annotation carrying no code covers the comment's
+                   remaining lines and the first code line below it. *)
+                let k = ref idx in
+                while
+                  !k < Array.length stripped_lines
+                  && String.trim stripped_lines.(!k) = ""
+                do
+                  incr k;
+                  add (!k + 1) rule
+                done)
+              rules
+          end)
+    raw_lines;
+  fun ~line ~rule -> Hashtbl.mem tbl (line, rule)
+
+(* ------------------------------------------------------------------ *)
+(* Needle matching                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Occurrences of a module-path needle like "Random." whose preceding
+   character is not part of a longer identifier ("MyRandom." must not
+   fire; "Stdlib.Random." must). *)
+let has_module_needle ~needle line =
+  let nl = String.length needle and ll = String.length line in
+  let rec go i =
+    if i + nl > ll then false
+    else if
+      String.sub line i nl = needle
+      && (i = 0 || not (ident_char line.[i - 1]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let op_char = function
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '='
+  | '>' | '?' | '@' | '^' | '|' | '~' ->
+      true
+  | _ -> false
+
+(* A standalone == or != operator token. *)
+let has_physical_eq line =
+  let ll = String.length line in
+  let rec go i =
+    if i + 2 > ll then false
+    else
+      let tok = String.sub line i 2 in
+      if
+        (tok = "==" || tok = "!=")
+        && (i = 0 || not (op_char line.[i - 1]))
+        && (i + 2 >= ll || not (op_char line.[i + 2]))
+      then true
+      else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let rec drop p =
+    if String.length p > 2 && String.sub p 0 2 = "./" then
+      drop (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  drop path
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let under_lib path = starts_with ~prefix:"lib/" path || contains ~needle:"/lib/" path
+
+(* Directories in which Random.* is legitimate: randomized baselines own
+   their random state, and the generators/config samplers are explicitly
+   seeded. *)
+let random_allowed path =
+  contains ~needle:"lib/baselines/" path
+  || contains ~needle:"lib/graph/gen.ml" path
+  || contains ~needle:"lib/config/random_config.ml" path
+
+let deterministic_hot_path path =
+  contains ~needle:"lib/core/" path
+  || contains ~needle:"lib/drip/" path
+  || contains ~needle:"lib/sim/" path
+
+type line_rule = {
+  name : string;
+  applies : string -> bool;
+  hit : string -> bool;
+  message : string;
+}
+
+let line_rules =
+  [
+    {
+      name = "random";
+      applies = (fun p -> under_lib p && not (random_allowed p));
+      hit = (fun l -> has_module_needle ~needle:"Random." l);
+      message =
+        "Random.* outside lib/baselines/, lib/graph/gen.ml and \
+         lib/config/random_config.ml breaks determinism of the model \
+         (engine.mli: the engine is deterministic given a deterministic \
+         protocol)";
+    };
+    {
+      name = "obj-magic";
+      applies = under_lib;
+      hit = (fun l -> has_module_needle ~needle:"Obj.magic" l);
+      message = "Obj.magic defeats the type system; banned";
+    };
+    {
+      name = "physical-equality";
+      applies = under_lib;
+      hit = has_physical_eq;
+      message =
+        "physical equality (==/!=) on structural data compares identity, \
+         not value; use =, <> or a dedicated equal function";
+    };
+    {
+      name = "hashtbl-iteration";
+      applies = deterministic_hot_path;
+      hit =
+        (fun l ->
+          has_module_needle ~needle:"Hashtbl.iter" l
+          || has_module_needle ~needle:"Hashtbl.fold" l);
+      message =
+        "Hashtbl iteration order is nondeterministic; sort the bindings or \
+         use an ordered map in deterministic paths";
+    };
+  ]
+
+let rule_names =
+  List.map (fun r -> r.name) line_rules @ [ "missing-mli" ]
+
+let lint_source ~path source =
+  let path = normalize path in
+  if not (Filename.check_suffix path ".ml") then []
+  else begin
+    let stripped = strip source in
+    let raw_lines = lines_of source in
+    let stripped_lines = lines_of stripped in
+    let allowed = allowances ~raw_lines ~stripped_lines in
+    let rules = List.filter (fun r -> r.applies path) line_rules in
+    let violations = ref [] in
+    Array.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        List.iter
+          (fun r ->
+            if r.hit line && not (allowed ~line:lineno ~rule:r.name) then
+              violations :=
+                { path; line = lineno; rule = r.name; message = r.message }
+                :: !violations)
+          rules)
+      stripped_lines;
+    List.rev !violations
+  end
+
+let missing_mli path =
+  let path = normalize path in
+  if
+    Filename.check_suffix path ".ml"
+    && under_lib path
+    && not (Sys.file_exists (path ^ "i"))
+  then
+    [
+      {
+        path;
+        line = 1;
+        rule = "missing-mli";
+        message =
+          "every lib/**/*.ml needs a matching .mli so the public surface \
+           stays explicit";
+      };
+    ]
+  else []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path =
+  let source = read_file path in
+  lint_source ~path source @ missing_mli path
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+      else begin
+        let full = Filename.concat dir entry in
+        if Sys.is_directory full then walk full acc
+        else if Filename.check_suffix entry ".ml" then full :: acc
+        else acc
+      end)
+    acc (Sys.readdir dir)
+
+let lint_tree root =
+  let files = walk root [] in
+  List.concat_map lint_file files
+  |> List.sort (fun a b ->
+         match compare a.path b.path with 0 -> compare a.line b.line | c -> c)

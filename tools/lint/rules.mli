@@ -1,0 +1,52 @@
+(** Source-level determinism lint for the radio-network codebase.
+
+    The checks enforce repository rules that the type system cannot see (see
+    docs/LINTING.md for the paper justification of each):
+
+    - [random]: [Random.*] is confined to [lib/baselines/],
+      [lib/graph/gen.ml] and [lib/config/random_config.ml]; deterministic
+      paths must not consult a PRNG.
+    - [obj-magic]: [Obj.magic] is banned outright.
+    - [physical-equality]: [==]/[!=] on structural data compare identity,
+      not value, and are banned in favour of [=]/[<>] or [equal] functions.
+    - [hashtbl-iteration]: [Hashtbl.iter]/[Hashtbl.fold] enumerate bindings
+      in nondeterministic order and are banned in [lib/core/], [lib/drip/]
+      and [lib/sim/].
+    - [missing-mli]: every [lib/**/*.ml] needs a matching [.mli].
+
+    Matching is comment- and string-literal-aware: occurrences inside
+    comments or string literals never fire.  A finding on a line carrying
+    [(* radiolint: allow <rule> [<rule> ...] *)] is suppressed, as is a
+    finding on the line immediately below a comment-only line with that
+    annotation. *)
+
+type violation = {
+  path : string;
+  line : int;  (** 1-based *)
+  rule : string;
+  message : string;
+}
+
+val rule_names : string list
+(** All rule identifiers, for documentation and [allow] validation. *)
+
+val strip : string -> string
+(** [strip source] blanks out comments, string literals and character
+    literals (preserving length and line structure) so that needle searches
+    only see code. *)
+
+val lint_source : path:string -> string -> violation list
+(** Runs every content rule on [source], which lives at repo-relative
+    [path] (forward slashes).  Does not touch the filesystem; the
+    [missing-mli] rule is not applied here. *)
+
+val lint_file : string -> violation list
+(** Reads the file and runs {!lint_source} plus the [missing-mli] check. *)
+
+val lint_tree : string -> violation list
+(** Recursively lints every [.ml] under the given root directory, skipping
+    [_build] and dot-directories.  Violations are sorted by path and
+    line. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** [file:line: [rule] message] — one line, editor-clickable. *)
