@@ -1,12 +1,12 @@
 # Single entry point for CI and local hygiene: `make check` runs the
 # build, the test battery (which includes the model-conformance checks),
-# the source lint, and the formatting check.
+# the source lint, the formatting check, and the resilience smoke run.
 
 DUNE ?= dune
 
-.PHONY: check build test lint fmt clean
+.PHONY: check build test lint fmt resilience-smoke clean
 
-check: build test lint fmt
+check: build test lint fmt resilience-smoke
 
 build:
 	$(DUNE) build
@@ -23,6 +23,15 @@ fmt:
 	else \
 	  echo "fmt: ocamlformat not installed; skipping formatting check"; \
 	fi
+
+# End-to-end fault tolerance: sweep crash intensity on a catalog family
+# through the real CLI.  Everything is seeded, so the curve (and its csv)
+# is byte-for-byte reproducible.
+resilience-smoke:
+	@tmp=$$(mktemp); \
+	$(DUNE) exec bin/anorad.exe -- catalog h2 > $$tmp && \
+	$(DUNE) exec bin/anorad.exe -- resilience $$tmp --trials 10; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 clean:
 	$(DUNE) clean

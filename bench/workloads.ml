@@ -39,3 +39,13 @@ let named_families =
     ("gnp", gnp_config);
     ("tree", tree_config);
   ]
+
+(* The faults workload (E18): a feasible configuration paired with a
+   seed-derived fault plan spanning its dedicated-election schedule.  The
+   plan is a pure function of [seed], so the workload is as reproducible as
+   the others. *)
+let faults_config st n = feasible_gnp st ~n ~p:0.3 ~span:3
+
+let faults_plan ~horizon config =
+  Radio_faults.Fault_plan.sample ~seed ~crashes:2 ~drops:8 ~noise:8
+    ~jitters:2 ~horizon config

@@ -17,7 +17,9 @@
      catalog    - named example configurations
      optimal    - exhaustive minimal symmetry-breaking-round search
      lint       - source-level determinism lint (radiolint rules)
-     check-trace - run the canonical DRIP and verify every model invariant *)
+     check-trace - run the canonical DRIP and verify every model invariant
+     faults     - execute an election under a deterministic fault plan
+     resilience - sweep crash intensity and emit the degradation curve *)
 
 module C = Radio_config.Config
 module CIo = Radio_config.Config_io
@@ -476,16 +478,59 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ paths_arg)
 
+(* Headline for a failed conformance check: name the invariant and the node
+   it broke at, so a failing CI line is actionable without the full report. *)
+let pp_violation_headline ppf (vs : Radio_lint.Report.t) =
+  match vs with
+  | [] -> ()
+  | v :: _ ->
+      Format.fprintf ppf
+        "check-trace: FAILED: invariant %S violated%s%s (%d violation%s \
+         total)"
+        v.Radio_lint.Report.check
+        (match v.Radio_lint.Report.node with
+        | Some n -> Printf.sprintf " at node %d" n
+        | None -> "")
+        (match v.Radio_lint.Report.round with
+        | Some r -> Printf.sprintf " in round %d" r
+        | None -> "")
+        (List.length vs)
+        (if List.length vs = 1 then "" else "s")
+
 let check_trace_cmd =
-  let run path max_rounds =
+  let plan_opt_arg =
+    let doc =
+      "Fault plan file: execute the run under these faults and report which \
+       pristine-model invariants the faults break (see 'anorad faults' for \
+       the fault-aware checker)."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let run path max_rounds plan_path =
     let config = load_config path in
     let a = Fe.analyze config in
     let proto = Can.protocol a.Fe.plan in
-    let o = Engine.run ~max_rounds ~record_trace:true proto config in
+    let o, vs =
+      match plan_path with
+      | None ->
+          let o = Engine.run ~max_rounds ~record_trace:true proto config in
+          (o, Radio_lint.Invariants.validate ~protocol:proto o)
+      | Some plan_path ->
+          let plan = Radio_faults.Fault_plan.read_file plan_path in
+          let fo =
+            Radio_faults.Faulty_engine.run ~max_rounds ~record_trace:true
+              plan proto config
+          in
+          (* Deliberately the pristine validator: the point of --plan here
+             is to show which model invariants the faults break. *)
+          ( fo.Radio_faults.Faulty_engine.base,
+            Radio_lint.Invariants.validate
+              fo.Radio_faults.Faulty_engine.base )
+    in
     Format.printf "protocol: %s@." proto.Radio_drip.Protocol.name;
     Format.printf "rounds: %d, all terminated: %b@." o.Engine.rounds
       o.Engine.all_terminated;
-    match Radio_lint.Invariants.validate ~protocol:proto o with
+    match vs with
     | [] ->
         Format.printf
           "all model invariants hold (collision semantics, termination \
@@ -493,6 +538,7 @@ let check_trace_cmd =
            purity of instances)@.";
         0
     | vs ->
+        Format.printf "%a@." pp_violation_headline vs;
         Format.printf "%a@." Radio_lint.Report.pp vs;
         2
   in
@@ -502,7 +548,124 @@ let check_trace_cmd =
   in
   Cmd.v
     (Cmd.info "check-trace" ~doc)
-    Term.(const run $ config_arg $ max_rounds_arg)
+    Term.(const run $ config_arg $ max_rounds_arg $ plan_opt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* faults / resilience                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let module FP = Radio_faults.Fault_plan in
+  let module FE = Radio_faults.Faulty_engine in
+  let plan_pos1 =
+    let doc =
+      "Fault plan file ('faults' header, then 'crash <node> <round>', \
+       'drop <src> <dst> <round>', 'noise <node> <round>', 'jitter <node> \
+       <delta>' lines)."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PLAN" ~doc)
+  in
+  let supervise_arg =
+    let doc =
+      "On a failed election, hand the run to the supervisor: re-seed the \
+       wake-up tags and retry with exponential backoff."
+    in
+    Arg.(value & flag & info [ "supervise" ] ~doc)
+  in
+  let run path plan_path max_rounds supervise =
+    let config = load_config path in
+    let plan = FP.read_file plan_path in
+    (match FP.validate config plan with
+    | Ok () -> ()
+    | Error msg ->
+        Format.eprintf "anorad faults: invalid plan: %s@." msg;
+        exit 2);
+    let a = Fe.analyze config in
+    let proto = Can.protocol a.Fe.plan in
+    let fo = FE.run ~max_rounds ~record_trace:true plan proto config in
+    Format.printf "rounds: %d, survivors all terminated: %b@."
+      fo.FE.base.Engine.rounds fo.FE.base.Engine.all_terminated;
+    Format.printf "fault ledger (%d fired):@.%a@."
+      (List.length fo.FE.ledger)
+      FE.pp_ledger fo.FE.ledger;
+    (match Radio_lint.Invariants.validate_faulty ~protocol:proto fo with
+    | [] -> Format.printf "fault-aware model invariants hold@."
+    | vs ->
+        Format.printf "%a@." Radio_lint.Report.pp vs;
+        exit 2);
+    if not a.Fe.feasible then begin
+      Format.printf "configuration infeasible: no election to degrade@.";
+      1
+    end
+    else begin
+      match FE.elected (Can.decision a.Fe.plan) fo with
+      | Some v ->
+          Format.printf "leader: node %d@." v;
+          0
+      | None ->
+          Format.printf "no unique surviving leader under this plan@.";
+          if supervise then begin
+            let r = Radio_faults.Supervisor.supervise ~plan config in
+            Format.printf "%a@?" Radio_faults.Supervisor.pp r;
+            match r.Radio_faults.Supervisor.leader with
+            | Some _ -> 0
+            | None -> 1
+          end
+          else 1
+    end
+  in
+  let doc =
+    "execute a configuration's dedicated election under a deterministic \
+     fault plan and check the fault-aware model invariants"
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(const run $ config_arg $ plan_pos1 $ max_rounds_arg $ supervise_arg)
+
+let resilience_cmd =
+  let module R = Radio_faults.Resilience in
+  let trials_arg =
+    let doc = "Trials per intensity point." in
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the crash schedules (the sweep is a deterministic function of it)." in
+    Arg.(value & opt int 0xFA17 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let max_intensity_arg =
+    let doc = "Largest crash count to sweep (default: n)." in
+    Arg.(value & opt (some int) None & info [ "max-intensity" ] ~docv:"K" ~doc)
+  in
+  let csv_arg =
+    let doc = "Write the degradation curve as csv to this file ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run path trials seed max_intensity csv =
+    let config = load_config path in
+    let name = Filename.remove_extension (Filename.basename path) in
+    match R.crash_sweep ~seed ~trials ?max_intensity ~name config with
+    | exception Invalid_argument msg ->
+        Format.eprintf "anorad resilience: %s@." msg;
+        1
+    | curve ->
+        Format.printf "%a@?" R.pp curve;
+        print_string (R.to_chart curve);
+        (match csv with
+        | None -> ()
+        | Some "-" -> print_string (R.to_csv curve)
+        | Some file -> Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (R.to_csv curve)));
+        0
+  in
+  let doc =
+    "sweep crash-fault intensity over a configuration's dedicated election \
+     and emit the degradation curve (success, stability, round overhead)"
+  in
+  Cmd.v
+    (Cmd.info "resilience" ~doc)
+    Term.(
+      const run $ config_arg $ trials_arg $ seed_arg $ max_intensity_arg
+      $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -529,4 +692,6 @@ let () =
             optimal_cmd;
             lint_cmd;
             check_trace_cmd;
+            faults_cmd;
+            resilience_cmd;
           ]))

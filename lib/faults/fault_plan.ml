@@ -1,0 +1,252 @@
+module Config = Radio_config.Config
+module G = Radio_graph.Graph
+
+type fault =
+  | Crash of { node : int; round : int }
+  | Drop of { src : int; dst : int; round : int }
+  | Noise of { node : int; round : int }
+  | Jitter of { node : int; delta : int }
+
+type t = fault list
+
+let empty = []
+
+let is_empty p = p = []
+
+(* Sort key keeping kinds grouped and everything else ordered. *)
+let key = function
+  | Crash { node; round } -> (0, round, node, 0)
+  | Drop { src; dst; round } -> (1, round, src, dst)
+  | Noise { node; round } -> (2, round, node, 0)
+  | Jitter { node; delta } -> (3, 0, node, delta)
+
+let normalize p = List.sort_uniq (fun a b -> compare (key a) (key b)) p
+
+let validate config p =
+  let n = Config.size config in
+  let g = Config.graph config in
+  let node_ok v = v >= 0 && v < n in
+  let rec go = function
+    | [] -> Ok ()
+    | Crash { node; round } :: rest ->
+        if not (node_ok node) then
+          Error (Printf.sprintf "crash names node %d outside 0..%d" node (n - 1))
+        else if round < 0 then
+          Error (Printf.sprintf "crash of node %d at negative round %d" node round)
+        else go rest
+    | Drop { src; dst; round } :: rest ->
+        if not (node_ok src && node_ok dst) then
+          Error (Printf.sprintf "drop names node outside 0..%d" (n - 1))
+        else if not (G.mem_edge g src dst) then
+          Error (Printf.sprintf "drop follows no edge: %d-%d" src dst)
+        else if round < 0 then
+          Error (Printf.sprintf "drop on edge %d->%d at negative round %d" src dst round)
+        else go rest
+    | Noise { node; round } :: rest ->
+        if not (node_ok node) then
+          Error (Printf.sprintf "noise names node %d outside 0..%d" node (n - 1))
+        else if round < 0 then
+          Error (Printf.sprintf "noise at node %d at negative round %d" node round)
+        else go rest
+    | Jitter { node; delta = _ } :: rest ->
+        if not (node_ok node) then
+          Error (Printf.sprintf "jitter names node %d outside 0..%d" node (n - 1))
+        else go rest
+  in
+  go p
+
+let crash_round p v =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Crash { node; round } when node = v -> (
+          match acc with
+          | Some r when r <= round -> acc
+          | _ -> Some round)
+      | _ -> acc)
+    None p
+
+let dropped p ~src ~dst ~round =
+  List.exists
+    (function
+      | Drop d -> d.src = src && d.dst = dst && d.round = round
+      | _ -> false)
+    p
+
+let noisy p ~node ~round =
+  List.exists
+    (function
+      | Noise x -> x.node = node && x.round = round
+      | _ -> false)
+    p
+
+let jitter_of p v =
+  List.fold_left
+    (fun acc f ->
+      match f with Jitter { node; delta } when node = v -> acc + delta | _ -> acc)
+    0 p
+
+let apply_jitter p config =
+  if not (List.exists (function Jitter _ -> true | _ -> false) p) then config
+  else
+    let tags = Config.tags config in
+    Array.iteri (fun v t -> tags.(v) <- max 0 (t + jitter_of p v)) tags;
+    Config.create ~normalize:false (Config.graph config) tags
+
+(* ------------------------------------------------------------------ *)
+(* Seeded sampling: a local splitmix-style generator so fault plans     *)
+(* never touch the ambient Random state (fault-purity).                 *)
+(* ------------------------------------------------------------------ *)
+
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* Uniform in [0 .. bound - 1]; bound >= 1. *)
+  let int t bound =
+    let mask = Int64.shift_right_logical (next t) 1 in
+    Int64.to_int (Int64.rem mask (Int64.of_int bound))
+end
+
+let shuffled_nodes rng n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let crash_schedule ~seed ~horizon config =
+  let n = Config.size config in
+  let rng = Prng.create seed in
+  let order = shuffled_nodes rng n in
+  Array.to_list
+    (Array.map (fun v -> (v, Prng.int rng (max 1 horizon))) order)
+
+let sample ~seed ?(crashes = 0) ?(drops = 0) ?(noise = 0) ?(jitters = 0)
+    ?max_jitter ~horizon config =
+  let n = Config.size config in
+  let rng = Prng.create seed in
+  let horizon = max 1 horizon in
+  let max_jitter =
+    match max_jitter with Some j -> max 1 j | None -> Config.span config + 1
+  in
+  let faults = ref [] in
+  let order = shuffled_nodes rng n in
+  for i = 0 to min crashes n - 1 do
+    faults := Crash { node = order.(i); round = Prng.int rng horizon } :: !faults
+  done;
+  let edges = Array.of_list (G.edges (Config.graph config)) in
+  if Array.length edges > 0 then
+    for _ = 1 to drops do
+      let u, v = edges.(Prng.int rng (Array.length edges)) in
+      let src, dst = if Prng.int rng 2 = 0 then (u, v) else (v, u) in
+      faults := Drop { src; dst; round = Prng.int rng horizon } :: !faults
+    done;
+  for _ = 1 to noise do
+    faults :=
+      Noise { node = Prng.int rng n; round = Prng.int rng horizon } :: !faults
+  done;
+  for _ = 1 to jitters do
+    let delta = 1 + Prng.int rng max_jitter in
+    let delta = if Prng.int rng 2 = 0 then -delta else delta in
+    faults := Jitter { node = Prng.int rng n; delta } :: !faults
+  done;
+  normalize !faults
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fault_to_line = function
+  | Crash { node; round } -> Printf.sprintf "crash %d %d" node round
+  | Drop { src; dst; round } -> Printf.sprintf "drop %d %d %d" src dst round
+  | Noise { node; round } -> Printf.sprintf "noise %d %d" node round
+  | Jitter { node; delta } -> Printf.sprintf "jitter %d %d" node delta
+
+let to_string p =
+  String.concat "\n" ("faults" :: List.map fault_to_line (normalize p)) ^ "\n"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let meaningful =
+    List.filter_map
+      (fun line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then None else Some line)
+      lines
+  in
+  match meaningful with
+  | [] -> failwith "Fault_plan.of_string: empty input (expected 'faults' header)"
+  | header :: rest ->
+      if header <> "faults" then
+        failwith
+          (Printf.sprintf
+             "Fault_plan.of_string: expected 'faults' header, got %S" header);
+      let parse line =
+        let words =
+          String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+        in
+        let int w =
+          match int_of_string_opt w with
+          | Some i -> i
+          | None ->
+              failwith
+                (Printf.sprintf "Fault_plan.of_string: bad integer %S in %S" w
+                   line)
+        in
+        match words with
+        | [ "crash"; v; r ] -> Crash { node = int v; round = int r }
+        | [ "drop"; s; d; r ] -> Drop { src = int s; dst = int d; round = int r }
+        | [ "noise"; v; r ] -> Noise { node = int v; round = int r }
+        | [ "jitter"; v; d ] -> Jitter { node = int v; delta = int d }
+        | _ ->
+            failwith
+              (Printf.sprintf "Fault_plan.of_string: unrecognized line %S" line)
+      in
+      normalize (List.map parse rest)
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let pp_fault ppf f =
+  match f with
+  | Crash { node; round } ->
+      Format.fprintf ppf "crash node %d at round %d" node round
+  | Drop { src; dst; round } ->
+      Format.fprintf ppf "drop %d->%d at round %d" src dst round
+  | Noise { node; round } ->
+      Format.fprintf ppf "noise at node %d in round %d" node round
+  | Jitter { node; delta } ->
+      Format.fprintf ppf "jitter node %d by %+d" node delta
+
+let pp ppf p =
+  match normalize p with
+  | [] -> Format.fprintf ppf "(no faults)"
+  | fs ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fault ppf fs

@@ -1,0 +1,110 @@
+(** Deterministic fault plans: pure data describing every deviation from the
+    paper's pristine model that a run will suffer.
+
+    The paper (and [lib/sim/engine.ml]) assume crash-free nodes, loss-free
+    links, perfect collision detection and exact wake-up tags.  A fault plan
+    relaxes each assumption with one fault kind:
+
+    - {b Crash} [v] at global round [r]: crash-stop — from round [r] onwards
+      the node neither transmits, listens, wakes nor terminates;
+    - {b Drop} [src -> dst] at round [r]: the directed copy of [src]'s
+      round-[r] transmission addressed to [dst] is lost in the air
+      ([dst] neither hears it nor counts it towards a collision);
+    - {b Noise} at [v] in round [r]: spurious interference corrupts [v]'s
+      collision detection — a listening [v] hears [Collision] whatever its
+      neighbours did, and a sleeping [v] cannot be woken that round
+      (collisions do not wake);
+    - {b Jitter} [v] by [delta]: the wake-up tag of [v] slips by [delta]
+      (clamped at 0) before the run starts — the clock-drift fault that
+      {!Election.Fragility} quantifies statically.
+
+    Plans are pure data: constructing one performs no I/O and consults no
+    clock or ambient randomness ([radiolint]'s [fault-purity] rule enforces
+    this at the source level).  {!sample} derives plans from an explicit
+    integer seed through a local splitmix-style generator, so every plan is
+    reproducible from [(seed, shape)] alone. *)
+
+type fault =
+  | Crash of { node : int; round : int }
+  | Drop of { src : int; dst : int; round : int }
+  | Noise of { node : int; round : int }
+  | Jitter of { node : int; delta : int }
+
+type t = fault list
+(** A plan is an unordered bag of faults; {!normalize} sorts and dedups. *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val normalize : t -> t
+(** Sorted, duplicate-free representation ({!to_string} emits it). *)
+
+val validate : Radio_config.Config.t -> t -> (unit, string) result
+(** Checks every fault names nodes inside the configuration, rounds are
+    non-negative, and every [Drop] follows an existing edge. *)
+
+(** {1 Lookups} (used by the engine and the conformance checker) *)
+
+val crash_round : t -> int -> int option
+(** Earliest crash round of a node, if any. *)
+
+val dropped : t -> src:int -> dst:int -> round:int -> bool
+
+val noisy : t -> node:int -> round:int -> bool
+
+val jitter_of : t -> int -> int
+(** Total tag slip of a node (sum over its [Jitter] faults; 0 if none). *)
+
+val apply_jitter : t -> Radio_config.Config.t -> Radio_config.Config.t
+(** The effective configuration: every tag shifted by its jitter, clamped at
+    0, {e not} re-normalized (a slipped clock moves one alarm, not the global
+    round numbering). *)
+
+(** {1 Seeded sampling} *)
+
+val sample :
+  seed:int ->
+  ?crashes:int ->
+  ?drops:int ->
+  ?noise:int ->
+  ?jitters:int ->
+  ?max_jitter:int ->
+  horizon:int ->
+  Radio_config.Config.t ->
+  t
+(** [sample ~seed ~horizon config] draws the requested number of faults of
+    each kind (default 0) with rounds uniform in [0 .. horizon - 1], edges
+    and nodes uniform over the configuration, and jitter deltas in
+    [-max_jitter .. max_jitter] (default [span + 1], never 0).  Entirely
+    determined by the arguments — no global state. *)
+
+val crash_schedule : seed:int -> horizon:int -> Radio_config.Config.t -> (int * int) list
+(** A full random crash order: a seed-determined permutation of all nodes
+    paired with crash rounds in [0 .. horizon - 1].  Taking the first [k]
+    pairs yields the nested plans that {!Resilience} sweeps, so intensities
+    [k] and [k + 1] differ by exactly one crash. *)
+
+(** {1 Serialization}
+
+    Line format (comments with ['#'], blank lines ignored):
+    {v
+    faults
+    crash <node> <round>
+    drop <src> <dst> <round>
+    noise <node> <round>
+    jitter <node> <delta>
+    v} *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val write_file : string -> t -> unit
+
+val read_file : string -> t
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val pp : Format.formatter -> t -> unit

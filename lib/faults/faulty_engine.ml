@@ -1,0 +1,347 @@
+module Config = Radio_config.Config
+module G = Radio_graph.Graph
+module History = Radio_drip.History
+module Protocol = Radio_drip.Protocol
+module Engine = Radio_sim.Engine
+module Metrics = Radio_sim.Metrics
+module Trace = Radio_sim.Trace
+
+type fired = {
+  round : int;
+  fault : Fault_plan.fault;
+  observed_by : int list;
+}
+
+type outcome = {
+  base : Engine.outcome;
+  original : Config.t;
+  plan : Fault_plan.t;
+  crashed_at : int array;
+  ledger : fired list;
+}
+
+(* Mirrors Engine.node_state; the engine keeps its type private, so the
+   fault layer maintains its own copy of the per-node record. *)
+type node_state = {
+  mutable instance : Protocol.instance option;
+  mutable awake_at : int;
+  mutable was_forced : bool;
+  mutable finished_at : int;
+  hist : History.Vec.t;
+}
+
+(* Per-round fault tables compiled from the plan: lookups must not cost
+   anything when the plan schedules nothing for the round. *)
+type tables = {
+  crash_at : int array;  (* earliest crash round per node; -1 = never *)
+  drops : (int, (int * int) list) Hashtbl.t;  (* round -> (src, dst) *)
+  noise : (int, int list) Hashtbl.t;  (* round -> nodes *)
+  any_crash : bool;
+  any_drop : bool;
+  any_noise : bool;
+}
+
+let compile plan n =
+  let crash_at = Array.make n (-1) in
+  let drops = Hashtbl.create 8 in
+  let noise = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      match f with
+      | Fault_plan.Crash { node; round } ->
+          if node >= 0 && node < n then
+            if crash_at.(node) < 0 || round < crash_at.(node) then
+              crash_at.(node) <- round
+      | Fault_plan.Drop { src; dst; round } ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt drops round) in
+          Hashtbl.replace drops round ((src, dst) :: prev)
+      | Fault_plan.Noise { node; round } ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt noise round) in
+          Hashtbl.replace noise round (node :: prev)
+      | Fault_plan.Jitter _ -> ())
+    (Fault_plan.normalize plan);
+  {
+    crash_at;
+    drops;
+    noise;
+    any_crash = Array.exists (fun c -> c >= 0) crash_at;
+    any_drop = Hashtbl.length drops > 0;
+    any_noise = Hashtbl.length noise > 0;
+  }
+
+let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
+  let original = config in
+  let config = Fault_plan.apply_jitter plan config in
+  let g = Config.graph config in
+  let n = Config.size config in
+  let tables = compile plan n in
+  let dropped_now r =
+    if tables.any_drop then
+      Option.value ~default:[] (Hashtbl.find_opt tables.drops r)
+    else []
+  in
+  let noisy_now r =
+    if tables.any_noise then
+      Option.value ~default:[] (Hashtbl.find_opt tables.noise r)
+    else []
+  in
+  let metrics = Metrics.Acc.create () in
+  let trace = Trace.Acc.create ~enabled:record_trace in
+  let nodes =
+    Array.init n (fun _ ->
+        {
+          instance = None;
+          awake_at = -1;
+          was_forced = false;
+          finished_at = -1;
+          hist = History.Vec.create ();
+        })
+  in
+  let dead = Array.make n false in
+  let crashed_at = Array.make n (-1) in
+  let ledger = ref [] in
+  let fire ~round fault observed_by = ledger := { round; fault; observed_by } :: !ledger in
+  (* Jitter faults fire up-front: the clock already slipped before round 0. *)
+  List.iter
+    (fun f ->
+      match f with
+      | Fault_plan.Jitter { node; _ } as j
+        when node >= 0 && node < n
+             && Config.tag config node <> Config.tag original node ->
+          fire ~round:0 j [ node ]
+      | _ -> ())
+    (Fault_plan.normalize plan);
+  let remaining = ref n in
+  let first_tx = ref None in
+  let tx_by_node = Array.make n 0 in
+  let tx_msg : string option array = Array.make n None in
+  let wake st v ~round entry ~is_forced =
+    let inst = proto.Protocol.spawn () in
+    st.instance <- Some inst;
+    st.awake_at <- round;
+    st.was_forced <- is_forced;
+    History.Vec.push st.hist entry;
+    inst.Protocol.on_wakeup entry;
+    if is_forced then begin
+      Metrics.Acc.forced_wakeup metrics;
+      let m = match entry with History.Message m -> m | _ -> assert false in
+      Trace.Acc.wake trace ~round v (Trace.Forced m)
+    end
+    else begin
+      Metrics.Acc.spontaneous_wakeup metrics;
+      Trace.Acc.wake trace ~round v Trace.Spontaneous
+    end
+  in
+  (* Number of transmitting neighbours of v this round that v actually
+     receives: scheduled drops towards v are removed from the air. *)
+  let audible_count drops_r v =
+    let count = ref 0 and heard = ref "" in
+    G.iter_neighbours g v ~f:(fun w ->
+        match tx_msg.(w) with
+        | Some m ->
+            if not (List.mem (w, v) drops_r) then begin
+              incr count;
+              heard := m
+            end
+        | None -> ());
+    (!count, !heard)
+  in
+  let round = ref 0 in
+  let rounds_done = ref 0 in
+  while !remaining > 0 && !round < max_rounds do
+    let r = !round in
+    (* Phase 0: crash-stops scheduled for this round take effect before
+       anyone acts.  Crashes of already-terminated nodes are no-ops. *)
+    if tables.any_crash then
+      for v = 0 to n - 1 do
+        if tables.crash_at.(v) = r && not dead.(v) then begin
+          let st = nodes.(v) in
+          if st.finished_at < 0 then begin
+            dead.(v) <- true;
+            crashed_at.(v) <- r;
+            decr remaining;
+            fire ~round:r (Fault_plan.Crash { node = v; round = r }) []
+          end
+        end
+      done;
+    (* Phase A: decisions of live nodes already awake. *)
+    Array.fill tx_msg 0 n None;
+    let transmitters = ref [] in
+    for v = 0 to n - 1 do
+      let st = nodes.(v) in
+      match st.instance with
+      | Some inst when st.finished_at < 0 && st.awake_at < r && not dead.(v)
+        -> (
+          let local = r - st.awake_at in
+          match inst.Protocol.decide () with
+          | Protocol.Terminate ->
+              st.finished_at <- local;
+              decr remaining;
+              Trace.Acc.terminate trace ~round:r v
+          | Protocol.Transmit m ->
+              tx_msg.(v) <- Some m;
+              transmitters := v :: !transmitters;
+              tx_by_node.(v) <- tx_by_node.(v) + 1;
+              Metrics.Acc.transmission metrics;
+              Trace.Acc.transmit trace ~round:r v m
+          | Protocol.Listen -> ())
+      | _ -> ()
+    done;
+    if !transmitters <> [] && !first_tx = None then
+      first_tx := Some (r, List.sort compare !transmitters);
+    let drops_r = dropped_now r in
+    let noise_r = noisy_now r in
+    (* Phase B: receptions at live, awake, running nodes. *)
+    for v = 0 to n - 1 do
+      let st = nodes.(v) in
+      match st.instance with
+      | Some inst when st.finished_at < 0 && st.awake_at < r && not dead.(v)
+        ->
+          let entry =
+            match tx_msg.(v) with
+            | Some _ -> History.Silence (* transmitters hear nothing *)
+            | None ->
+                let count, heard = audible_count drops_r v in
+                if List.mem v noise_r then History.Collision
+                else if count = 0 then History.Silence
+                else if count = 1 then History.Message heard
+                else History.Collision
+          in
+          (match entry with
+          | History.Message _ -> Metrics.Acc.delivery metrics
+          | History.Collision -> Metrics.Acc.collision_heard metrics
+          | History.Silence -> ());
+          History.Vec.push st.hist entry;
+          inst.Protocol.observe entry
+      | _ -> ()
+    done;
+    (* Phase C: wake-ups of live sleeping nodes.  Noise corrupts collision
+       detection, so a noisy sleeping node cannot be force-woken. *)
+    for v = 0 to n - 1 do
+      let st = nodes.(v) in
+      if st.instance = None && not dead.(v) then begin
+        let count, heard = audible_count drops_r v in
+        if count = 1 && not (List.mem v noise_r) then
+          wake st v ~round:r (History.Message heard) ~is_forced:true
+        else if Config.tag config v = r then
+          wake st v ~round:r History.Silence ~is_forced:false
+      end
+    done;
+    (* Ledger: which of this round's scheduled drops and noise bursts
+       actually changed someone's execution. *)
+    if drops_r <> [] then
+      List.iter
+        (fun (src, dst) ->
+          if
+            tx_msg.(src) <> None
+            && dst >= 0 && dst < n
+            && G.mem_edge g src dst
+            && (not dead.(dst))
+            && tx_msg.(dst) = None
+          then begin
+            let st = nodes.(dst) in
+            (* Post-drop audible count at dst; without this drop it would
+               have been one higher. *)
+            let count, _ = audible_count drops_r dst in
+            let noisy_dst = List.mem dst noise_r in
+            let awake_listener = st.instance <> None && st.awake_at < r in
+            let fault = Fault_plan.Drop { src; dst; round = r } in
+            if awake_listener && st.finished_at < 0 then begin
+              (* Entry with the drop: count; without: count + 1. *)
+              if (not noisy_dst) && count <= 1 then fire ~round:r fault [ dst ]
+            end
+            else if st.instance = None || st.awake_at = r then begin
+              (* dst was asleep at reception time (possibly woken this very
+                 round).  The drop changed the wake-up iff it moved the
+                 audible count across the =1 boundary. *)
+              if not noisy_dst then
+                if count = 0 then
+                  (* would have been force-woken; with the drop it either
+                     stayed asleep or woke spontaneously on its tag *)
+                  fire ~round:r fault
+                    (if Config.tag config dst = r then [ dst ] else [])
+                else if count = 1 then
+                  (* the drop un-hid a lone transmitter: dst was woken where
+                     two transmitters would have cancelled out *)
+                  fire ~round:r fault [ dst ]
+            end
+          end)
+        (List.sort compare drops_r);
+    if noise_r <> [] then
+      List.iter
+        (fun v ->
+          if v >= 0 && v < n && (not dead.(v)) && tx_msg.(v) = None then begin
+            let st = nodes.(v) in
+            let count, _ = audible_count drops_r v in
+            let fault = Fault_plan.Noise { node = v; round = r } in
+            if st.instance <> None && st.awake_at < r && st.finished_at < 0
+            then begin
+              (* Listening node: heard Collision instead of count's entry. *)
+              if count <= 1 then fire ~round:r fault [ v ]
+            end
+            else if st.instance = None || st.awake_at = r then
+              (* Asleep at reception time: a lone transmitter was masked. *)
+              if count = 1 then
+                fire ~round:r fault
+                  (if st.awake_at = r then [ v ] else [])
+          end)
+        (List.sort compare noise_r);
+    incr round;
+    rounds_done := !round
+  done;
+  Metrics.Acc.set_rounds metrics !rounds_done;
+  let base =
+    {
+      Engine.config;
+      histories = Array.map (fun st -> History.Vec.snapshot st.hist) nodes;
+      wake_round = Array.map (fun st -> st.awake_at) nodes;
+      forced = Array.map (fun st -> st.was_forced) nodes;
+      done_local = Array.map (fun st -> st.finished_at) nodes;
+      all_terminated = !remaining = 0;
+      rounds = !rounds_done;
+      first_transmission = !first_tx;
+      transmissions_by_node = tx_by_node;
+      metrics = Metrics.Acc.freeze metrics;
+      trace = Trace.Acc.freeze trace;
+    }
+  in
+  { base; original; plan; crashed_at; ledger = List.rev !ledger }
+
+let surviving_winners decision o =
+  let n = Array.length o.base.Engine.done_local in
+  List.filter
+    (fun v ->
+      o.base.Engine.done_local.(v) >= 0 && decision o.base.Engine.histories.(v))
+    (List.init n Fun.id)
+
+let elected decision o =
+  if not o.base.Engine.all_terminated then None
+  else
+    match surviving_winners decision o with [ v ] -> Some v | _ -> None
+
+let outcome_equal (a : Engine.outcome) (b : Engine.outcome) =
+  Config.equal a.Engine.config b.Engine.config
+  && Array.length a.Engine.histories = Array.length b.Engine.histories
+  && Array.for_all2 History.equal a.Engine.histories b.Engine.histories
+  && a.Engine.wake_round = b.Engine.wake_round
+  && a.Engine.forced = b.Engine.forced
+  && a.Engine.done_local = b.Engine.done_local
+  && a.Engine.all_terminated = b.Engine.all_terminated
+  && a.Engine.rounds = b.Engine.rounds
+  && a.Engine.first_transmission = b.Engine.first_transmission
+  && a.Engine.transmissions_by_node = b.Engine.transmissions_by_node
+  && a.Engine.metrics = b.Engine.metrics
+  && a.Engine.trace = b.Engine.trace
+
+let pp_fired ppf { round; fault; observed_by } =
+  Format.fprintf ppf "round %4d  %a%s" round Fault_plan.pp_fault fault
+    (match observed_by with
+    | [] -> "  (unobserved)"
+    | vs ->
+        Printf.sprintf "  (observed by %s)"
+          (String.concat ", " (List.map string_of_int vs)))
+
+let pp_ledger ppf = function
+  | [] -> Format.fprintf ppf "no faults fired"
+  | events ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fired ppf events

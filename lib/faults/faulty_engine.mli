@@ -1,0 +1,81 @@
+(** The fault-injecting radio engine.
+
+    [run plan proto config] executes [proto] on [config] under the
+    deviations described by [plan], with the {e identity law}: with
+    {!Fault_plan.empty} the produced {!Radio_sim.Engine.outcome} is
+    bit-for-bit identical to what {!Radio_sim.Engine.run} produces — the
+    fault layer costs a handful of branch tests per round (the bench
+    harness asserts the empty-plan overhead stays within 5%).
+
+    Fault semantics per global round [r] (in order):
+
+    + {b crash}: a node whose crash round is [r] dies before acting — it
+      neither decides, transmits, observes, wakes nor terminates from round
+      [r] on.  Its history simply stops.  A crash scheduled after the node
+      already terminated is a no-op and does not fire.
+    + {b decisions}: as in the pristine engine, for live running nodes.
+    + {b drops}: a dropped directed copy [src -> dst] is removed from the
+      air before anyone counts transmissions — [dst] neither hears it nor
+      counts it towards a collision or a forced wake-up.
+    + {b noise}: after drops, a noisy listening node hears [Collision]
+      whatever remains in the air, and a noisy sleeping node cannot be
+      woken this round (collisions do not wake; its tag may still wake it
+      spontaneously).
+
+    The {b ledger} records every fault that actually fired — changed some
+    node's execution — with the global round and the nodes that perceived a
+    difference.  Faults that were scheduled but changed nothing (a drop on
+    a silent round, noise at a terminated node, a crash after termination)
+    do not fire and are absent from the ledger. *)
+
+type fired = {
+  round : int;  (** global round in which the fault took effect *)
+  fault : Fault_plan.fault;
+  observed_by : int list;
+      (** nodes whose perception the fault altered, ascending; empty when
+          the deviation is invisible (e.g. a crash, or a drop towards a
+          sleeping node that its tag would not have woken) *)
+}
+
+type outcome = {
+  base : Radio_sim.Engine.outcome;
+      (** engine-compatible result; [base.config] is the {e effective}
+          (jitter-applied) configuration the run actually executed, and
+          [base.all_terminated] means {e every non-crashed node}
+          terminated.  Crashed nodes keep [done_local = -1]. *)
+  original : Radio_config.Config.t;  (** the configuration before jitter *)
+  plan : Fault_plan.t;
+  crashed_at : int array;
+      (** per node: the global round it crash-stopped, [-1] if it never
+          crashed (including crashes scheduled after termination) *)
+  ledger : fired list;  (** chronological *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?record_trace:bool ->
+  Fault_plan.t ->
+  Radio_drip.Protocol.t ->
+  Radio_config.Config.t ->
+  outcome
+(** Same defaults as {!Radio_sim.Engine.run} (100_000 rounds, no trace). *)
+
+val surviving_winners :
+  (Radio_drip.History.t -> bool) -> outcome -> int list
+(** Terminated (hence complete-history) nodes whose final history satisfies
+    the decision function.  Crashed and still-running nodes never qualify:
+    their histories are prefixes the decision function may not accept. *)
+
+val elected : (Radio_drip.History.t -> bool) -> outcome -> int option
+(** [Some v] iff every surviving node terminated and [v] is the unique
+    surviving winner. *)
+
+val outcome_equal :
+  Radio_sim.Engine.outcome -> Radio_sim.Engine.outcome -> bool
+(** Field-by-field equality of engine outcomes (configurations compared
+    with {!Radio_config.Config.equal}) — the predicate behind the identity
+    law and the replay-determinism property tests. *)
+
+val pp_fired : Format.formatter -> fired -> unit
+
+val pp_ledger : Format.formatter -> fired list -> unit

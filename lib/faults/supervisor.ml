@@ -1,0 +1,152 @@
+module Config = Radio_config.Config
+module Engine = Radio_sim.Engine
+module Runner = Radio_sim.Runner
+module Fe = Election.Feasibility
+
+type detection =
+  | Elected of int
+  | No_unique_winner of int list
+  | Timed_out
+
+type attempt = {
+  index : int;
+  config : Config.t;
+  repaired : bool;
+  timeout : int;
+  rounds : int;
+  faults_fired : int;
+  detection : detection;
+}
+
+type report = {
+  attempts : attempt list;
+  leader : int option;
+  total_rounds : int;
+  reseeds : int;
+}
+
+(* Repair the tags when the classifier rejects the configuration; an
+   infeasible deployment has no dedicated election to even attempt. *)
+let prepare config =
+  let a = Fe.analyze config in
+  if a.Fe.feasible then (config, a, false)
+  else
+    match Election.Repair.repair config with
+    | Some p ->
+        let repaired = p.Election.Repair.repaired in
+        (repaired, Fe.analyze repaired, true)
+    | None -> (config, a, false)
+
+let reseed ~seed ~attempt original =
+  let jitter =
+    Fault_plan.sample
+      ~seed:(seed + (1_000 * attempt))
+      ~jitters:(Config.size original)
+      ~horizon:1 original
+  in
+  Fault_plan.apply_jitter jitter original
+
+let supervise ?(seed = 0xFA17) ?(max_attempts = 5) ?base_timeout ~plan config
+    =
+  let max_attempts = max 1 max_attempts in
+  let original = config in
+  let base_timeout = ref base_timeout in
+  let attempts = ref [] in
+  let reseeds = ref 0 in
+  let leader = ref None in
+  let finished = ref false in
+  let current = ref config in
+  let k = ref 0 in
+  while (not !finished) && !k < max_attempts do
+    let cfg, analysis, repaired = prepare !current in
+    let base =
+      match !base_timeout with
+      | Some b -> b
+      | None ->
+          let b =
+            (2 * analysis.Fe.election_local_rounds) + Config.span cfg + 2
+          in
+          base_timeout := Some b;
+          b
+    in
+    let timeout = base * (1 lsl min !k 16) in
+    let rounds, fired, detection =
+      match Fe.dedicated_election analysis with
+      | None ->
+          (* Unrepairable: nothing to run, record the dead attempt. *)
+          (0, 0, No_unique_winner [])
+      | Some election ->
+          let o =
+            Faulty_engine.run ~max_rounds:timeout plan
+              election.Runner.protocol cfg
+          in
+          let detection =
+            match Faulty_engine.elected election.Runner.decision o with
+            | Some v -> Elected v
+            | None ->
+                if o.Faulty_engine.base.Engine.all_terminated then
+                  No_unique_winner
+                    (Faulty_engine.surviving_winners
+                       election.Runner.decision o)
+                else Timed_out
+          in
+          ( o.Faulty_engine.base.Engine.rounds,
+            List.length o.Faulty_engine.ledger,
+            detection )
+    in
+    attempts :=
+      {
+        index = !k;
+        config = cfg;
+        repaired;
+        timeout;
+        rounds;
+        faults_fired = fired;
+        detection;
+      }
+      :: !attempts;
+    (match detection with
+    | Elected v ->
+        leader := Some v;
+        finished := true
+    | No_unique_winner _ | Timed_out ->
+        if !k + 1 < max_attempts then begin
+          current := reseed ~seed ~attempt:(!k + 1) original;
+          incr reseeds
+        end);
+    incr k
+  done;
+  let attempts = List.rev !attempts in
+  {
+    attempts;
+    leader = !leader;
+    total_rounds = List.fold_left (fun s a -> s + a.rounds) 0 attempts;
+    reseeds = !reseeds;
+  }
+
+let pp_detection ppf = function
+  | Elected v -> Format.fprintf ppf "elected node %d" v
+  | No_unique_winner [] -> Format.fprintf ppf "no winner"
+  | No_unique_winner ws ->
+      Format.fprintf ppf "no unique winner (%s)"
+        (String.concat "," (List.map string_of_int ws))
+  | Timed_out -> Format.fprintf ppf "timed out"
+
+let pp ppf r =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf
+        "attempt %d: timeout %d, %d rounds, %d faults fired%s -> %a@."
+        a.index a.timeout a.rounds a.faults_fired
+        (if a.repaired then ", tags repaired" else "")
+        pp_detection a.detection)
+    r.attempts;
+  (match r.leader with
+  | Some v ->
+      Format.fprintf ppf "supervisor: leader %d after %d attempt(s)" v
+        (List.length r.attempts)
+  | None ->
+      Format.fprintf ppf "supervisor: gave up after %d attempt(s)"
+        (List.length r.attempts));
+  Format.fprintf ppf ", %d total rounds, %d reseed(s)@." r.total_rounds
+    r.reseeds

@@ -8,7 +8,12 @@ module Protocol = Radio_drip.Protocol
 
 let hlen (o : Engine.outcome) v = Array.length o.Engine.histories.(v)
 
-let structural (o : Engine.outcome) =
+(* [crashed.(v)] is the global round node [v] crash-stopped at, [-1] when it
+   never did.  The pristine checker passes [[||]] — no node ever crashes —
+   and every crash-aware branch below collapses to the pristine rule. *)
+let crash_of crashed v = if v < Array.length crashed then crashed.(v) else -1
+
+let structural_with ~crashed (o : Engine.outcome) =
   Report.collect @@ fun rep ->
   let n = Config.size o.Engine.config in
   let shape_ok =
@@ -34,7 +39,15 @@ let structural (o : Engine.outcome) =
       let wake = o.Engine.wake_round.(v) in
       let dn = o.Engine.done_local.(v) in
       let len = hlen o v in
-      if dn < 0 then all_done := false;
+      let cr = crash_of crashed v in
+      (* all_terminated quantifies over live nodes only: a crashed node
+         never terminates but must not keep the run "unfinished". *)
+      if dn < 0 && cr < 0 then all_done := false;
+      if cr >= 0 && dn >= 0 then
+        rep.Report.f ~node:v ~round:cr ~check:"termination"
+          "crashed node is marked terminated (done_local = %d): crashes only \
+           fire on non-terminated nodes"
+          dn;
       if wake < 0 then begin
         (* Asleep for the whole run. *)
         if len <> 0 then
@@ -54,7 +67,20 @@ let structural (o : Engine.outcome) =
         (* History length = done_local for terminated nodes (engine.mli):
            the wake-up entry plus one entry per completed local round, the
            terminate decision consuming none. *)
-        if dn >= 0 then begin
+        if cr >= 0 then begin
+          (* Crash-stop: the history is the pristine prefix up to the crash
+             round — the wake-up entry plus one reception per round strictly
+             between wake and crash — and then stops dead. *)
+          if wake >= cr then
+            rep.Report.f ~node:v ~round:wake ~check:"crash-silence"
+              "node woke at round %d at or after its crash round %d" wake cr;
+          if len <> cr - wake then
+            rep.Report.f ~node:v ~check:"crash-silence"
+              "crashed node: history has %d entries, expected crash - wake = \
+               %d — the history must stop at the crash"
+              len (cr - wake)
+        end
+        else if dn >= 0 then begin
           if dn < 1 then
             rep.Report.f ~node:v ~check:"termination"
               "done_local = %d < 1: termination cannot precede the first \
@@ -171,6 +197,8 @@ let structural (o : Engine.outcome) =
                    transmissions")
             vs
   end
+
+let structural o = structural_with ~crashed:[||] o
 
 let trace_conformance (o : Engine.outcome) =
   if o.Engine.trace = [] then []
@@ -385,5 +413,243 @@ let validate ?protocol (o : Engine.outcome) =
 
 let validate_exn ?protocol o =
   match validate ?protocol o with
+  | [] -> ()
+  | vs -> failwith (Report.to_string vs)
+
+(* -------------------------------------------------------------------- *)
+(* Faulty outcomes: the conformance checker for [Radio_faults].          *)
+
+module Fault_plan = Radio_faults.Fault_plan
+module Faulty = Radio_faults.Faulty_engine
+
+let ledger_consistency (fo : Faulty.outcome) =
+  Report.collect @@ fun rep ->
+  let o = fo.Faulty.base in
+  let n = Array.length o.Engine.histories in
+  let plan = Fault_plan.normalize fo.Faulty.plan in
+  if Array.length fo.Faulty.crashed_at <> n then
+    rep.Report.f ~check:"shape" "crashed_at has length %d, expected n = %d"
+      (Array.length fo.Faulty.crashed_at)
+      n
+  else begin
+    List.iter
+      (fun (ev : Faulty.fired) ->
+        if not (List.mem ev.Faulty.fault plan) then
+          rep.Report.f ~round:ev.Faulty.round ~check:"fault-ledger"
+            "ledger fires %s, which the plan never schedules"
+            (Format.asprintf "%a" Fault_plan.pp_fault ev.Faulty.fault);
+        if ev.Faulty.round < 0 || ev.Faulty.round > o.Engine.rounds then
+          rep.Report.f ~round:ev.Faulty.round ~check:"fault-ledger"
+            "ledger event fired outside the %d simulated rounds"
+            o.Engine.rounds;
+        let obs = ev.Faulty.observed_by in
+        if List.sort_uniq compare obs <> obs then
+          rep.Report.f ~round:ev.Faulty.round ~check:"fault-ledger"
+            "observed_by is not sorted and duplicate-free";
+        List.iter
+          (fun v ->
+            if v < 0 || v >= n then
+              rep.Report.f ~node:v ~round:ev.Faulty.round
+                ~check:"fault-ledger" "observed_by names an out-of-range node")
+          obs;
+        match ev.Faulty.fault with
+        | Fault_plan.Crash { node; round } ->
+            if obs <> [] then
+              rep.Report.f ~node ~round:ev.Faulty.round ~check:"fault-ledger"
+                "a crash is never directly observed but observed_by is \
+                 non-empty";
+            if ev.Faulty.round <> round then
+              rep.Report.f ~node ~round:ev.Faulty.round ~check:"fault-ledger"
+                "crash scheduled for round %d fired at round %d" round
+                ev.Faulty.round;
+            if
+              node < 0 || node >= n
+              || fo.Faulty.crashed_at.(node) <> round
+            then
+              rep.Report.f ~node ~round ~check:"fault-ledger"
+                "ledger crashes the node here but crashed_at disagrees"
+        | Fault_plan.Drop _ | Fault_plan.Noise _ | Fault_plan.Jitter _ -> ())
+      fo.Faulty.ledger;
+    Array.iteri
+      (fun v r ->
+        if r >= 0 then begin
+          if Fault_plan.crash_round plan v <> Some r then
+            rep.Report.f ~node:v ~round:r ~check:"fault-ledger"
+              "crashed_at records a crash the plan does not schedule for \
+               this round";
+          if
+            not
+              (List.exists
+                 (fun (ev : Faulty.fired) ->
+                   match ev.Faulty.fault with
+                   | Fault_plan.Crash { node; _ } -> node = v
+                   | _ -> false)
+                 fo.Faulty.ledger)
+          then
+            rep.Report.f ~node:v ~round:r ~check:"fault-ledger"
+              "node crashed but the ledger has no crash event for it"
+        end)
+      fo.Faulty.crashed_at
+  end
+
+(* Fault-aware trace conformance: the same reception/wake-up recomputation
+   as [trace_conformance], with the plan's drops removed from the air,
+   noise forcing [Collision], and crashed nodes excused from every round at
+   or after their crash. *)
+let faulty_trace (fo : Faulty.outcome) =
+  let o = fo.Faulty.base in
+  if o.Engine.trace = [] then []
+  else
+    Report.collect @@ fun rep ->
+    let g = Config.graph o.Engine.config in
+    let n = Config.size o.Engine.config in
+    let plan = fo.Faulty.plan in
+    let crashed_at v = crash_of fo.Faulty.crashed_at v in
+    let dead_at r v =
+      let c = crashed_at v in
+      c >= 0 && r >= c
+    in
+    let tx = Purity.tx_by_round o in
+    let transmitted_at r v =
+      r >= 0 && r < Array.length tx && List.mem_assoc v tx.(r)
+    in
+    (* Audible transmitting neighbours of [v] after the plan's drops. *)
+    let audible r v =
+      let count = ref 0 and heard = ref "" in
+      G.iter_neighbours g v ~f:(fun w ->
+          if r < Array.length tx then
+            match List.assoc_opt w tx.(r) with
+            | Some m ->
+                if not (Fault_plan.dropped plan ~src:w ~dst:v ~round:r) then begin
+                  incr count;
+                  heard := m
+                end
+            | None -> ());
+      (!count, !heard)
+    in
+    (* Crash silence and the pristine provenance checks on transmissions. *)
+    Array.iteri
+      (fun r txs ->
+        List.iter
+          (fun (v, _m) ->
+            if v < 0 || v >= n then
+              rep.Report.f ~node:v ~round:r ~check:"trace"
+                "transmission by an out-of-range node"
+            else if dead_at r v then
+              rep.Report.f ~node:v ~round:r ~check:"crash-silence"
+                "transmission at round %d but the node crashed at round %d — \
+                 crashed nodes are permanently silent"
+                r (crashed_at v)
+            else begin
+              let wake = o.Engine.wake_round.(v) in
+              let dn = o.Engine.done_local.(v) in
+              if wake < 0 || wake >= r then
+                rep.Report.f ~node:v ~round:r ~check:"trace"
+                  "transmission by a node not yet awake (wake round %d)" wake
+              else if dn >= 0 && r - wake >= dn then
+                rep.Report.f ~node:v ~round:r ~check:"termination-permanence"
+                  "transmission at local round %d but the node terminated at \
+                   local round %d"
+                  (r - wake) dn
+            end)
+          txs)
+      tx;
+    (* Reception semantics under drops and noise: a dropped copy must never
+       surface in the receiver's history, and a noisy listener hears
+       [Collision] whatever is in the air. *)
+    for v = 0 to n - 1 do
+      let wake = o.Engine.wake_round.(v) in
+      if wake >= 0 then begin
+        let h = o.Engine.histories.(v) in
+        for i = 1 to Array.length h - 1 do
+          let r = wake + i in
+          let expected =
+            if transmitted_at r v then History.Silence
+            else if Fault_plan.noisy plan ~node:v ~round:r then
+              History.Collision
+            else begin
+              match audible r v with
+              | 0, _ -> History.Silence
+              | 1, m -> History.Message m
+              | _ -> History.Collision
+            end
+          in
+          if not (History.equal_entry h.(i) expected) then
+            rep.Report.f ~node:v ~round:r ~check:"collision-semantics"
+              "recorded entry %s but the post-fault transmitter set implies \
+               %s"
+              (Format.asprintf "%a" History.pp_entry h.(i))
+              (Format.asprintf "%a" History.pp_entry expected)
+        done
+      end
+    done;
+    (* Wake-up semantics: forced iff exactly one audible transmitter and no
+       noise; noise pins a sleeping node down (collisions do not wake). *)
+    for v = 0 to n - 1 do
+      let wake = o.Engine.wake_round.(v) in
+      if wake >= 0 && not (dead_at wake v) then begin
+        let count, _ = audible wake v in
+        let noisy = Fault_plan.noisy plan ~node:v ~round:wake in
+        if o.Engine.forced.(v) then begin
+          if count <> 1 || noisy then
+            rep.Report.f ~node:v ~round:wake ~check:"forced-uniqueness"
+              "forced wake-up without exactly one audible transmitting \
+               neighbour (%d audible%s)"
+              count
+              (if noisy then ", noisy" else "")
+        end
+        else if count = 1 && not noisy then
+          rep.Report.f ~node:v ~round:wake ~check:"forced-uniqueness"
+            "exactly one audible neighbour transmits, so this wake-up \
+             should have been forced"
+      end;
+      (* Missed wake-ups of live sleeping nodes. *)
+      let asleep_through r = wake < 0 || wake > r in
+      for r = 0 to o.Engine.rounds - 1 do
+        if asleep_through r && not (dead_at r v) then begin
+          let count, _ = audible r v in
+          if count = 1 && not (Fault_plan.noisy plan ~node:v ~round:r) then
+            rep.Report.f ~node:v ~round:r ~check:"forced-uniqueness"
+              "sleeping node has exactly one audible transmitting neighbour \
+               but was not woken";
+          if Config.tag o.Engine.config v = r then
+            rep.Report.f ~node:v ~round:r ~check:"wakeup"
+              "node slept through its spontaneous wake-up tag"
+        end
+      done
+    done;
+    (* first_transmission against the trace. *)
+    let earliest = ref None in
+    Array.iteri
+      (fun r txs ->
+        if txs <> [] && !earliest = None then
+          earliest := Some (r, List.sort compare (List.map fst txs)))
+      tx;
+    if o.Engine.first_transmission <> !earliest then
+      rep.Report.f ~check:"trace"
+        "first_transmission disagrees with the earliest traced transmission"
+
+let validate_faulty ?protocol (fo : Faulty.outcome) =
+  if Fault_plan.is_empty fo.Faulty.plan && fo.Faulty.ledger = [] then
+    validate ?protocol fo.Faulty.base
+  else
+    ledger_consistency fo
+    @ structural_with ~crashed:fo.Faulty.crashed_at fo.Faulty.base
+    @ faulty_trace fo
+    (* A crashed node stops deciding mid-history, which the anonymity
+       replay cannot distinguish from a deliberate Listen — the DRIP law is
+       only checked when no crash fired. *)
+    @ (if Array.for_all (fun c -> c < 0) fo.Faulty.crashed_at then
+         anonymity fo.Faulty.base
+       else [])
+    @
+    (* Re-running the pristine engine cannot reproduce a faulty outcome, so
+       only the per-node history replay applies here. *)
+    match protocol with
+    | None -> []
+    | Some p -> Purity.replay p fo.Faulty.base
+
+let validate_faulty_exn ?protocol fo =
+  match validate_faulty ?protocol fo with
   | [] -> ()
   | vs -> failwith (Report.to_string vs)

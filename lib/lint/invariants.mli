@@ -53,3 +53,41 @@ val validate_exn :
   ?protocol:Radio_drip.Protocol.t -> Radio_sim.Engine.outcome -> unit
 (** Raises [Failure] with a rendered report when {!validate} finds
     violations. *)
+
+(** {1 Faulty outcomes}
+
+    {!Radio_faults.Faulty_engine} runs deviate from the pristine model on
+    purpose, so the pristine checks would flag every injected fault.  The
+    fault-aware validator instead checks the outcome against the model
+    {e as perturbed by the plan}:
+
+    - {b fault ledger}: every fired event is scheduled by the plan, rounds
+      are in range, [observed_by] is sorted; crashes are unobserved, agree
+      with [crashed_at], and every entry of [crashed_at] has a matching
+      ledger event;
+    - {b crash silence}: a crashed node's history stops at the crash round,
+      it is never marked terminated, and (traced) it transmits nothing at or
+      after its crash;
+    - {b drop semantics} (traced): recomputing every reception with the
+      plan's drops removed from the air must reproduce the recorded entries —
+      a dropped message never appears in the receiver's history;
+    - {b noise semantics} (traced): a noisy listener records [Collision];
+      a noisy sleeping node is never force-woken;
+    - {b wake-up semantics} (traced): forced iff exactly one {e audible}
+      (post-drop) neighbour transmits and no noise.
+
+    On an empty plan with an empty ledger this is exactly {!validate} —
+    the identity law extends to the checker. *)
+
+val validate_faulty :
+  ?protocol:Radio_drip.Protocol.t ->
+  Radio_faults.Faulty_engine.outcome ->
+  Report.t
+(** [protocol] adds the per-node history replay ({!Purity.replay}); the
+    whole-configuration rerun is skipped on non-empty plans (the pristine
+    engine cannot reproduce a faulty outcome). *)
+
+val validate_faulty_exn :
+  ?protocol:Radio_drip.Protocol.t ->
+  Radio_faults.Faulty_engine.outcome ->
+  unit

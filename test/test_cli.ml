@@ -141,6 +141,107 @@ let test_bad_input () =
   let code, _ = anorad "classify /nonexistent/path.cfg" in
   check "nonzero on missing file" true (code <> 0)
 
+let with_plan content f =
+  let path = Filename.temp_file "anorad_cli" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc content);
+      f path)
+
+let test_faults_cli () =
+  with_family "h" 2 (fun cfg ->
+      (* Empty plan: the identity law end to end — election succeeds. *)
+      with_plan "faults\n" (fun plan ->
+          let code, out =
+            anorad
+              (Printf.sprintf "faults %s %s" (Filename.quote cfg)
+                 (Filename.quote plan))
+          in
+          check_int "empty plan elects" 0 code;
+          check "no fault fired" true (contains out "fault ledger (0 fired)");
+          check "invariants hold" true
+            (contains out "fault-aware model invariants hold");
+          check "leader" true (contains out "leader: node 0"));
+      (* Crashing the leader: honest failure, ledger shows the crash. *)
+      with_plan "faults\ncrash 0 3\n" (fun plan ->
+          let code, out =
+            anorad
+              (Printf.sprintf "faults %s %s" (Filename.quote cfg)
+                 (Filename.quote plan))
+          in
+          check_int "no leader exit 1" 1 code;
+          check "crash fired" true (contains out "fault ledger (1 fired)");
+          check "no winner" true
+            (contains out "no unique surviving leader"));
+      (* A malformed plan is rejected before anything runs. *)
+      with_plan "faults\ncrash 99 0\n" (fun plan ->
+          let code, _ =
+            anorad
+              (Printf.sprintf "faults %s %s" (Filename.quote cfg)
+                 (Filename.quote plan))
+          in
+          check_int "invalid plan exit 2" 2 code))
+
+let test_faults_supervise_cli () =
+  with_family "h" 2 (fun cfg ->
+      (* Noise jamming the leader defeats the deployed tags; the supervisor
+         re-seeds and recovers (deterministically — see test_faults.ml). *)
+      let noise =
+        String.concat ""
+          (List.init 12 (fun i -> Printf.sprintf "noise 0 %d\n" (3 + i)))
+      in
+      with_plan ("faults\n" ^ noise) (fun plan ->
+          let code, out =
+            anorad
+              (Printf.sprintf "faults %s %s --supervise" (Filename.quote cfg)
+                 (Filename.quote plan))
+          in
+          check_int "supervisor recovers" 0 code;
+          check "attempts reported" true (contains out "attempt 0:");
+          check "leader reported" true (contains out "supervisor: leader")))
+
+let test_resilience_cli () =
+  with_family "h" 2 (fun cfg ->
+      let run () =
+        anorad
+          (Printf.sprintf "resilience %s --trials 6 --csv -"
+             (Filename.quote cfg))
+      in
+      let code, out = run () in
+      check_int "exit" 0 code;
+      check "csv header" true
+        (contains out
+           "intensity,trials,successes,success_rate,stable,stability_rate");
+      check "chart drawn" true (contains out "success %");
+      (* The whole sweep is a function of the seed: byte-for-byte stable. *)
+      let code2, out2 = run () in
+      check_int "second run exit" 0 code2;
+      check "reproducible byte-for-byte" true (out = out2));
+  (* Infeasible input: no election to degrade. *)
+  with_family "s" 2 (fun cfg ->
+      let code, _ = anorad ("resilience " ^ Filename.quote cfg) in
+      check_int "infeasible exit 1" 1 code)
+
+let test_check_trace_plan_cli () =
+  with_family "h" 2 (fun cfg ->
+      (* Without faults the pristine invariants hold... *)
+      let code, out = anorad ("check-trace " ^ Filename.quote cfg) in
+      check_int "clean exit" 0 code;
+      check "clean verdict" true (contains out "all model invariants hold");
+      (* ...and a crash breaks them, with an actionable headline naming the
+         offending invariant and node. *)
+      with_plan "faults\ncrash 0 3\n" (fun plan ->
+          let code, out =
+            anorad
+              (Printf.sprintf "check-trace %s --plan %s" (Filename.quote cfg)
+                 (Filename.quote plan))
+          in
+          check_int "violation exit 2" 2 code;
+          check "headline names the invariant" true
+            (contains out "check-trace: FAILED: invariant \"");
+          check "headline names the node" true (contains out "at node 0")))
+
 let () =
   Alcotest.run "cli"
     [
@@ -160,5 +261,11 @@ let () =
           Alcotest.test_case "explain --dot" `Quick test_explain_dot_cli;
           Alcotest.test_case "trace" `Quick test_trace_cli;
           Alcotest.test_case "bad input" `Quick test_bad_input;
+          Alcotest.test_case "faults" `Quick test_faults_cli;
+          Alcotest.test_case "faults --supervise" `Quick
+            test_faults_supervise_cli;
+          Alcotest.test_case "resilience" `Quick test_resilience_cli;
+          Alcotest.test_case "check-trace --plan" `Quick
+            test_check_trace_plan_cli;
         ] );
     ]

@@ -1,0 +1,379 @@
+(* Unit tests for the fault layer (lib/faults): plan data type and
+   serialization, the per-fault semantics of the fault-injecting engine and
+   its ledger, resilience degradation curves, and the supervised
+   re-election loop.  The cross-cutting laws (empty-plan identity, replay
+   determinism, perturbed-model conformance) live in test_properties.ml
+   (P25-P27); everything here is small and deterministic. *)
+
+module G = Radio_graph.Graph
+module C = Radio_config.Config
+module F = Radio_config.Families
+module H = Radio_drip.History
+module P = Radio_drip.Protocol
+module Engine = Radio_sim.Engine
+module Fe = Election.Feasibility
+module FP = Radio_faults.Fault_plan
+module FE = Radio_faults.Faulty_engine
+module R = Radio_faults.Resilience
+module S = Radio_faults.Supervisor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The two standing fixtures: a 4-cycle with staggered tags (everything
+   wakes spontaneously, no collisions under silent probes) and the paper's
+   H_2 (path 0-1-2-3, tags 2 0 0 3, canonical leader 0). *)
+let cycle4 =
+  C.create (G.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ]) [| 0; 1; 2; 3 |]
+
+let h2 = F.h_family 2
+
+let dedicated config =
+  match Fe.dedicated_election (Fe.analyze config) with
+  | Some e -> e
+  | None -> Alcotest.fail "expected a feasible configuration"
+
+let frun ?(config = cycle4) plan proto =
+  FE.run ~max_rounds:1_000 ~record_trace:true plan proto config
+
+(* ------------------------------------------------------------------ *)
+(* Fault_plan: data, validation, serialization, sampling               *)
+(* ------------------------------------------------------------------ *)
+
+let mixed_plan =
+  [
+    FP.Crash { node = 1; round = 3 };
+    FP.Drop { src = 0; dst = 1; round = 2 };
+    FP.Noise { node = 2; round = 4 };
+    FP.Jitter { node = 3; delta = -1 };
+  ]
+
+let test_normalize () =
+  let doubled = mixed_plan @ List.rev mixed_plan in
+  let n = FP.normalize doubled in
+  check_int "dedup" (List.length mixed_plan) (List.length n);
+  check "idempotent" true (FP.normalize n = n)
+
+let test_roundtrip () =
+  let p = FP.normalize mixed_plan in
+  check "to/of_string" true (FP.of_string (FP.to_string p) = p);
+  check "empty roundtrip" true (FP.of_string (FP.to_string FP.empty) = [])
+
+let test_parse_comments () =
+  let p = FP.of_string "faults\n# a comment\n\ncrash 1 3\n  noise 0 2\n" in
+  check "parsed" true
+    (FP.normalize p
+    = FP.normalize
+        [ FP.Crash { node = 1; round = 3 }; FP.Noise { node = 0; round = 2 } ])
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match FP.of_string src with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "of_string accepted %S" src)
+    [ "nonsense"; "faults\ncrash 1"; "faults\ndrop 0 x 2"; "faults\nfrob 1 2" ]
+
+let test_validate () =
+  let ok p = check "valid" true (Result.is_ok (FP.validate cycle4 p)) in
+  let bad p = check "invalid" true (Result.is_error (FP.validate cycle4 p)) in
+  ok mixed_plan;
+  ok FP.empty;
+  bad [ FP.Crash { node = 9; round = 0 } ];
+  bad [ FP.Crash { node = 0; round = -1 } ];
+  (* 0-2 is a chord the 4-cycle does not have: drops follow edges. *)
+  bad [ FP.Drop { src = 0; dst = 2; round = 1 } ];
+  bad [ FP.Noise { node = -1; round = 0 } ]
+
+let test_jitter_lookup () =
+  let p =
+    [ FP.Jitter { node = 0; delta = 2 }; FP.Jitter { node = 0; delta = 1 } ]
+  in
+  check_int "jitter sums" 3 (FP.jitter_of p 0);
+  check_int "no jitter" 0 (FP.jitter_of p 1);
+  let eff = FP.apply_jitter p (F.two_cells ()) in
+  check "shifted, not renormalized" true (C.tags eff = [| 3; 1 |]);
+  let clamped =
+    FP.apply_jitter [ FP.Jitter { node = 1; delta = -5 } ] (F.two_cells ())
+  in
+  check "clamped at 0" true (C.tags clamped = [| 0; 0 |])
+
+let test_sample_deterministic () =
+  let draw () =
+    FP.sample ~seed:42 ~crashes:2 ~drops:3 ~noise:2 ~jitters:1 ~horizon:10
+      cycle4
+  in
+  let p = draw () in
+  check "same seed, same plan" true (p = draw ());
+  check "sampled plans validate" true (Result.is_ok (FP.validate cycle4 p));
+  let count f = List.length (List.filter f p) in
+  check_int "crashes" 2 (count (function FP.Crash _ -> true | _ -> false));
+  check_int "drops" 3 (count (function FP.Drop _ -> true | _ -> false));
+  check_int "noise" 2 (count (function FP.Noise _ -> true | _ -> false));
+  check_int "jitters" 1 (count (function FP.Jitter _ -> true | _ -> false))
+
+let test_crash_schedule_nested () =
+  let sched = FP.crash_schedule ~seed:7 ~horizon:12 cycle4 in
+  check_int "covers every node" 4 (List.length sched);
+  check "a permutation" true
+    (List.sort compare (List.map fst sched) = [ 0; 1; 2; 3 ]);
+  check "rounds within horizon" true
+    (List.for_all (fun (_, r) -> r >= 0 && r < 12) sched);
+  check "deterministic" true
+    (sched = FP.crash_schedule ~seed:7 ~horizon:12 cycle4)
+
+(* ------------------------------------------------------------------ *)
+(* Faulty_engine: per-fault semantics and the ledger                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_semantics () =
+  (* Node 1 (tag 1) wakes in round 1 and crash-stops in round 3: its
+     history freezes at two entries and it never terminates, yet the run
+     still counts as fully terminated (crashed nodes are written off). *)
+  let proto = P.silent ~lifetime:5 () in
+  let fo = frun [ FP.Crash { node = 1; round = 3 } ] proto in
+  check_int "crashed_at" 3 fo.FE.crashed_at.(1);
+  check_int "never terminates" (-1) fo.FE.base.Engine.done_local.(1);
+  check_int "history frozen" 2 (Array.length fo.FE.base.Engine.histories.(1));
+  check "others unaffected" true fo.FE.base.Engine.all_terminated;
+  check "crash fires unobserved" true
+    (fo.FE.ledger
+    = [
+        {
+          FE.round = 3;
+          fault = FP.Crash { node = 1; round = 3 };
+          observed_by = [];
+        };
+      ])
+
+let test_drop_semantics () =
+  (* Pristine two_cells + beacon: node 0 transmits in round 1, force-waking
+     node 1 exactly when its own tag fires.  Dropping that one copy leaves
+     node 1 to wake spontaneously into silence. *)
+  let config = F.two_cells () in
+  let pristine = Engine.run ~max_rounds:100 (P.beacon ()) config in
+  check "pristine forced wake" true pristine.Engine.forced.(1);
+  let plan = [ FP.Drop { src = 0; dst = 1; round = 1 } ] in
+  let fo = frun ~config plan (P.beacon ()) in
+  check "drop suppresses forced wake" false fo.FE.base.Engine.forced.(1);
+  check "wakes into silence" true
+    (fo.FE.base.Engine.histories.(1).(0) = H.Silence);
+  check "drop fires at the receiver" true
+    (match fo.FE.ledger with
+    | [ { FE.round = 1; fault = FP.Drop _; observed_by = [ 1 ] } ] -> true
+    | _ -> false)
+
+let test_noise_semantics () =
+  (* A listening node hears Collision whatever its neighbours did. *)
+  let fo = frun [ FP.Noise { node = 0; round = 2 } ] (P.silent ~lifetime:5 ()) in
+  check "listener hears collision" true
+    (fo.FE.base.Engine.histories.(0).(2) = H.Collision);
+  check "noise fires at the listener" true
+    (match fo.FE.ledger with
+    | [ { FE.round = 2; fault = FP.Noise _; observed_by = [ 0 ] } ] -> true
+    | _ -> false)
+
+let test_noise_suppresses_forced_wake () =
+  (* Same beacon scenario as the drop test, but jamming the receiver:
+     collisions do not wake, so node 1 again wakes spontaneously. *)
+  let config = F.two_cells () in
+  let fo = frun ~config [ FP.Noise { node = 1; round = 1 } ] (P.beacon ()) in
+  check "no forced wake under noise" false fo.FE.base.Engine.forced.(1);
+  check "wakes into silence" true
+    (fo.FE.base.Engine.histories.(1).(0) = H.Silence)
+
+let test_jitter_semantics () =
+  let config = F.two_cells () in
+  let plan = [ FP.Jitter { node = 0; delta = 2 } ] in
+  let fo = frun ~config plan (P.silent ~lifetime:1 ()) in
+  check "effective config jittered" true
+    (C.tags fo.FE.base.Engine.config = [| 2; 1 |]);
+  check "original kept" true (C.tags fo.FE.original = [| 0; 1 |]);
+  check_int "wakes at the jittered tag" 2 fo.FE.base.Engine.wake_round.(0);
+  check "jitter fires up-front" true
+    (match fo.FE.ledger with
+    | [ { FE.round = 0; fault = FP.Jitter _; observed_by = [ 0 ] } ] -> true
+    | _ -> false)
+
+let test_inert_faults_never_fire () =
+  (* Scheduled but ineffective: a crash past the end of the run, a drop on
+     a silent round, noise at a long-terminated node, and a jitter whose
+     clamp changes nothing.  None may enter the ledger, and the run must
+     equal the pristine one. *)
+  let proto = P.silent ~lifetime:2 () in
+  let plan =
+    [
+      FP.Crash { node = 0; round = 100 };
+      FP.Drop { src = 0; dst = 1; round = 0 };
+      FP.Noise { node = 0; round = 20 };
+      FP.Jitter { node = 0; delta = -3 };
+    ]
+  in
+  let fo = frun plan proto in
+  check "ledger empty" true (fo.FE.ledger = []);
+  check "no crash recorded" true
+    (Array.for_all (fun c -> c = -1) fo.FE.crashed_at);
+  check "run equals pristine" true
+    (FE.outcome_equal fo.FE.base
+       (Engine.run ~max_rounds:1_000 ~record_trace:true proto cycle4))
+
+let test_election_under_faults () =
+  let e = dedicated h2 in
+  let proto = e.Radio_sim.Runner.protocol in
+  let decision = e.Radio_sim.Runner.decision in
+  let clean = frun ~config:h2 FP.empty proto in
+  check "empty plan elects the leader" true (FE.elected decision clean = Some 0);
+  check "leader survives" true (FE.surviving_winners decision clean = [ 0 ]);
+  (* Crash-stopping the canonical leader mid-run is fatal: the decision
+     function accepts only the singleton class (docs/FAULTS.md). *)
+  let crashed = frun ~config:h2 [ FP.Crash { node = 0; round = 3 } ] proto in
+  check "crashed leader, no winner" true
+    (FE.surviving_winners decision crashed = []);
+  check "no election" true (FE.elected decision crashed = None)
+
+(* ------------------------------------------------------------------ *)
+(* Resilience: degradation curves                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_resilience_baseline_point () =
+  let c = R.crash_sweep ~trials:10 ~name:"h2" h2 in
+  check_int "baseline leader" 0 c.R.baseline_leader;
+  check_int "a point per intensity 0..n" 5 (List.length c.R.points);
+  let p0 = List.hd c.R.points in
+  check_int "intensity 0 always succeeds" 10 p0.R.successes;
+  check_int "intensity 0 always stable" 10 p0.R.stable;
+  Alcotest.(check (float 1e-9)) "intensity 0 overhead" 1.0 (R.overhead c p0)
+
+let test_resilience_monotone () =
+  let c = R.crash_sweep ~trials:10 ~name:"h2" h2 in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.R.successes >= b.R.successes && monotone rest
+    | _ -> true
+  in
+  check "success curve non-increasing" true (monotone c.R.points);
+  check "crashing everyone kills the election" true
+    ((List.nth c.R.points 4).R.successes = 0)
+
+let test_resilience_reproducible () =
+  let sweep () = R.crash_sweep ~trials:8 ~name:"h2" h2 in
+  let a = sweep () and b = sweep () in
+  check "csv byte-for-byte" true (R.to_csv a = R.to_csv b);
+  check "chart byte-for-byte" true (R.to_chart a = R.to_chart b);
+  check "csv header" true
+    (String.length (R.to_csv a) > 0
+    && String.sub (R.to_csv a) 0 9 = "intensity")
+
+let test_resilience_infeasible_rejected () =
+  match R.crash_sweep ~trials:2 ~name:"sym" (F.symmetric_pair ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on infeasible input"
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: bounded re-election                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_clean_first_try () =
+  let r = S.supervise ~plan:FP.empty h2 in
+  check "elects" true (r.S.leader = Some 0);
+  check_int "one attempt" 1 (List.length r.S.attempts);
+  check_int "no reseeding" 0 r.S.reseeds;
+  let a = List.hd r.S.attempts in
+  check "detection" true (a.S.detection = S.Elected 0);
+  check "no repair needed" false a.S.repaired;
+  check_int "rounds accounted" r.S.total_rounds a.S.rounds
+
+let test_supervisor_recovers_from_noise () =
+  (* Jamming the leader's collision detection for the whole election window
+     defeats the deployed tags; re-seeded jitter finds tags whose dedicated
+     algorithm elects despite the jamming (deterministically: seed 0xFA17
+     recovers with leader 1 after three re-seedings). *)
+  let plan = List.init 12 (fun i -> FP.Noise { node = 0; round = 3 + i }) in
+  let r = S.supervise ~plan h2 in
+  check "recovers" true (r.S.leader = Some 1);
+  check "reseeded at least once" true (r.S.reseeds >= 1);
+  check "attempts = reseeds + 1" true
+    (List.length r.S.attempts = r.S.reseeds + 1);
+  (* Backoff: round budgets strictly double attempt over attempt. *)
+  let rec doubling = function
+    | a :: (b :: _ as rest) ->
+        b.S.timeout = 2 * a.S.timeout && doubling rest
+    | _ -> true
+  in
+  check "timeouts double" true (doubling r.S.attempts)
+
+let test_supervisor_gives_up () =
+  (* Crash-stopping whoever the current tags crown is fatal for that
+     attempt; node 0 keeps winning the reseeded instances here, so the
+     supervisor exhausts its budget and reports honestly. *)
+  let plan = [ FP.Crash { node = 0; round = 3 } ] in
+  let r = S.supervise ~max_attempts:3 ~plan h2 in
+  check "no leader" true (r.S.leader = None);
+  check_int "budget exhausted" 3 (List.length r.S.attempts);
+  check "total rounds summed" true
+    (r.S.total_rounds
+    = List.fold_left (fun acc a -> acc + a.S.rounds) 0 r.S.attempts)
+
+let test_supervisor_deterministic () =
+  let plan = List.init 12 (fun i -> FP.Noise { node = 0; round = 3 + i }) in
+  let strip r =
+    ( r.S.leader,
+      r.S.reseeds,
+      r.S.total_rounds,
+      List.map
+        (fun a -> (a.S.index, a.S.timeout, a.S.rounds, a.S.detection))
+        r.S.attempts )
+  in
+  check "same seed, same report" true
+    (strip (S.supervise ~plan h2) = strip (S.supervise ~plan h2));
+  check "repairs infeasible tags first" true
+    ((S.supervise ~plan:FP.empty (F.symmetric_pair ())).S.leader <> None)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "serialization roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_parse_comments;
+          Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "jitter lookup and clamp" `Quick test_jitter_lookup;
+          Alcotest.test_case "sampling deterministic" `Quick
+            test_sample_deterministic;
+          Alcotest.test_case "crash schedule" `Quick test_crash_schedule_nested;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "crash-stop" `Quick test_crash_semantics;
+          Alcotest.test_case "message drop" `Quick test_drop_semantics;
+          Alcotest.test_case "spurious noise" `Quick test_noise_semantics;
+          Alcotest.test_case "noise vs forced wake" `Quick
+            test_noise_suppresses_forced_wake;
+          Alcotest.test_case "tag jitter" `Quick test_jitter_semantics;
+          Alcotest.test_case "inert faults" `Quick test_inert_faults_never_fire;
+          Alcotest.test_case "election under faults" `Quick
+            test_election_under_faults;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "baseline point" `Quick
+            test_resilience_baseline_point;
+          Alcotest.test_case "monotone degradation" `Quick
+            test_resilience_monotone;
+          Alcotest.test_case "reproducible output" `Quick
+            test_resilience_reproducible;
+          Alcotest.test_case "infeasible rejected" `Quick
+            test_resilience_infeasible_rejected;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "clean first try" `Quick
+            test_supervisor_clean_first_try;
+          Alcotest.test_case "recovers from noise" `Quick
+            test_supervisor_recovers_from_noise;
+          Alcotest.test_case "gives up honestly" `Quick test_supervisor_gives_up;
+          Alcotest.test_case "deterministic" `Quick
+            test_supervisor_deterministic;
+        ] );
+    ]

@@ -127,6 +127,29 @@ let hashtbl_tests =
           let x = List.sort compare (Hashtbl.fold f tbl [])\n");
   ]
 
+let fault_purity_tests =
+  [
+    Alcotest.test_case "wall-clock flagged in lib/faults" `Quick
+      (check_flags "fault-purity" ~path:"lib/faults/fault_plan.ml"
+         "let now = Unix.gettimeofday ()\n");
+    Alcotest.test_case "Sys.time flagged in lib/faults" `Quick
+      (check_flags "fault-purity" ~path:"lib/faults/resilience.ml"
+         "let t0 = Sys.time ()\n");
+    Alcotest.test_case "ambient randomness flagged in lib/faults" `Quick
+      (check_flags "fault-purity" ~path:"lib/faults/supervisor.ml"
+         "let () = Random.self_init ()\n");
+    Alcotest.test_case "same source clean outside lib/faults" `Quick
+      (check_clean "fault-purity" ~path:"lib/analysis/foo.ml"
+         "let now = Unix.gettimeofday ()\n");
+    Alcotest.test_case "comment mention clean" `Quick
+      (check_clean "fault-purity" ~path:"lib/faults/fault_plan.ml"
+         "(* never Unix.gettimeofday here *)\nlet x = 1\n");
+    Alcotest.test_case "allow suppresses" `Quick
+      (check_clean "fault-purity" ~path:"lib/faults/fault_plan.ml"
+         "(* radiolint: allow fault-purity — diagnostics only *)\n\
+          let now = Unix.gettimeofday ()\n");
+  ]
+
 let with_temp_tree f =
   let dir = Filename.temp_file "radiolint" "" in
   Sys.remove dir;
@@ -174,10 +197,16 @@ let missing_mli_tests =
                let b = Obj.magic a\n\
                let c = a == b\n\
                let d = Hashtbl.iter (fun _ _ -> ()) tbl\n";
+            let faults = Filename.concat (Filename.dirname core) "faults" in
+            Unix.mkdir faults 0o755;
+            write
+              (Filename.concat faults "bad.ml")
+              "let now = Unix.gettimeofday ()\n";
+            write (Filename.concat faults "bad.mli") "val now : float\n";
             let vs = Rules.lint_tree dir in
             let fired = List.sort_uniq compare (rules_of vs) in
             Alcotest.(check (list string))
-              "all five rules fire"
+              "all rules fire"
               (List.sort compare Rules.rule_names)
               fired));
   ]
@@ -329,6 +358,82 @@ let corrupted_outcome_tests =
           (has_check "termination" vs));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Layer 1, perturbed model: validate_faulty                           *)
+(* ------------------------------------------------------------------ *)
+
+module FP = Radio_faults.Fault_plan
+module FE = Radio_faults.Faulty_engine
+
+let frun ?(config = cycle4) plan proto =
+  FE.run ~max_rounds:1_000 ~record_trace:true plan proto config
+
+(* Node 1 (tag 1) wakes in round 1 and crash-stops in round 3, mid-run. *)
+let crash_plan = [ FP.Crash { node = 1; round = 3 } ]
+
+let faulty_clean_tests =
+  [
+    Alcotest.test_case "crashed run validates" `Quick (fun () ->
+        let proto = P.silent ~lifetime:5 () in
+        let fo = frun crash_plan proto in
+        Alcotest.(check int) "crashed mid-run" 3 fo.FE.crashed_at.(1);
+        check_ok "crash" (Invariants.validate_faulty ~protocol:proto fo));
+    Alcotest.test_case "mixed-plan run validates" `Quick (fun () ->
+        let proto = P.beacon () in
+        let plan =
+          [
+            FP.Noise { node = 3; round = 1 };
+            FP.Drop { src = 0; dst = 1; round = 1 };
+            FP.Jitter { node = 2; delta = 1 };
+          ]
+        in
+        let fo = frun plan proto in
+        check_ok "mixed" (Invariants.validate_faulty ~protocol:proto fo));
+    Alcotest.test_case "empty plan delegates to validate" `Quick (fun () ->
+        let proto = P.beacon () in
+        let fo = frun FP.empty proto in
+        Alcotest.(check bool) "nothing fired" true (fo.FE.ledger = []);
+        check_ok "empty" (Invariants.validate_faulty ~protocol:proto fo));
+  ]
+
+let faulty_corrupted_tests =
+  [
+    Alcotest.test_case "crashed node marked terminated is flagged" `Quick
+      (fun () ->
+        let fo = frun crash_plan (P.silent ~lifetime:5 ()) in
+        fo.FE.base.Engine.done_local.(1) <- 2;
+        let vs = Invariants.validate_faulty fo in
+        Alcotest.(check bool) "termination" true (has_check "termination" vs));
+    Alcotest.test_case "history past the crash round is flagged" `Quick
+      (fun () ->
+        let fo = frun crash_plan (P.silent ~lifetime:5 ()) in
+        (* Node 1 woke in round 1 and crashed in round 3: two entries.
+           Pretending it crashed a round earlier truncates nothing, so the
+           recorded history is now one entry too long. *)
+        fo.FE.crashed_at.(1) <- 2;
+        let vs = Invariants.validate_faulty fo in
+        Alcotest.(check bool) "crash-silence" true
+          (has_check "crash-silence" vs));
+    Alcotest.test_case "forged ledger entry is flagged" `Quick (fun () ->
+        let fo = frun crash_plan (P.silent ~lifetime:5 ()) in
+        let forged =
+          {
+            FE.round = 0;
+            fault = FP.Noise { node = 0; round = 0 };
+            observed_by = [ 0 ];
+          }
+        in
+        let fo = { fo with FE.ledger = fo.FE.ledger @ [ forged ] } in
+        let vs = Invariants.validate_faulty fo in
+        Alcotest.(check bool) "fault-ledger" true (has_check "fault-ledger" vs));
+    Alcotest.test_case "unscheduled crashed_at entry is flagged" `Quick
+      (fun () ->
+        let fo = frun crash_plan (P.silent ~lifetime:5 ()) in
+        fo.FE.crashed_at.(0) <- 2;
+        let vs = Invariants.validate_faulty fo in
+        Alcotest.(check bool) "fault-ledger" true (has_check "fault-ledger" vs));
+  ]
+
 let () =
   Alcotest.run "lint"
     [
@@ -336,8 +441,11 @@ let () =
       ("rule-obj-magic", obj_magic_tests);
       ("rule-physical-equality", physical_eq_tests);
       ("rule-hashtbl-iteration", hashtbl_tests);
+      ("rule-fault-purity", fault_purity_tests);
       ("rule-missing-mli", missing_mli_tests);
       ("invariants-clean", clean_tests);
       ("invariants-broken-protocols", broken_protocol_tests);
       ("invariants-corrupted-outcomes", corrupted_outcome_tests);
+      ("invariants-faulty-clean", faulty_clean_tests);
+      ("invariants-faulty-corrupted", faulty_corrupted_tests);
     ]

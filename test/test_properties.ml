@@ -484,6 +484,81 @@ let prop_invariant_checker_traced =
       let o = Engine.run ~max_rounds:3_000_000 ~record_trace:true proto config in
       Radio_lint.Report.ok (Radio_lint.Invariants.validate ~protocol:proto o))
 
+(* ------------------------------------------------------------------ *)
+(* Fault layer (lib/faults)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module FP = Radio_faults.Fault_plan
+module FE = Radio_faults.Faulty_engine
+
+(* P25 (the identity law): the fault-injecting engine under the empty plan
+   reproduces the pristine engine bit for bit — traces included — on the
+   whole property universe.  This is the contract that lets the fault layer
+   exist without forking the simulator (faulty_engine.mli). *)
+let prop_empty_plan_identity =
+  QCheck.Test.make ~name:"empty fault plan == pristine engine (identity law)"
+    ~count:300 gen_config (fun params ->
+      let config = build params in
+      let plan = Can.plan_of_run (Cl.classify config) in
+      let proto = Can.protocol plan in
+      let fo =
+        FE.run ~max_rounds:3_000_000 ~record_trace:true FP.empty proto config
+      in
+      let o =
+        Engine.run ~max_rounds:3_000_000 ~record_trace:true proto config
+      in
+      FE.outcome_equal fo.FE.base o
+      && fo.FE.ledger = []
+      && Array.for_all (fun c -> c = -1) fo.FE.crashed_at)
+
+(* A seed-derived mixed plan (crashes, drops, noise, jitter) over the live
+   part of the run, normalized so serialization is the identity. *)
+let sampled_plan ~seed config =
+  let n = C.size config in
+  let horizon = (3 * (n + C.span config)) + 5 in
+  FP.normalize
+    (FP.sample ~seed ~crashes:(min 2 n) ~drops:4 ~noise:3 ~jitters:2 ~horizon
+       config)
+
+(* P26: faulty replay determinism — the same plan replays to the identical
+   outcome and ledger, and the plan survives its own serialization. *)
+let prop_faulty_replay_deterministic =
+  QCheck.Test.make ~name:"faulty runs replay deterministically" ~count:150
+    gen_config (fun params ->
+      let _, _, _, seed = params in
+      let config = build params in
+      let plan = sampled_plan ~seed config in
+      let cplan = Can.plan_of_run (Cl.classify config) in
+      let proto = Can.protocol cplan in
+      let o1 =
+        FE.run ~max_rounds:3_000_000 ~record_trace:true plan proto config
+      in
+      let o2 =
+        FE.run ~max_rounds:3_000_000 ~record_trace:true plan proto config
+      in
+      FP.of_string (FP.to_string plan) = plan
+      && FE.outcome_equal o1.FE.base o2.FE.base
+      && o1.FE.ledger = o2.FE.ledger
+      && o1.FE.crashed_at = o2.FE.crashed_at)
+
+(* P27: every faulty outcome satisfies the perturbed-model invariants
+   (crash silence, post-drop reception counts, noise corruption, ledger
+   consistency) — the fault-aware sibling of P24. *)
+let prop_faulty_outcomes_validate =
+  QCheck.Test.make
+    ~name:"faulty outcomes satisfy the perturbed-model invariants" ~count:150
+    gen_config (fun params ->
+      let _, _, _, seed = params in
+      let config = build params in
+      let plan = sampled_plan ~seed:(seed + 7) config in
+      let cplan = Can.plan_of_run (Cl.classify config) in
+      let proto = Can.protocol cplan in
+      let fo =
+        FE.run ~max_rounds:3_000_000 ~record_trace:true plan proto config
+      in
+      Radio_lint.Report.ok
+        (Radio_lint.Invariants.validate_faulty ~protocol:proto fo))
+
 let () =
   Alcotest.run "properties"
     [
@@ -518,5 +593,12 @@ let () =
             prop_optimal_consistent;
             prop_fragility_repair_duality;
             prop_invariant_checker_traced;
+          ] );
+      ( "faults",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_empty_plan_identity;
+            prop_faulty_replay_deterministic;
+            prop_faulty_outcomes_validate;
           ] );
     ]

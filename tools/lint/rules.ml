@@ -262,6 +262,23 @@ let line_rules =
          not value; use =, <> or a dedicated equal function";
     };
     {
+      name = "fault-purity";
+      applies = (fun p -> contains ~needle:"lib/faults/" p);
+      hit =
+        (fun l ->
+          has_module_needle ~needle:"Random.self_init" l
+          || has_module_needle ~needle:"Random." l
+          || has_module_needle ~needle:"Unix.gettimeofday" l
+          || has_module_needle ~needle:"Unix.time" l
+          || has_module_needle ~needle:"Unix.localtime" l
+          || has_module_needle ~needle:"Unix.gmtime" l
+          || has_module_needle ~needle:"Sys.time" l);
+      message =
+        "fault plans are pure data: lib/faults/ must not consult ambient \
+         randomness or wall-clock time — derive everything from the \
+         explicit integer seed (fault_plan.mli)";
+    };
+    {
       name = "hashtbl-iteration";
       applies = deterministic_hot_path;
       hit =

@@ -9,6 +9,11 @@
     - [obj-magic]: [Obj.magic] is banned outright.
     - [physical-equality]: [==]/[!=] on structural data compare identity,
       not value, and are banned in favour of [=]/[<>] or [equal] functions.
+    - [fault-purity]: fault plans are pure data, so [lib/faults/] must not
+      consult ambient randomness ([Random.*], in particular
+      [Random.self_init]) or wall-clock time ([Unix.gettimeofday],
+      [Unix.time], [Unix.localtime], [Unix.gmtime], [Sys.time]); every plan
+      is derived from an explicit integer seed.
     - [hashtbl-iteration]: [Hashtbl.iter]/[Hashtbl.fold] enumerate bindings
       in nondeterministic order and are banned in [lib/core/], [lib/drip/]
       and [lib/sim/].
