@@ -1,12 +1,13 @@
 # Single entry point for CI and local hygiene: `make check` runs the
 # build, the test battery (which includes the model-conformance checks),
-# the source lint, the formatting check, and the resilience smoke run.
+# the source lint (shallow and deep), the formatting check, and the
+# resilience smoke run.
 
 DUNE ?= dune
 
-.PHONY: check build test lint fmt resilience-smoke clean
+.PHONY: check build test lint lint-deep lint-sarif fmt resilience-smoke clean
 
-check: build test lint fmt resilience-smoke
+check: build test lint lint-deep fmt resilience-smoke
 
 build:
 	$(DUNE) build
@@ -16,6 +17,17 @@ test:
 
 lint:
 	$(DUNE) exec tools/lint/radiolint.exe -- lib
+
+# AST + interprocedural taint analysis, gated on the committed baseline:
+# fails on any finding not grandfathered in .radiolint-baseline.
+lint-deep:
+	$(DUNE) exec tools/lint/radiolint.exe -- --deep \
+	  --baseline .radiolint-baseline lib
+
+# SARIF 2.1.0 report for CI annotation viewers.
+lint-sarif:
+	$(DUNE) exec tools/lint/radiolint.exe -- --deep \
+	  --baseline .radiolint-baseline --sarif radiolint.sarif lib
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

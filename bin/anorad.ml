@@ -449,34 +449,106 @@ let repair_cmd =
 (* ------------------------------------------------------------------ *)
 
 let lint_cmd =
+  let module D = Radiolint_core.Driver in
   let paths_arg =
     let doc = "Files or directories to lint (default: lib)." in
     Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
   in
-  let run paths =
-    let module R = Radiolint_core.Rules in
-    match
-      List.concat_map
-        (fun root ->
-          if not (Sys.file_exists root) then begin
-            Format.eprintf "anorad lint: no such file or directory: %s@." root;
+  let deep_arg =
+    let doc =
+      "Also run the interprocedural taint analysis: build the call graph \
+       over every scanned file, seed taint at impure primitives (Random.*, \
+       wall-clock reads) and report each deterministic-boundary function \
+       that transitively reaches one, with its full witness chain."
+    in
+    Arg.(value & flag & info [ "deep" ] ~doc)
+  in
+  let sarif_arg =
+    let doc = "Write a SARIF 2.1.0 report to $(docv) ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Ignore findings whose fingerprint is listed in $(docv) (one per \
+       line; '#' comments), so new findings gate CI without grandfathered \
+       noise."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let run paths deep sarif baseline =
+    List.iter
+      (fun root ->
+        if not (Sys.file_exists root) then begin
+          Format.eprintf "anorad lint: no such file or directory: %s@." root;
+          exit 2
+        end)
+      paths;
+    let scan = D.scan ~deep paths in
+    let scan, suppressed =
+      match baseline with
+      | None -> (scan, 0)
+      | Some file ->
+          if not (Sys.file_exists file) then begin
+            Format.eprintf "anorad lint: no such baseline file: %s@." file;
             exit 2
           end;
-          if Sys.is_directory root then R.lint_tree root else R.lint_file root)
-        paths
-    with
+          D.apply_baseline ~baseline:(D.load_baseline file) scan
+    in
+    (match sarif with
+    | None ->
+        List.iter (fun v -> Format.printf "%a@." D.pp_finding v) scan.D.findings
+    | Some "-" -> print_string (D.to_sarif scan.D.findings)
+    | Some file ->
+        List.iter (fun v -> Format.printf "%a@." D.pp_finding v) scan.D.findings;
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc (D.to_sarif scan.D.findings)));
+    List.iter
+      (fun (path, msg) ->
+        Format.eprintf
+          "anorad lint: warning: %s does not parse (textual rules only): %s@."
+          path msg)
+      scan.D.skipped;
+    if suppressed > 0 then
+      Format.eprintf "%d finding%s suppressed by baseline@." suppressed
+        (if suppressed = 1 then "" else "s");
+    match scan.D.findings with
     | [] -> 0
     | vs ->
-        List.iter (fun v -> Format.printf "%a@." R.pp_violation v) vs;
         Format.eprintf "%d violation%s@." (List.length vs)
           (if List.length vs = 1 then "" else "s");
         1
   in
   let doc =
-    "lint sources for determinism hazards (stray Random.*, Hashtbl \
-     iteration, physical equality, Obj.magic, missing .mli)"
+    "lint sources for determinism hazards: AST rules (stray Random.*, \
+     Hashtbl iteration, physical equality, Obj.magic, toplevel mutable \
+     state, catch-all handlers, assert false, missing .mli) with a textual \
+     fallback for unparseable files, plus interprocedural taint paths with \
+     $(b,--deep)"
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ paths_arg)
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"no findings, or every finding baselined.";
+      Cmd.Exit.info 1 ~doc:"lint findings were reported.";
+      Cmd.Exit.info 2 ~doc:"usage error: missing path or baseline file.";
+    ]
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `S "SUPPRESSING FINDINGS";
+      `P
+        "Annotate the offending line (or a comment-only line directly \
+         above it) with (* radiolint: allow <rule> — reason *).  Taint \
+         findings anchor at the function definition, so the annotation \
+         belongs on the $(b,let); a baselined fingerprint \
+         (rule:path:line, or taint:path:Function:sink) suppresses without \
+         touching the source.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~exits ~man)
+    Term.(const run $ paths_arg $ deep_arg $ sarif_arg $ baseline_arg)
 
 (* Headline for a failed conformance check: name the invariant and the node
    it broke at, so a failing CI line is actionable without the full report. *)

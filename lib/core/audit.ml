@@ -161,6 +161,8 @@ let check_pure_drip ?max_rounds config plan outcome =
 
 let check_plan_roundtrip plan =
   let same =
+    (* radiolint: allow catch-all-exception — audit probe: any parse or
+       validation failure simply means the roundtrip check fails. *)
     try Plan_io.of_string (Plan_io.to_string plan) = plan with _ -> false
   in
   verdict "plan-serialization" same

@@ -124,6 +124,8 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
     inst.Protocol.on_wakeup entry;
     if is_forced then begin
       Metrics.Acc.forced_wakeup metrics;
+      (* radiolint: allow assert-false — a forced wake-up carries the lone
+         surviving transmitter's message by construction (wakeup invariant). *)
       let m = match entry with History.Message m -> m | _ -> assert false in
       Trace.Acc.wake trace ~round v (Trace.Forced m)
     end

@@ -56,6 +56,8 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) proto config =
     inst.Protocol.on_wakeup entry;
     if is_forced then begin
       Metrics.Acc.forced_wakeup metrics;
+      (* radiolint: allow assert-false — a forced wake-up carries the lone
+         neighbour's message by construction (wakeup invariant, §2.1). *)
       let m = match entry with History.Message m -> m | _ -> assert false in
       Trace.Acc.wake trace ~round v (Trace.Forced m)
     end

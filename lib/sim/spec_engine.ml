@@ -83,6 +83,8 @@ let run ?(max_rounds = 100_000) proto config =
             | Sent _ ->
                 (match node.instance with
                 | Some inst -> inst.P.observe H.Silence
+                (* radiolint: allow assert-false — Sent implies a live,
+                   spawned instance (phase A only polls awake nodes). *)
                 | None -> assert false);
                 { node with events = H.Silence :: node.events }
             | Heard when node.instance <> None && node.woke_at < round
@@ -90,6 +92,8 @@ let run ?(max_rounds = 100_000) proto config =
                 let e = entry_for_listener nodes intents g node.id in
                 (match node.instance with
                 | Some inst -> inst.P.observe e
+                (* radiolint: allow assert-false — the guard just checked
+                   node.instance <> None. *)
                 | None -> assert false);
                 { node with events = e :: node.events }
             | Heard | Slept | Stopped | Already_done -> node)

@@ -52,6 +52,8 @@ module Acc = struct
       current a round;
       match a.rev_rounds with
       | ev :: rest -> a.rev_rounds <- f ev :: rest
+      (* radiolint: allow assert-false — [current] above just pushed the
+         event record for this round, so the list is non-empty. *)
       | [] -> assert false
     end
 

@@ -242,6 +242,143 @@ let test_check_trace_plan_cli () =
             (contains out "check-trace: FAILED: invariant \"");
           check "headline names the node" true (contains out "at node 0")))
 
+(* ------------------------------------------------------------------ *)
+(* lint: flags, exit codes, SARIF, baseline                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path content =
+  Out_channel.with_open_text path (fun oc -> output_string oc content)
+
+(* A throwaway lib/ tree the lint path predicates recognize. *)
+let with_lint_tree files f =
+  let dir = Filename.temp_file "anorad_lint" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      rm dir)
+    (fun () ->
+      List.iter
+        (fun (rel, content) ->
+          let path = Filename.concat dir rel in
+          let rec mkdirs d =
+            if not (Sys.file_exists d) then begin
+              mkdirs (Filename.dirname d);
+              Unix.mkdir d 0o755
+            end
+          in
+          mkdirs (Filename.dirname path);
+          write_file path content)
+        files;
+      f (Filename.concat dir "lib"))
+
+let test_lint_help () =
+  let code, out = anorad "lint --help" in
+  check_int "help exit" 0 code;
+  check "documents exit status" true (contains out "EXIT STATUS");
+  check "documents the clean exit" true (contains out "every finding baselined");
+  check "documents the findings exit" true
+    (contains out "lint findings were reported");
+  check "documents the usage exit" true (contains out "usage error");
+  check "documents --deep" true (contains out "--deep");
+  check "documents --baseline" true (contains out "--baseline");
+  check "documents --sarif" true (contains out "--sarif")
+
+let test_lint_clean_and_findings () =
+  with_lint_tree
+    [
+      ("lib/core/good.ml", "let double x = x * 2\n");
+      ("lib/core/good.mli", "val double : int -> int\n");
+    ]
+    (fun lib ->
+      let code, _ = anorad ("lint " ^ Filename.quote lib) in
+      check_int "clean tree exits 0" 0 code);
+  with_lint_tree
+    [
+      ("lib/core/bad.ml", "let x = Random.int 10\n");
+      ("lib/core/bad.mli", "val x : int\n");
+    ]
+    (fun lib ->
+      let code, out = anorad ("lint " ^ Filename.quote lib) in
+      check_int "findings exit 1" 1 code;
+      check "names the rule" true (contains out "[random]"));
+  let code, _ = anorad "lint /nonexistent/path" in
+  check_int "missing path exits 2" 2 code
+
+let test_lint_deep_witness_chain () =
+  with_lint_tree
+    [
+      ( "lib/core/util.ml",
+        "let shuffle arr = ignore (Random.int (Array.length arr)); arr\n" );
+      ("lib/core/util.mli", "val shuffle : int array -> int array\n");
+      ("lib/drip/drip.ml", "let step order = Util.shuffle order\n");
+      ("lib/drip/drip.mli", "val step : int array -> int array\n");
+    ]
+    (fun lib ->
+      (* Shallow: only the direct Random use fires. *)
+      let code, out = anorad ("lint " ^ Filename.quote lib) in
+      check_int "shallow exit 1" 1 code;
+      check "no taint without --deep" false (contains out "[taint]");
+      (* Deep: the caller is flagged with the full witness chain. *)
+      let code, out = anorad ("lint --deep " ^ Filename.quote lib) in
+      check_int "deep exit 1" 1 code;
+      check "taint reported" true (contains out "[taint]");
+      check "witness chain printed" true
+        (contains out "Drip.step") ;
+      check "chain reaches the primitive" true (contains out "Random.int"))
+
+let test_lint_sarif_stdout () =
+  with_lint_tree
+    [ ("lib/core/bad.ml", "let x = Random.int 10\n") ]
+    (fun lib ->
+      let code, out = anorad ("lint --sarif - " ^ Filename.quote lib) in
+      check_int "findings still exit 1" 1 code;
+      check "sarif version" true (contains out "\"version\":\"2.1.0\"");
+      check "sarif schema" true (contains out "sarif-schema-2.1.0.json");
+      check "ruleId present" true (contains out "\"ruleId\":\"random\""))
+
+let test_lint_baseline () =
+  with_lint_tree
+    [
+      ("lib/core/bad.ml", "let x = Random.int 10\n");
+      ("lib/core/bad.mli", "val x : int\n");
+    ]
+    (fun lib ->
+      let bad = Filename.concat (Filename.dirname lib) "lib/core/bad.ml" in
+      let baseline = Filename.temp_file "anorad_lint" ".baseline" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove baseline)
+        (fun () ->
+          write_file baseline
+            (Printf.sprintf "# grandfathered\nrandom:%s:1\n" bad);
+          let code, _ =
+            anorad
+              (Printf.sprintf "lint --baseline %s %s"
+                 (Filename.quote baseline) (Filename.quote lib))
+          in
+          check_int "baselined finding exits 0" 0 code;
+          (* A baseline for a different line does not mask the finding. *)
+          write_file baseline (Printf.sprintf "random:%s:99\n" bad);
+          let code, _ =
+            anorad
+              (Printf.sprintf "lint --baseline %s %s"
+                 (Filename.quote baseline) (Filename.quote lib))
+          in
+          check_int "stale baseline still fails" 1 code);
+      let code, _ =
+        anorad
+          (Printf.sprintf "lint --baseline /nonexistent.baseline %s"
+             (Filename.quote lib))
+      in
+      check_int "missing baseline exits 2" 2 code)
+
 let () =
   Alcotest.run "cli"
     [
@@ -267,5 +404,15 @@ let () =
           Alcotest.test_case "resilience" `Quick test_resilience_cli;
           Alcotest.test_case "check-trace --plan" `Quick
             test_check_trace_plan_cli;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "--help exit codes" `Quick test_lint_help;
+          Alcotest.test_case "clean/findings/usage exits" `Quick
+            test_lint_clean_and_findings;
+          Alcotest.test_case "--deep witness chain" `Quick
+            test_lint_deep_witness_chain;
+          Alcotest.test_case "--sarif stdout" `Quick test_lint_sarif_stdout;
+          Alcotest.test_case "--baseline" `Quick test_lint_baseline;
         ] );
     ]

@@ -1,12 +1,19 @@
 (* Tests for the two-layer analysis subsystem:
 
-   - Radiolint_core.Rules: the source-level determinism lint (comment/string
+   - Radiolint_core.Rules: the textual determinism lint (comment/string
      awareness, allow-list annotations, per-rule positives and negatives);
+   - Radiolint_core.{Ast_lint,Callgraph,Taint,Sarif,Driver}: the AST rule
+     engine, the interprocedural taint analysis with witness chains, the
+     SARIF 2.1.0 writer, and baseline filtering;
    - Radio_lint.{Invariants,Purity}: the model-conformance checker, fed both
      clean executions (must accept) and deliberately broken protocols or
      corrupted outcomes (must flag). *)
 
 module Rules = Radiolint_core.Rules
+module Ast_lint = Radiolint_core.Ast_lint
+module Callgraph = Radiolint_core.Callgraph
+module Taint = Radiolint_core.Taint
+module Driver = Radiolint_core.Driver
 module G = Radio_graph.Graph
 module C = Radio_config.Config
 module H = Radio_drip.History
@@ -19,6 +26,11 @@ module Purity = Radio_lint.Purity
 (* ------------------------------------------------------------------ *)
 (* Layer 2: source rules                                               *)
 (* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
 
 let rules_of vs = List.map (fun v -> v.Rules.rule) vs
 
@@ -209,6 +221,396 @@ let missing_mli_tests =
               "all rules fire"
               (List.sort compare Rules.rule_names)
               fired));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: quoted string literals in strip (regression)               *)
+(* ------------------------------------------------------------------ *)
+
+let quoted_string_tests =
+  [
+    Alcotest.test_case "{|...|} payload is blanked" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "let s = {|Random.int|}\n");
+    Alcotest.test_case "{id|...|id} payload is blanked" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "let s = {ext|uses Random.int here|ext}\n");
+    Alcotest.test_case "== inside quoted string clean" `Quick
+      (check_clean "physical-equality" ~path:"lib/core/foo.ml"
+         "let s = {|a == b|}\n");
+    Alcotest.test_case "wrong closing id does not end the literal" `Quick
+      (check_clean "random" ~path:"lib/core/foo.ml"
+         "let s = {a|text |b} Random.int |a}\n");
+    Alcotest.test_case "multi-line quoted string keeps line structure" `Quick
+      (fun () ->
+        let src = "let s = {|line one\nRandom.int\n|}\nlet x = 1\n" in
+        Alcotest.(check bool)
+          "no violation" false
+          (flags "random" ~path:"lib/core/foo.ml" src);
+        Alcotest.(check int)
+          "line count preserved"
+          (String.length (String.concat "" [ src ]))
+          (String.length (Rules.strip src)));
+    Alcotest.test_case "code after the literal still fires" `Quick
+      (check_flags "random" ~path:"lib/core/foo.ml"
+         "let s = {|quoted|}\nlet x = Random.int 3\n");
+    Alcotest.test_case "record syntax is untouched" `Quick
+      (check_flags "random" ~path:"lib/core/foo.ml"
+         "let r = { x with seed = Random.int 3 }\n");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AST rule engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ast_rules_of vs = List.map (fun v -> v.Rules.rule) vs
+
+let ast_lint ~path source =
+  match Ast_lint.lint_source ~path source with
+  | Ok vs -> vs
+  | Error e -> Alcotest.failf "fixture should parse: %s" e
+
+let ast_flags rule ~path source =
+  List.mem rule (ast_rules_of (ast_lint ~path source))
+
+let check_ast_flags rule ~path source () =
+  Alcotest.(check bool)
+    (Printf.sprintf "AST %s fires in %s" rule path)
+    true (ast_flags rule ~path source)
+
+let check_ast_clean rule ~path source () =
+  Alcotest.(check bool)
+    (Printf.sprintf "AST %s silent in %s" rule path)
+    false (ast_flags rule ~path source)
+
+let ast_ported_tests =
+  [
+    Alcotest.test_case "Random.int flagged" `Quick
+      (check_ast_flags "random" ~path:"lib/core/foo.ml"
+         "let x = Random.int 10\n");
+    Alcotest.test_case "aliased let r = Random.int flagged" `Quick
+      (check_ast_flags "random" ~path:"lib/core/foo.ml"
+         "let draw = Random.int\n");
+    Alcotest.test_case "module R = Random flagged" `Quick
+      (check_ast_flags "random" ~path:"lib/core/foo.ml"
+         "module R = Random\n");
+    Alcotest.test_case "Stdlib.Random.bits flagged" `Quick
+      (check_ast_flags "random" ~path:"lib/sim/foo.ml"
+         "let x = Stdlib.Random.bits ()\n");
+    Alcotest.test_case "Random.State.make flagged" `Quick
+      (check_ast_flags "random" ~path:"lib/core/foo.ml"
+         "let st = Random.State.make [| 7 |]\n");
+    Alcotest.test_case "random exempt in lib/baselines" `Quick
+      (check_ast_clean "random" ~path:"lib/baselines/foo.ml"
+         "let x = Random.int 10\n");
+    Alcotest.test_case "string literal never fires on AST" `Quick
+      (check_ast_clean "random" ~path:"lib/core/foo.ml"
+         "let s = \"Random.int\"\n");
+    Alcotest.test_case "Obj.magic flagged" `Quick
+      (check_ast_flags "obj-magic" ~path:"lib/analysis/foo.ml"
+         "let cast = Obj.magic x\n");
+    Alcotest.test_case "== flagged" `Quick
+      (check_ast_flags "physical-equality" ~path:"lib/core/foo.ml"
+         "let b = a == c\n");
+    Alcotest.test_case "aliased Stdlib.(==) flagged" `Quick
+      (check_ast_flags "physical-equality" ~path:"lib/core/foo.ml"
+         "let eq = Stdlib.( == )\n");
+    Alcotest.test_case "structural = clean" `Quick
+      (check_ast_clean "physical-equality" ~path:"lib/core/foo.ml"
+         "let b = a = c && a <> d\n");
+    Alcotest.test_case "Hashtbl.iter flagged in lib/sim" `Quick
+      (check_ast_flags "hashtbl-iteration" ~path:"lib/sim/foo.ml"
+         "let () = Hashtbl.iter f tbl\n");
+    Alcotest.test_case "Hashtbl.replace clean" `Quick
+      (check_ast_clean "hashtbl-iteration" ~path:"lib/sim/foo.ml"
+         "let () = Hashtbl.replace tbl k v\n");
+    Alcotest.test_case "fault purity: wall clock flagged" `Quick
+      (check_ast_flags "fault-purity" ~path:"lib/faults/foo.ml"
+         "let now = Unix.gettimeofday ()\n");
+    Alcotest.test_case "allow suppresses AST rule" `Quick
+      (check_ast_clean "random" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow random — seeded by caller *)\n\
+          let x = Random.int 10\n");
+    Alcotest.test_case "allow for another rule does not suppress" `Quick
+      (check_ast_flags "random" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow obj-magic *)\nlet x = Random.int 10\n");
+  ]
+
+let ast_only_tests =
+  [
+    Alcotest.test_case "toplevel ref flagged" `Quick
+      (check_ast_flags "toplevel-mutable-state" ~path:"lib/core/foo.ml"
+         "let counter = ref 0\n");
+    Alcotest.test_case "toplevel Hashtbl.create flagged" `Quick
+      (check_ast_flags "toplevel-mutable-state" ~path:"lib/drip/foo.ml"
+         "let memo = Hashtbl.create 16\n");
+    Alcotest.test_case "toplevel ref in nested module flagged" `Quick
+      (check_ast_flags "toplevel-mutable-state" ~path:"lib/sim/foo.ml"
+         "module Acc = struct\n  let total = ref 0\nend\n");
+    Alcotest.test_case "function-local ref clean" `Quick
+      (check_ast_clean "toplevel-mutable-state" ~path:"lib/core/foo.ml"
+         "let count xs =\n  let n = ref 0 in\n  List.iter (fun _ -> incr n) \
+          xs;\n  !n\n");
+    Alcotest.test_case "toplevel ref outside boundary clean" `Quick
+      (check_ast_clean "toplevel-mutable-state" ~path:"lib/analysis/foo.ml"
+         "let counter = ref 0\n");
+    Alcotest.test_case "catch-all try flagged" `Quick
+      (check_ast_flags "catch-all-exception" ~path:"lib/core/foo.ml"
+         "let f x = try g x with _ -> 0\n");
+    Alcotest.test_case "catch-all variable pattern flagged" `Quick
+      (check_ast_flags "catch-all-exception" ~path:"lib/sim/foo.ml"
+         "let f x = try g x with e -> ignore e; 0\n");
+    Alcotest.test_case "catch-all arm after specific one flagged" `Quick
+      (check_ast_flags "catch-all-exception" ~path:"lib/core/foo.ml"
+         "let f x = try g x with Not_found -> 1 | _ -> 0\n");
+    Alcotest.test_case "specific handler clean" `Quick
+      (check_ast_clean "catch-all-exception" ~path:"lib/core/foo.ml"
+         "let f x = try g x with Not_found -> 0\n");
+    Alcotest.test_case "catch-all outside boundary clean" `Quick
+      (check_ast_clean "catch-all-exception" ~path:"lib/analysis/foo.ml"
+         "let f x = try g x with _ -> 0\n");
+    Alcotest.test_case "assert false flagged" `Quick
+      (check_ast_flags "assert-false" ~path:"lib/drip/foo.ml"
+         "let f = function Some x -> x | None -> assert false\n");
+    Alcotest.test_case "ordinary assert clean" `Quick
+      (check_ast_clean "assert-false" ~path:"lib/drip/foo.ml"
+         "let f x = assert (x >= 0); x\n");
+    Alcotest.test_case "assert false outside boundary clean" `Quick
+      (check_ast_clean "assert-false" ~path:"lib/wired/foo.ml"
+         "let f = function Some x -> x | None -> assert false\n");
+    Alcotest.test_case "allow suppresses AST-only rule" `Quick
+      (check_ast_clean "assert-false" ~path:"lib/drip/foo.ml"
+         "(* radiolint: allow assert-false — unreachable by construction *)\n\
+          let f = function Some x -> x | None -> assert false\n");
+    Alcotest.test_case "unparseable source reported as error" `Quick
+      (fun () ->
+        match Ast_lint.lint_source ~path:"lib/core/foo.ml" "let let = in\n" with
+        | Ok _ -> Alcotest.fail "expected a parse error"
+        | Error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural taint                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* lib-style fixture: the deterministic module reaches Random.int only
+   through an intermediate helper (one cross-module call deep). *)
+let helper_src =
+  "let shuffle arr =\n\
+  \  Array.iteri (fun i _ -> ignore (Random.int (i + 1))) arr\n"
+
+let drip_src = "let step order = Util.shuffle order; order\n"
+
+let taint_findings sources = Taint.analyze (Callgraph.of_sources sources)
+
+let find_root name findings =
+  List.find_opt
+    (fun f -> f.Taint.func.Callgraph.display = name)
+    findings
+
+let taint_tests =
+  [
+    Alcotest.test_case "cross-module chain has >= 2 edges" `Quick (fun () ->
+        let findings =
+          taint_findings
+            [
+              ("lib/core/util.ml", helper_src); ("lib/drip/drip.ml", drip_src);
+            ]
+        in
+        match find_root "Drip.step" findings with
+        | None -> Alcotest.fail "Drip.step should be tainted"
+        | Some f ->
+            Alcotest.(check string) "sink" "Random.int" f.Taint.sink;
+            Alcotest.(check bool)
+              "witness has >= 2 edges" true
+              (Taint.edges f >= 2);
+            Alcotest.(check (list string))
+              "chain names"
+              [ "Drip.step"; "Util.shuffle"; "Random.int" ]
+              (List.map (fun h -> h.Taint.name) f.Taint.chain));
+    Alcotest.test_case "impure leaf two calls deep is reached" `Quick
+      (fun () ->
+        let findings =
+          taint_findings
+            [
+              ("lib/core/leaf.ml", "let draw () = Random.bits ()\n");
+              ("lib/core/mid.ml", "let pick () = Leaf.draw ()\n");
+              ("lib/drip/top.ml", "let step () = Mid.pick ()\n");
+            ]
+        in
+        match find_root "Top.step" findings with
+        | None -> Alcotest.fail "Top.step should be tainted"
+        | Some f ->
+            Alcotest.(check int) "three edges" 3 (Taint.edges f);
+            Alcotest.(check string) "sink" "Random.bits" f.Taint.sink);
+    Alcotest.test_case "helper in an exempt module is a barrier" `Quick
+      (fun () ->
+        (* Same shape, but the helper lives in lib/config/random_config.ml
+           (explicitly seeded by contract): the caller stays clean. *)
+        let findings =
+          taint_findings
+            [
+              ( "lib/config/random_config.ml",
+                "let draw n = Random.int n\n" );
+              ( "lib/drip/drip.ml",
+                "let step order = ignore (Random_config.draw 4); order\n" );
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "allow-annotated helper is a barrier" `Quick (fun () ->
+        let annotated =
+          "(* radiolint: allow taint — PRNG audited and locally seeded *)\n"
+          ^ helper_src
+        in
+        let findings =
+          taint_findings
+            [
+              ("lib/core/util.ml", annotated); ("lib/drip/drip.ml", drip_src);
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "direct primitive use is a 1-edge chain" `Quick
+      (fun () ->
+        let findings =
+          taint_findings [ ("lib/sim/clock.ml", "let now () = Sys.time ()\n") ]
+        in
+        match find_root "Clock.now" findings with
+        | None -> Alcotest.fail "Clock.now should be tainted"
+        | Some f ->
+            Alcotest.(check int) "one edge" 1 (Taint.edges f);
+            Alcotest.(check string) "sink" "Sys.time" f.Taint.sink);
+    Alcotest.test_case "pure cross-module calls stay clean" `Quick (fun () ->
+        let findings =
+          taint_findings
+            [
+              ("lib/core/util.ml", "let double x = x * 2\n");
+              ("lib/drip/drip.ml", "let step x = Util.double x\n");
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "taint outside checked dirs not reported" `Quick
+      (fun () ->
+        let findings =
+          taint_findings
+            [ ("lib/analysis/foo.ml", "let t () = Sys.time ()\n") ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "submodule definitions are reachable" `Quick (fun () ->
+        let findings =
+          taint_findings
+            [
+              ( "lib/sim/trace.ml",
+                "module Acc = struct\n\
+                \  let stamp () = Unix.gettimeofday ()\n\
+                 end\n" );
+              ( "lib/drip/drip.ml",
+                "let step () = Trace.Acc.stamp ()\n" );
+            ]
+        in
+        Alcotest.(check bool)
+          "Drip.step tainted" true
+          (find_root "Drip.step" findings <> None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SARIF + baseline (Driver)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_findings =
+  [
+    {
+      Driver.rule = "random";
+      path = "lib/core/foo.ml";
+      line = 3;
+      message = "a \"quoted\" diagnostic";
+      fingerprint = "random:lib/core/foo.ml:3";
+    };
+    {
+      Driver.rule = "taint";
+      path = "lib/drip/drip.ml";
+      line = 1;
+      message = "Drip.step → Util.shuffle → Random.int";
+      fingerprint = "taint:lib/drip/drip.ml:Drip.step:Random.int";
+    };
+  ]
+
+let sarif_tests =
+  [
+    Alcotest.test_case "SARIF carries the required 2.1.0 fields" `Quick
+      (fun () ->
+        let doc = Driver.to_sarif sample_findings in
+        let has n = Alcotest.(check bool) n true (contains ~needle:n doc) in
+        has "\"$schema\":";
+        has "sarif-schema-2.1.0.json";
+        has "\"version\":\"2.1.0\"";
+        has "\"runs\":";
+        has "\"tool\":{\"driver\":{\"name\":\"radiolint\"";
+        has "\"rules\":[";
+        has "\"results\":[";
+        has "\"ruleId\":\"random\"";
+        has "\"level\":\"error\"";
+        has "\"message\":{\"text\":\"a \\\"quoted\\\" diagnostic\"}";
+        has "\"artifactLocation\":{\"uri\":\"lib/core/foo.ml\"}";
+        has "\"region\":{\"startLine\":3}";
+        has
+          "\"partialFingerprints\":{\"radiolint/v1\":\"taint:lib/drip/drip.ml:Drip.step:Random.int\"}");
+    Alcotest.test_case "empty finding set is still a complete document"
+      `Quick (fun () ->
+        let doc = Driver.to_sarif [] in
+        Alcotest.(check bool)
+          "results empty" true
+          (contains ~needle:"\"results\":[]" doc);
+        Alcotest.(check bool)
+          "version present" true
+          (contains ~needle:"\"version\":\"2.1.0\"" doc));
+  ]
+
+let baseline_tests =
+  [
+    Alcotest.test_case "baselined fingerprints are suppressed" `Quick
+      (fun () ->
+        let scan = { Driver.findings = sample_findings; skipped = [] } in
+        let scan', suppressed =
+          Driver.apply_baseline
+            ~baseline:[ "taint:lib/drip/drip.ml:Drip.step:Random.int" ]
+            scan
+        in
+        Alcotest.(check int) "one suppressed" 1 suppressed;
+        Alcotest.(check (list string))
+          "the other survives"
+          [ "random:lib/core/foo.ml:3" ]
+          (List.map (fun f -> f.Driver.fingerprint) scan'.Driver.findings));
+    Alcotest.test_case "load_baseline skips comments and blanks" `Quick
+      (fun () ->
+        let file = Filename.temp_file "radiolint" ".baseline" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove file)
+          (fun () ->
+            write file "# header\n\nrandom:lib/core/foo.ml:3\n  \n# tail\n";
+            Alcotest.(check (list string))
+              "one fingerprint"
+              [ "random:lib/core/foo.ml:3" ]
+              (Driver.load_baseline file)));
+    Alcotest.test_case "baseline_lines are sorted and deduplicated" `Quick
+      (fun () ->
+        Alcotest.(check (list string))
+          "sorted unique"
+          [
+            "random:lib/core/foo.ml:3";
+            "taint:lib/drip/drip.ml:Drip.step:Random.int";
+          ]
+          (Driver.baseline_lines (sample_findings @ sample_findings)));
+    Alcotest.test_case "driver falls back to textual rules" `Quick (fun () ->
+        with_temp_tree (fun ~dir:_ ~core ->
+            (* Unparseable on purpose: the textual layer still sees the
+               stray PRNG call. *)
+            write (Filename.concat core "broken.ml")
+              "let = Random.int 10 (* no binding name: parse error *)\n";
+            write (Filename.concat core "broken.mli") "";
+            let fs = Driver.lint_file (Filename.concat core "broken.ml") in
+            Alcotest.(check bool)
+              "random still fires" true
+              (List.exists (fun f -> f.Driver.rule = "random") fs)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -443,6 +845,12 @@ let () =
       ("rule-hashtbl-iteration", hashtbl_tests);
       ("rule-fault-purity", fault_purity_tests);
       ("rule-missing-mli", missing_mli_tests);
+      ("strip-quoted-strings", quoted_string_tests);
+      ("ast-ported-rules", ast_ported_tests);
+      ("ast-only-rules", ast_only_tests);
+      ("taint", taint_tests);
+      ("sarif", sarif_tests);
+      ("baseline", baseline_tests);
       ("invariants-clean", clean_tests);
       ("invariants-broken-protocols", broken_protocol_tests);
       ("invariants-corrupted-outcomes", corrupted_outcome_tests);

@@ -1,0 +1,38 @@
+(** AST-level determinism rules (compiler-libs pipeline).
+
+    Re-implements the textual rules of {!Rules} on parsed longidents and
+    expressions — eliminating substring false positives and catching aliased
+    forms ([Stdlib.(==)], [Stdlib.Random.int], [module R = Random]) — and
+    adds three rules only an AST can check:
+
+    - [toplevel-mutable-state]: a module-level [let] binding [ref _] or
+      [Hashtbl.create _] inside the deterministic boundary;
+    - [catch-all-exception]: [try ... with _ ->] (or a variable pattern)
+      inside the deterministic boundary;
+    - [assert-false]: [assert false] on a protocol path (deterministic
+      boundary).
+
+    [radiolint: allow <rule>] annotations suppress findings exactly as in
+    the textual layer. *)
+
+type parsed = Parsetree.structure
+
+val parse : path:string -> string -> (parsed, string) result
+(** Parse an OCaml implementation.  [Error msg] carries a one-line parse
+    diagnostic; callers fall back to the textual rules. *)
+
+val rule_names : string list
+(** All AST rule identifiers (superset of the ported textual rules). *)
+
+val lint_structure :
+  path:string ->
+  allowed:(line:int -> rule:string -> bool) ->
+  parsed ->
+  Rules.violation list
+(** Run every AST rule over a parsed structure.  [path] must be normalized
+    ({!Rules.normalize}); [allowed] is the annotation predicate (from
+    {!Rules.allowances}). *)
+
+val lint_source : path:string -> string -> (Rules.violation list, string) result
+(** Parse and lint; computes allowances from the source itself.  [Error] is
+    a parse failure (fall back to {!Rules.lint_source}). *)

@@ -1,0 +1,178 @@
+(* Per-module call graph over parsed sources, for the taint analysis.
+
+   Nodes are toplevel value bindings (including bindings inside nested
+   [module ... = struct] blocks, keyed under their top module so that
+   [Trace.Acc.wake] and a caller's [Trace.Acc.wake] reference meet).  Edges
+   are the longidents referenced from each binding's body, recorded with
+   their call-site line.  Resolution of references to nodes happens in
+   taint.ml — this module only extracts the raw shape. *)
+
+open Parsetree
+
+type reference = { target : string list; ref_line : int }
+
+type def = {
+  key : string;  (* "Module.name" — top module + unqualified binding name *)
+  display : string;  (* full dotted path, e.g. "Trace.Acc.wake" *)
+  def_path : string;
+  def_line : int;
+  mutable refs : reference list;
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  modules : (string, string) Hashtbl.t;  (* top module name -> file path *)
+  allow : (string, line:int -> rule:string -> bool) Hashtbl.t;
+  mutable skipped : (string * string) list;  (* path, parse diagnostic *)
+}
+
+let create () =
+  {
+    defs = Hashtbl.create 64;
+    modules = Hashtbl.create 16;
+    allow = Hashtbl.create 16;
+    skipped = [];
+  }
+
+let module_name_of_path path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flat lid =
+  match Longident.flatten lid with
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | l -> l
+
+let refs_of_expr e =
+  let acc = ref [] in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        acc :=
+          { target = flat txt; ref_line = loc.loc_start.Lexing.pos_lnum }
+          :: !acc
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.rev !acc
+
+(* Every variable a binding pattern introduces, with its line. *)
+let rec vars_of_pattern p =
+  match p.ppat_desc with
+  | Ppat_var { txt; loc } -> [ (txt, loc.loc_start.Lexing.pos_lnum) ]
+  | Ppat_alias (inner, { txt; loc }) ->
+      (txt, loc.loc_start.Lexing.pos_lnum) :: vars_of_pattern inner
+  | Ppat_tuple ps -> List.concat_map vars_of_pattern ps
+  | Ppat_constraint (p, _) | Ppat_open (_, p) | Ppat_lazy p
+  | Ppat_exception p ->
+      vars_of_pattern p
+  | Ppat_construct (_, Some (_, p)) -> vars_of_pattern p
+  | Ppat_variant (_, Some p) -> vars_of_pattern p
+  | Ppat_record (fields, _) ->
+      List.concat_map (fun (_, p) -> vars_of_pattern p) fields
+  | Ppat_array ps -> List.concat_map vars_of_pattern ps
+  | Ppat_or (a, b) -> vars_of_pattern a @ vars_of_pattern b
+  | _ -> []
+
+let add_def t ~top ~subpath ~name ~path ~line ~refs =
+  let key = top ^ "." ^ name in
+  let display = String.concat "." ((top :: subpath) @ [ name ]) in
+  match Hashtbl.find_opt t.defs key with
+  | Some d ->
+      (* Same unqualified name defined twice under one top module (e.g. in
+         two submodules): merge the edges — an over-approximation that
+         keeps the analysis sound. *)
+      d.refs <- d.refs @ refs
+  | None ->
+      Hashtbl.replace t.defs key
+        { key; display; def_path = path; def_line = line; refs }
+
+let rec collect_items t ~top ~subpath ~path items =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let refs = refs_of_expr vb.pvb_expr in
+              match vars_of_pattern vb.pvb_pat with
+              | [] ->
+                  (* [let () = ...] and friends: module initialization code
+                     still references things — keep it as a synthetic
+                     node so taint through it is not lost. *)
+                  if refs <> [] then
+                    add_def t ~top ~subpath ~name:"(init)" ~path
+                      ~line:vb.pvb_loc.loc_start.Lexing.pos_lnum ~refs
+              | vars ->
+                  List.iter
+                    (fun (name, line) ->
+                      add_def t ~top ~subpath ~name ~path ~line ~refs)
+                    vars)
+            vbs
+      | Pstr_eval (e, _) ->
+          let refs = refs_of_expr e in
+          if refs <> [] then
+            add_def t ~top ~subpath ~name:"(init)" ~path
+              ~line:item.pstr_loc.loc_start.Lexing.pos_lnum ~refs
+      | Pstr_module { pmb_name = { txt; _ }; pmb_expr; _ } ->
+          let sub = match txt with Some s -> [ s ] | None -> [] in
+          collect_module t ~top ~subpath:(subpath @ sub) ~path pmb_expr
+      | Pstr_recmodule mbs ->
+          List.iter
+            (fun mb ->
+              let sub =
+                match mb.pmb_name.txt with Some s -> [ s ] | None -> []
+              in
+              collect_module t ~top ~subpath:(subpath @ sub) ~path mb.pmb_expr)
+            mbs
+      | Pstr_include { pincl_mod; _ } ->
+          collect_module t ~top ~subpath ~path pincl_mod
+      | _ -> ())
+    items
+
+and collect_module t ~top ~subpath ~path m =
+  match m.pmod_desc with
+  | Pmod_structure items -> collect_items t ~top ~subpath ~path items
+  | Pmod_constraint (m, _) -> collect_module t ~top ~subpath ~path m
+  | Pmod_functor (_, m) -> collect_module t ~top ~subpath ~path m
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Building                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_source t ~path source =
+  let path = Rules.normalize path in
+  match Ast_lint.parse ~path source with
+  | Error e -> t.skipped <- (path, e) :: t.skipped
+  | Ok ast ->
+      let top = module_name_of_path path in
+      Hashtbl.replace t.modules top path;
+      let raw_lines = Rules.lines_of source in
+      let stripped_lines = Rules.lines_of (Rules.strip source) in
+      Hashtbl.replace t.allow path
+        (Rules.allowances ~raw_lines ~stripped_lines);
+      collect_items t ~top ~subpath:[] ~path ast
+
+let of_sources sources =
+  let t = create () in
+  List.iter (fun (path, source) -> add_source t ~path source) sources;
+  t
+
+let add_file t path = add_source t ~path (Rules.read_file path)
+let add_tree t root = List.iter (add_file t) (Rules.walk root [])
+let defs t = Hashtbl.fold (fun _ d acc -> d :: acc) t.defs []
+let find t key = Hashtbl.find_opt t.defs key
+let has_module t name = Hashtbl.mem t.modules name
+let skipped t = List.rev t.skipped
+
+let allowed t ~path ~line ~rule =
+  match Hashtbl.find_opt t.allow path with
+  | Some f -> f ~line ~rule
+  | None -> false

@@ -1,0 +1,44 @@
+(** Per-module call graph over parsed sources (taint-analysis substrate).
+
+    Nodes are toplevel value bindings — bindings inside nested
+    [module ... = struct] blocks are keyed under their top module, so a
+    reference to [Trace.Acc.wake] meets the definition registered for
+    [trace.ml].  Edges are the longidents each body references, with their
+    call-site lines.  Files the parser rejects are recorded in {!skipped}
+    and contribute no nodes. *)
+
+type reference = {
+  target : string list;  (** flattened longident, [Stdlib.] dropped *)
+  ref_line : int;
+}
+
+type def = {
+  key : string;  (** ["Module.name"] — top module + unqualified name *)
+  display : string;  (** full dotted path, e.g. ["Trace.Acc.wake"] *)
+  def_path : string;
+  def_line : int;
+  mutable refs : reference list;
+}
+
+type t
+
+val create : unit -> t
+val add_source : t -> path:string -> string -> unit
+val of_sources : (string * string) list -> t
+(** Build from in-memory [(path, source)] pairs (test fixtures). *)
+
+val add_file : t -> string -> unit
+val add_tree : t -> string -> unit
+(** Add every [.ml] under a directory root ({!Rules.walk}). *)
+
+val module_name_of_path : string -> string
+val defs : t -> def list
+val find : t -> string -> def option
+val has_module : t -> string -> bool
+(** Is this top module part of the scanned set? *)
+
+val allowed : t -> path:string -> line:int -> rule:string -> bool
+(** The [radiolint: allow] predicate of the file at [path]. *)
+
+val skipped : t -> (string * string) list
+(** Unparseable files: [(path, one-line diagnostic)]. *)

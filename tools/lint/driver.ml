@@ -1,0 +1,137 @@
+(* Orchestration shared by the radiolint executable and `anorad lint`:
+   expand paths, run the AST rules with textual fallback on unparseable
+   files, optionally add the interprocedural taint layer (--deep), filter
+   against a committed baseline, and render text or SARIF. *)
+
+type finding = {
+  rule : string;
+  path : string;
+  line : int;
+  message : string;
+  fingerprint : string;
+}
+
+let version = "2.0.0"
+
+let rule_descriptions =
+  [
+    ("random", "PRNG use outside the exempt modules");
+    ("obj-magic", "Obj.magic defeats the type system");
+    ("physical-equality", "== / != compare identity, not value");
+    ("hashtbl-iteration", "Hashtbl iteration order is nondeterministic");
+    ("fault-purity", "ambient randomness or wall-clock time in lib/faults/");
+    ( "toplevel-mutable-state",
+      "module-level ref/Hashtbl.create in a deterministic library" );
+    ("catch-all-exception", "try ... with _ -> swallows invariant violations");
+    ("assert-false", "assert false on a protocol path");
+    ("missing-mli", "lib module without an interface");
+    ("taint", "deterministic boundary transitively reaches an impure primitive");
+  ]
+
+let rule_names = List.map fst rule_descriptions
+
+let of_violation (v : Rules.violation) =
+  {
+    rule = v.Rules.rule;
+    path = v.Rules.path;
+    line = v.Rules.line;
+    message = v.Rules.message;
+    fingerprint = Printf.sprintf "%s:%s:%d" v.Rules.rule v.Rules.path v.Rules.line;
+  }
+
+let of_taint (f : Taint.finding) =
+  let d = f.Taint.func in
+  {
+    rule = Taint.rule;
+    path = d.Callgraph.def_path;
+    line = d.Callgraph.def_line;
+    message = Taint.message f;
+    fingerprint =
+      Printf.sprintf "taint:%s:%s:%s" d.Callgraph.def_path
+        d.Callgraph.display f.Taint.sink;
+  }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.path f.line f.rule f.message
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* AST rules when the file parses, textual rules otherwise; missing-mli
+   either way. *)
+let lint_file path =
+  let source = Rules.read_file path in
+  let content =
+    match Ast_lint.lint_source ~path source with
+    | Ok vs -> vs
+    | Error _ -> Rules.lint_source ~path source
+  in
+  List.map of_violation (content @ Rules.missing_mli path)
+
+type scan = {
+  findings : finding list;
+  skipped : (string * string) list;  (* unparseable files (deep only) *)
+}
+
+let expand_path root =
+  if Sys.is_directory root then List.rev (Rules.walk root [])
+  else [ Rules.normalize root ]
+
+(* [roots] must exist (callers validate).  [deep] builds one call graph
+   over every scanned file, so cross-root calls are still visible. *)
+let scan ?(deep = false) roots =
+  let files = List.concat_map expand_path roots in
+  let shallow = List.concat_map lint_file files in
+  let deep_findings, skipped =
+    if not deep then ([], [])
+    else begin
+      let cg = Callgraph.create () in
+      List.iter (Callgraph.add_file cg) files;
+      (List.map of_taint (Taint.analyze cg), Callgraph.skipped cg)
+    end
+  in
+  let findings =
+    List.sort
+      (fun a b -> compare (a.path, a.line, a.rule) (b.path, b.line, b.rule))
+      (shallow @ deep_findings)
+  in
+  { findings; skipped }
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let load_baseline path =
+  Rules.read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" || l.[0] = '#' then None else Some l)
+
+let apply_baseline ~baseline scan =
+  let fresh, suppressed =
+    List.partition
+      (fun f -> not (List.mem f.fingerprint baseline))
+      scan.findings
+  in
+  ({ scan with findings = fresh }, List.length suppressed)
+
+let baseline_lines findings =
+  List.map (fun f -> f.fingerprint) findings |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_sarif findings =
+  Sarif.to_string ~tool_version:version ~rules:rule_descriptions
+    (List.map
+       (fun f ->
+         {
+           Sarif.rule_id = f.rule;
+           message = f.message;
+           path = f.path;
+           line = f.line;
+           fingerprint = f.fingerprint;
+         })
+       findings)

@@ -1,0 +1,46 @@
+(** Orchestration shared by the [radiolint] executable and [anorad lint].
+
+    A scan runs the AST rules ({!Ast_lint}) on every [.ml] under the given
+    roots, falling back to the textual rules ({!Rules}) for files the
+    parser rejects, plus the [missing-mli] check; [--deep] additionally
+    builds one call graph over the whole file set and runs the
+    interprocedural taint analysis ({!Taint}). *)
+
+type finding = {
+  rule : string;
+  path : string;
+  line : int;
+  message : string;
+  fingerprint : string;
+      (** baseline key: [rule:path:line] for per-file rules,
+          [taint:path:Function:sink] for taint findings *)
+}
+
+val version : string
+val rule_descriptions : (string * string) list
+val rule_names : string list
+
+type scan = {
+  findings : finding list;  (** sorted by path, line, rule *)
+  skipped : (string * string) list;
+      (** files the parser rejected (populated by deep scans) *)
+}
+
+val lint_file : string -> finding list
+val scan : ?deep:bool -> string list -> scan
+(** Roots (directories or [.ml] files) must exist — validate first. *)
+
+val load_baseline : string -> string list
+(** Fingerprints from a baseline file; blank and [#] lines ignored. *)
+
+val apply_baseline : baseline:string list -> scan -> scan * int
+(** Drop baselined findings; returns the suppressed count. *)
+
+val baseline_lines : finding list -> string list
+(** Sorted, deduplicated fingerprints — the baseline file content. *)
+
+val to_sarif : finding list -> string
+(** SARIF 2.1.0 document for a finding set. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] message] — one line, editor-clickable. *)

@@ -1,37 +1,130 @@
-(* radiolint — source-level determinism lint (see docs/LINTING.md).
+(* radiolint — two-tier determinism lint (see docs/LINTING.md).
 
-   Usage: radiolint [PATH ...]
-   Scans each PATH (directory or .ml file; default: lib) and exits nonzero
-   when any rule fires. *)
+   Usage: radiolint [--deep] [--baseline FILE] [--sarif FILE]
+                    [--write-baseline FILE] [PATH ...]
+
+   Scans each PATH (directory or .ml file; default: lib) with the AST rule
+   engine (textual fallback for unparseable files); --deep adds the
+   interprocedural taint analysis.  Exit codes: 0 = clean (every finding
+   baselined), 1 = findings, 2 = usage or I/O error. *)
 
 let usage () =
-  prerr_endline "usage: radiolint [PATH ...]";
+  prerr_endline
+    "usage: radiolint [--deep] [--baseline FILE] [--sarif FILE] \
+     [--write-baseline FILE] [PATH ...]";
   prerr_endline "  Lints .ml sources under each PATH (default: lib).";
-  Printf.eprintf "  Rules: %s\n" (String.concat ", " Radiolint_core.Rules.rule_names);
+  prerr_endline
+    "  --deep            add the interprocedural taint analysis (witness \
+     chains)";
+  prerr_endline
+    "  --baseline FILE   ignore findings whose fingerprint is listed in FILE";
+  prerr_endline
+    "  --sarif FILE      also write a SARIF 2.1.0 report to FILE ('-' for \
+     stdout)";
+  prerr_endline
+    "  --write-baseline FILE  write the current findings' fingerprints to \
+     FILE and exit 0";
+  Printf.eprintf "  Rules: %s\n" (String.concat ", " Radiolint_core.Driver.rule_names);
   prerr_endline
     "  Suppress a finding with (* radiolint: allow <rule> — reason *) on \
-     or above the offending line."
+     or above the offending line.";
+  prerr_endline "  Exit codes: 0 clean (or all baselined), 1 findings, 2 error."
+
+let fail_usage msg =
+  Printf.eprintf "radiolint: %s\n" msg;
+  usage ();
+  exit 2
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  if List.exists (fun a -> a = "--help" || a = "-h") args then begin
-    usage ();
-    exit 0
-  end;
-  let roots = if args = [] then [ "lib" ] else args in
-  let violations =
-    List.concat_map
-      (fun root ->
-        if not (Sys.file_exists root) then begin
-          Printf.eprintf "radiolint: no such file or directory: %s\n" root;
+  let module D = Radiolint_core.Driver in
+  let deep = ref false in
+  let baseline = ref None in
+  let sarif = ref None in
+  let write_baseline = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | "--deep" :: rest ->
+        deep := true;
+        parse rest
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
+        parse rest
+    | "--sarif" :: file :: rest ->
+        sarif := Some file;
+        parse rest
+    | "--write-baseline" :: file :: rest ->
+        write_baseline := Some file;
+        parse rest
+    | [ ("--baseline" | "--sarif" | "--write-baseline") ] ->
+        fail_usage "missing argument"
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        fail_usage ("unknown option " ^ arg)
+    | path :: rest ->
+        roots := path :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = if !roots = [] then [ "lib" ] else List.rev !roots in
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "radiolint: no such file or directory: %s\n" root;
+        exit 2
+      end)
+    roots;
+  let scan = D.scan ~deep:!deep roots in
+  (match !write_baseline with
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc
+            "# radiolint baseline — grandfathered findings, one fingerprint \
+             per line.\n";
+          List.iter
+            (fun l -> output_string oc (l ^ "\n"))
+            (D.baseline_lines scan.D.findings));
+      Printf.printf "radiolint: wrote %d fingerprint%s to %s\n"
+        (List.length scan.D.findings)
+        (if List.length scan.D.findings = 1 then "" else "s")
+        file;
+      exit 0
+  | None -> ());
+  let scan, suppressed =
+    match !baseline with
+    | None -> (scan, 0)
+    | Some file ->
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "radiolint: no such baseline file: %s\n" file;
           exit 2
         end;
-        if Sys.is_directory root then Radiolint_core.Rules.lint_tree root
-        else Radiolint_core.Rules.lint_file root)
-      roots
+        D.apply_baseline ~baseline:(D.load_baseline file) scan
   in
-  List.iter (fun v -> Format.printf "%a@." Radiolint_core.Rules.pp_violation v) violations;
-  match violations with
+  (match !sarif with
+  | None ->
+      List.iter
+        (fun v -> Format.printf "%a@." D.pp_finding v)
+        scan.D.findings
+  | Some "-" -> print_string (D.to_sarif scan.D.findings)
+  | Some file ->
+      List.iter
+        (fun v -> Format.printf "%a@." D.pp_finding v)
+        scan.D.findings;
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (D.to_sarif scan.D.findings)));
+  List.iter
+    (fun (path, msg) ->
+      Printf.eprintf
+        "radiolint: warning: %s does not parse (textual rules only): %s\n"
+        path msg)
+    scan.D.skipped;
+  if suppressed > 0 then
+    Printf.eprintf "radiolint: %d finding%s suppressed by baseline\n"
+      suppressed
+      (if suppressed = 1 then "" else "s");
+  match scan.D.findings with
   | [] -> exit 0
   | vs ->
       Printf.eprintf "radiolint: %d violation%s\n" (List.length vs)

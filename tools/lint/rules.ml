@@ -59,6 +59,34 @@ let strip source =
         incr i
       done
     end
+    else if c = '{' then begin
+      (* Quoted string literal {|...|} or {id|...|id}: blank delimiters and
+         payload.  A '{' not directly followed by [a-z_]* '|' is ordinary
+         code (record literal, functor application) and is left alone. *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match source.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n && source.[!j] = '|' then begin
+        let id = String.sub source (!i + 1) (!j - !i - 1) in
+        let closing = "|" ^ id ^ "}" in
+        let cl = String.length closing in
+        let k = ref (!j + 1) in
+        let stop = ref n in
+        while !stop = n && !k + cl <= n do
+          if String.sub source !k cl = closing then stop := !k + cl
+          else incr k
+        done;
+        for p = !i to !stop - 1 do
+          blank p
+        done;
+        i := !stop
+      end
+      else incr i
+    end
     else if c = '\'' then begin
       (* Character literal or type variable. *)
       if !i + 2 < n && source.[!i + 1] = '\\' then begin
@@ -228,6 +256,12 @@ let deterministic_hot_path path =
   || contains ~needle:"lib/drip/" path
   || contains ~needle:"lib/sim/" path
 
+let in_faults path = contains ~needle:"lib/faults/" path
+
+(* The declared purity boundary: directories whose code must be a
+   deterministic function of local history (docs/LINTING.md). *)
+let deterministic_boundary path = deterministic_hot_path path || in_faults path
+
 type line_rule = {
   name : string;
   applies : string -> bool;
@@ -263,7 +297,7 @@ let line_rules =
     };
     {
       name = "fault-purity";
-      applies = (fun p -> contains ~needle:"lib/faults/" p);
+      applies = in_faults;
       hit =
         (fun l ->
           has_module_needle ~needle:"Random.self_init" l

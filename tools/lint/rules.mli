@@ -35,6 +35,49 @@ type violation = {
 val rule_names : string list
 (** All rule identifiers, for documentation and [allow] validation. *)
 
+val normalize : string -> string
+(** Forward slashes, no leading [./] — every path predicate below expects
+    normalized paths. *)
+
+val under_lib : string -> bool
+(** The path is (or is under) a [lib/] directory. *)
+
+val random_allowed : string -> bool
+(** Directories that legitimately own a (seeded) PRNG: [lib/baselines/],
+    [lib/graph/gen.ml], [lib/config/random_config.ml].  These are also the
+    modules the taint analysis treats as purity {e barriers}. *)
+
+val deterministic_hot_path : string -> bool
+(** [lib/core/], [lib/drip/], [lib/sim/]. *)
+
+val in_faults : string -> bool
+(** [lib/faults/]. *)
+
+val deterministic_boundary : string -> bool
+(** The declared purity boundary ([deterministic_hot_path] or [in_faults]):
+    code here must stay a deterministic function of local history. *)
+
+val lines_of : string -> string array
+(** Split on newlines (for {!allowances}). *)
+
+val allowances :
+  raw_lines:string array ->
+  stripped_lines:string array ->
+  line:int ->
+  rule:string ->
+  bool
+(** [allowances ~raw_lines ~stripped_lines] scans for
+    [radiolint: allow <rule> ...] annotations and returns the suppression
+    predicate: an annotation covers its own line, and, when the annotated
+    lines hold no code, the first code line below. *)
+
+val read_file : string -> string
+(** Read a whole file (binary-safe). *)
+
+val walk : string -> string list -> string list
+(** [walk dir acc] prepends every [.ml] under [dir] (skipping [_build] and
+    dot-directories) onto [acc]. *)
+
 val strip : string -> string
 (** [strip source] blanks out comments, string literals and character
     literals (preserving length and line structure) so that needle searches
@@ -44,6 +87,9 @@ val lint_source : path:string -> string -> violation list
 (** Runs every content rule on [source], which lives at repo-relative
     [path] (forward slashes).  Does not touch the filesystem; the
     [missing-mli] rule is not applied here. *)
+
+val missing_mli : string -> violation list
+(** The [missing-mli] check alone (touches the filesystem). *)
 
 val lint_file : string -> violation list
 (** Reads the file and runs {!lint_source} plus the [missing-mli] check. *)

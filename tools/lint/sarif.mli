@@ -1,0 +1,23 @@
+(** Minimal SARIF 2.1.0 writer (hand-rolled JSON; no external deps).
+
+    Emits the subset static-analysis viewers require: [$schema] and
+    [version], one run with [tool.driver] (name, version, rule metadata)
+    and [results] carrying [ruleId], [level], [message.text], a physical
+    location (artifact uri + [startLine]) and a partial fingerprint — the
+    same string the baseline file stores. *)
+
+type result = {
+  rule_id : string;
+  message : string;
+  path : string;
+  line : int;
+  fingerprint : string;
+}
+
+val schema_uri : string
+
+val to_string :
+  tool_version:string -> rules:(string * string) list -> result list -> string
+(** [to_string ~tool_version ~rules results] is the complete SARIF
+    document; [rules] is [(id, short description)] metadata for
+    [tool.driver.rules]. *)

@@ -1,0 +1,48 @@
+(** Interprocedural purity (taint) analysis over a {!Callgraph.t}.
+
+    Taint is seeded at impure primitives ([Random.*], [Unix.gettimeofday],
+    [Unix.time], [Unix.localtime], [Unix.gmtime], [Sys.time]) and propagated
+    backwards along call edges.  A function defined inside the [checked]
+    boundary that transitively reaches a primitive is reported with its
+    full witness chain ([Drip.step → Util.shuffle → Random.int]).
+
+    Barriers — through which taint neither originates nor flows:
+    - functions in [exempt] files (default {!Rules.random_allowed}: the
+      modules that own explicitly seeded randomness by contract);
+    - functions whose definition carries [radiolint: allow taint]. *)
+
+type hop = { name : string; hop_path : string; hop_line : int }
+
+type finding = {
+  func : Callgraph.def;  (** the boundary function that went impure *)
+  chain : hop list;
+      (** witness, in call order: [func]; intermediate helpers; the
+          primitive (anchored at its call site) — at least 2 entries *)
+  sink : string;  (** dotted primitive name, e.g. ["Random.int"] *)
+}
+
+val rule : string
+(** The rule identifier, ["taint"] — also the annotation name that
+    suppresses a finding when placed on a function's definition. *)
+
+val primitive : string list -> string option
+(** Is this flattened longident an impure primitive? *)
+
+val analyze :
+  ?checked:(string -> bool) ->
+  ?exempt:(string -> bool) ->
+  Callgraph.t ->
+  finding list
+(** Defaults: [checked = Rules.deterministic_boundary],
+    [exempt = Rules.random_allowed].  Findings are sorted by definition
+    site. *)
+
+val edges : finding -> int
+(** Length of the witness chain in edges (calls + the primitive use). *)
+
+val pp_chain : Format.formatter -> finding -> unit
+(** [Drip.step → Util.shuffle → Random.int]. *)
+
+val message : finding -> string
+(** One-line diagnostic embedding the chain and per-hop [path:line]
+    witness. *)
