@@ -5,9 +5,10 @@
 
 DUNE ?= dune
 
-.PHONY: check build test lint lint-deep lint-sarif fmt resilience-smoke clean
+.PHONY: check build test lint lint-deep lint-sarif fmt resilience-smoke \
+  mc-smoke clean
 
-check: build test lint lint-deep fmt resilience-smoke
+check: build test lint lint-deep fmt resilience-smoke mc-smoke
 
 build:
 	$(DUNE) build
@@ -44,6 +45,23 @@ resilience-smoke:
 	$(DUNE) exec bin/anorad.exe -- catalog h2 > $$tmp && \
 	$(DUNE) exec bin/anorad.exe -- resilience $$tmp --trials 10; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# Bounded model checking end to end: the differential oracle over every
+# connected configuration with n <= 4 (with concrete engine replay of each
+# extracted trace), a verified family run with a SARIF artifact, and a
+# seeded mutant that must produce exit code 1 with a counterexample.
+mc-smoke:
+	@tmp=$$(mktemp); sarif=$$(mktemp); status=0; \
+	$(DUNE) exec bin/anorad.exe -- mc --oracle 4 --replay && \
+	$(DUNE) exec bin/anorad.exe -- family h 2 > $$tmp && \
+	$(DUNE) exec bin/anorad.exe -- mc $$tmp --replay --sarif $$sarif && \
+	grep -q '"results":\[\]' $$sarif || status=1; \
+	if [ $$status -eq 0 ]; then \
+	  $(DUNE) exec bin/anorad.exe -- mc $$tmp \
+	    --protocol mutant-greedy-decision > /dev/null; \
+	  [ $$? -eq 1 ] || status=1; \
+	fi; \
+	rm -f $$tmp $$sarif; exit $$status
 
 clean:
 	$(DUNE) clean

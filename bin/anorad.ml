@@ -17,6 +17,7 @@
      catalog    - named example configurations
      optimal    - exhaustive minimal symmetry-breaking-round search
      lint       - source-level determinism lint (radiolint rules)
+     mc         - bounded model checking with symmetry reduction
      check-trace - run the canonical DRIP and verify every model invariant
      faults     - execute an election under a deterministic fault plan
      resilience - sweep crash intensity and emit the degradation curve *)
@@ -550,6 +551,286 @@ let lint_cmd =
     (Cmd.info "lint" ~doc ~exits ~man)
     Term.(const run $ paths_arg $ deep_arg $ sarif_arg $ baseline_arg)
 
+(* ------------------------------------------------------------------ *)
+(* mc                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mc_cmd =
+  let module Machine = Radio_mc.Machine in
+  let module Mutant = Radio_mc.Mutant in
+  let module Checker = Radio_mc.Checker in
+  let module Oracle = Radio_mc.Oracle in
+  let module Sarif = Radiolint_core.Sarif in
+  let mc_rules =
+    [
+      ("mc-two-leaders", "safety: more than one node decided leader");
+      ("mc-no-leader", "feasible configuration terminated without a leader");
+      ( "mc-leader-on-infeasible",
+        "a leader emerged on an infeasible configuration" );
+      ("mc-wrong-leader", "elected leader differs from the canonical one");
+      ( "mc-liveness-bound",
+        "election exceeded the O(n^2 sigma) global-round bound" );
+    ]
+  in
+  let config_opt_arg =
+    let doc =
+      "Configuration file ('-' for stdin).  Not needed with $(b,--oracle)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CONFIG" ~doc)
+  in
+  let depth_arg =
+    let doc =
+      "Cap exploration at $(docv) global rounds.  Default: one past the \
+       paper's sigma + ceil(n/2)(n(2 sigma+1)+sigma)+1 bound in protocol \
+       mode; 24 in $(b,--explore) mode."
+    in
+    Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let states_arg =
+    let doc = "State budget (default 200000): interned history keys in \
+               protocol mode, visited canonical states in $(b,--explore) \
+               mode." in
+    Arg.(value & opt (some int) None & info [ "states" ] ~docv:"N" ~doc)
+  in
+  let protocol_arg =
+    let doc =
+      "Machine to check: a registered protocol (drip, pure-drip, beacon, \
+       silent, min-beacon, wave) or a seeded mutant (mutant-greedy, \
+       mutant-early-stop) as a negative control."
+    in
+    Arg.(value & opt string "drip" & info [ "protocol" ] ~docv:"NAME" ~doc)
+  in
+  let explore_arg =
+    let doc =
+      "Universal mode: branch over every subset of awake history classes \
+       transmitting (all deterministic anonymous protocols at once) and \
+       report whether any reachable state separates a node, instead of \
+       checking one protocol."
+    in
+    Arg.(value & flag & info [ "explore" ] ~doc)
+  in
+  let faults_arg =
+    let doc =
+      "With $(b,--explore): arm a crash adversary that may kill up to \
+       $(docv) awake nodes (one per round).  Crashes name concrete nodes, \
+       so they are what gives the symmetry quotient something to collapse."
+    in
+    Arg.(value & opt int 0 & info [ "faults" ] ~docv:"K" ~doc)
+  in
+  let no_reduction_arg =
+    let doc =
+      "With $(b,--explore): disable the automorphism-quotient symmetry \
+       reduction (for measuring what it saves)."
+    in
+    Arg.(value & flag & info [ "no-reduction" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay the extracted trace through the concrete engine and validate \
+       it against every model invariant (in $(b,--oracle) mode: replay \
+       every configuration's trace)."
+    in
+    Arg.(value & flag & info [ "replay" ] ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Differential oracle: for every connected configuration with at most \
+       $(docv) nodes (tag span <= 2), check that the model-checker verdict \
+       under the canonical DRIP agrees with the classifier.  Ignores \
+       CONFIG."
+    in
+    Arg.(value & opt (some int) None & info [ "oracle" ] ~docv:"N" ~doc)
+  in
+  let sarif_arg =
+    let doc = "Write a SARIF 2.1.0 report to $(docv) ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+  in
+  let pp_stats ppf (s : Checker.stats) =
+    Format.fprintf ppf
+      "states: %d explored (%d raw), peak frontier %d, depth reached %d, %d \
+       history keys, automorphism group %d"
+      s.Checker.states_explored s.Checker.states_raw s.Checker.peak_frontier
+      s.Checker.depth_reached s.Checker.distinct_keys s.Checker.automorphisms
+  in
+  let write_sarif sarif results =
+    match sarif with
+    | None -> ()
+    | Some dst ->
+        let doc =
+          Sarif.to_string ~tool_version:"1.0.0" ~rules:mc_rules results
+        in
+        if dst = "-" then print_string doc
+        else Out_channel.with_open_text dst (fun oc -> output_string oc doc)
+  in
+  let run_oracle max_n replay sarif =
+    let report = Oracle.run ~max_n ~replay () in
+    Format.printf "%a@." Oracle.pp_report report;
+    let results =
+      List.map
+        (fun (d : Oracle.disagreement) ->
+          {
+            Sarif.rule_id = "mc-oracle-disagreement";
+            message =
+              Format.asprintf "%a" Oracle.pp_disagreement d
+              |> String.map (fun c -> if c = '\n' then ' ' else c);
+            path = "<enumerated>";
+            line = 1;
+            fingerprint = Format.asprintf "mc-oracle:%s" d.Oracle.detail;
+          })
+        report.Oracle.disagreements
+    in
+    write_sarif sarif results;
+    if Oracle.consistent report then 0 else 1
+  in
+  let run_explore config depth states faults reduction =
+    let exploration =
+      Checker.explore ?depth ?states ~reduction ~faults config
+    in
+    (match exploration.Checker.separated_at with
+    | Some r ->
+        Format.printf
+          "separation: a reachable state holds a uniquely-distinguished \
+           node by round %d@."
+          r
+    | None ->
+        Format.printf
+          "no separation: no explored state distinguishes any node (the \
+           symmetric core of infeasibility)@.");
+    Format.printf "%a@." pp_stats exploration.Checker.stats;
+    (match exploration.Checker.exhausted with
+    | None -> ()
+    | Some b ->
+        Format.printf "budget exhausted: %s@."
+          (match b with `Depth -> "depth" | `States -> "states"));
+    (* A found separation answers the universal question affirmatively no
+       matter which budget stopped the search.  Reaching the depth bound
+       is the normal end of a bounded exploration (histories grow every
+       round, so the frontier never empties on its own): "no separation
+       within depth d" is the conclusive bounded answer.  Only the state
+       cap cutting the search short of the requested depth leaves the
+       negative answer inconclusive. *)
+    match
+      (exploration.Checker.separated_at, exploration.Checker.exhausted)
+    with
+    | Some _, _ -> 0
+    | None, Some `States -> 2
+    | None, (None | Some `Depth) -> 0
+  in
+  let run_check config path machine depth states replay sarif =
+    let res = Checker.verify ?depth ?states ~machine config in
+    Format.printf "machine: %s@." res.Checker.machine_name;
+    Format.printf "verdict: %a@." Checker.pp_verdict res.Checker.verdict;
+    Format.printf "rounds: %d@." res.Checker.rounds;
+    Format.printf "%a@." pp_stats res.Checker.stats;
+    if replay then begin
+      let r = Checker.replay ~machine res in
+      Format.printf "engine replay: trace %s, model invariants %s@."
+        (if r.Checker.trace_matches then "matches bit-for-bit"
+         else "DIVERGES")
+        (if Radio_lint.Report.ok r.Checker.report then "hold"
+         else "violated")
+    end;
+    match res.Checker.verdict with
+    | Checker.Elected _ | Checker.Non_election _ ->
+        write_sarif sarif [];
+        0
+    | Checker.Violated v ->
+        Format.printf "counterexample trace (replayable through 'anorad \
+                       check-trace'):@.%a@."
+          Trace.pp res.Checker.trace;
+        write_sarif sarif
+          [
+            {
+              Sarif.rule_id = Checker.violation_id v;
+              message = Format.asprintf "%a" Checker.pp_violation v;
+              path;
+              line = 1;
+              fingerprint =
+                Printf.sprintf "%s:%s" (Checker.violation_id v) path;
+            };
+          ];
+        1
+    | Checker.Exhausted b ->
+        Format.printf "budget exhausted: %s — no verdict@."
+          (match b with `Depth -> "depth" | `States -> "states");
+        2
+  in
+  let run config_path depth states protocol explore faults no_reduction
+      replay oracle sarif =
+    match oracle with
+    | Some max_n -> run_oracle max_n replay sarif
+    | None -> (
+        match config_path with
+        | None ->
+            Format.eprintf
+              "anorad mc: a CONFIG argument is required (or use --oracle \
+               N)@.";
+            2
+        | Some path -> (
+            let config = load_config path in
+            if explore then
+              run_explore config depth states faults (not no_reduction)
+            else
+              match Radio_mc.Machine.of_name config protocol with
+              | Some machine ->
+                  run_check config path machine depth states replay sarif
+              | None -> (
+                  match Mutant.of_name config protocol with
+                  | Some machine ->
+                      run_check config path machine depth states replay
+                        sarif
+                  | None ->
+                      Format.eprintf
+                        "anorad mc: unknown protocol %S (known: %s)@."
+                        protocol
+                        (String.concat ", " (Machine.names @ Mutant.names));
+                      2)))
+  in
+  let doc =
+    "bounded model checking of the election transition system: verify \
+     safety (never two leaders) and bounded liveness (a feasible \
+     configuration elects its canonical leader within the paper's O(n^2 \
+     sigma) bound) for a pluggable per-node protocol, extract replayable \
+     counterexample traces, explore the protocol-universal transition \
+     relation with symmetry reduction ($(b,--explore)), or cross-check \
+     every small configuration against the classifier ($(b,--oracle))"
+  in
+  let exits =
+    [
+      Cmd.Exit.info 0
+        ~doc:
+          "property verified (exploration / oracle completed with nothing \
+           to report).";
+      Cmd.Exit.info 1
+        ~doc:
+          "a property violation was found; the counterexample trace is \
+           printed (and the finding written to --sarif).";
+      Cmd.Exit.info 2
+        ~doc:
+          "usage error, or a budget exhausted before a verdict (for \
+           $(b,--explore) a fully explored depth bound without separation \
+           is a conclusive exit 0; only the state cap tripping first is \
+           inconclusive).";
+    ]
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `S "COUNTEREXAMPLES";
+      `P
+        "A Violated verdict prints the offending execution as a concrete \
+         trace in the same format the engine records; replaying the \
+         machine concretely ($(b,--replay)) re-derives it bit-for-bit and \
+         runs the full model-conformance checker on the outcome.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc ~exits ~man)
+    Term.(
+      const run $ config_opt_arg $ depth_arg $ states_arg $ protocol_arg
+      $ explore_arg $ faults_arg $ no_reduction_arg $ replay_arg
+      $ oracle_arg $ sarif_arg)
+
 (* Headline for a failed conformance check: name the invariant and the node
    it broke at, so a failing CI line is actionable without the full report. *)
 let pp_violation_headline ppf (vs : Radio_lint.Report.t) =
@@ -763,6 +1044,7 @@ let () =
             catalog_cmd;
             optimal_cmd;
             lint_cmd;
+            mc_cmd;
             check_trace_cmd;
             faults_cmd;
             resilience_cmd;

@@ -23,7 +23,9 @@ let feasible_universe ~max_n ~max_span =
   done;
   List.sort
     (fun c1 c2 ->
-      compare (C.size c1, C.span c1) (C.size c2, C.span c2))
+      match Int.compare (C.size c1) (C.size c2) with
+      | 0 -> Int.compare (C.span c1) (C.span c2)
+      | c -> c)
     (List.rev !configs)
 
 let run_candidate ?max_rounds candidate config =

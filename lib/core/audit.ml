@@ -94,7 +94,8 @@ let check_blocks run plan outcome =
             if j_minus_1 = 0 then 1
             else iterations.(j_minus_1 - 1).Classifier.new_class.(v)
           in
-          if tb <> Some expected then okay := false)
+          if not (Option.equal Int.equal tb (Some expected)) then
+            okay := false)
         trace)
     outcome.Engine.histories;
   verdict "lemma-3.8-blocks" !okay
@@ -141,7 +142,7 @@ let check_election run plan outcome =
           (List.init (Array.length outcome.Engine.histories) Fun.id)
       in
       verdict "lemma-3.11-election"
-        (winners = [ leader ])
+        (List.equal Int.equal winners [ leader ])
         ~yes:(Printf.sprintf "unique winner = predicted leader (node %d)" leader)
         ~no:"simulation winners differ from the predicted leader"
 

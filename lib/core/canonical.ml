@@ -114,7 +114,8 @@ let protocol plan =
         match position ~sigma:plan.sigma ~blocks ~offset with
         | `Tail -> Protocol.Listen
         | `Slot (a, b) ->
-            if !tblock = Some a && b = plan.sigma + 1 then Protocol.Transmit "1"
+            if Option.equal Int.equal !tblock (Some a) && b = plan.sigma + 1
+            then Protocol.Transmit "1"
             else Protocol.Listen
       end
     in
@@ -223,7 +224,8 @@ let pure_drip plan h =
     match position ~sigma:plan.sigma ~blocks ~offset with
     | `Tail -> Protocol.Listen
     | `Slot (a, b) ->
-        if !tb = Some a && b = plan.sigma + 1 then Protocol.Transmit "1"
+        if Option.equal Int.equal !tb (Some a) && b = plan.sigma + 1 then
+          Protocol.Transmit "1"
         else Protocol.Listen
   end
 
@@ -233,7 +235,7 @@ let pure_protocol plan =
 let decision plan h =
   match plan.singleton_class with
   | None -> false
-  | Some m -> final_class plan h = Some m
+  | Some m -> Option.equal Int.equal (final_class plan h) (Some m)
 
 let election plan =
   { Radio_sim.Runner.protocol = protocol plan; decision = decision plan }

@@ -107,7 +107,13 @@ let run ?(max_n = 4) ?(max_span = 2) () =
         :: !cells
     done
   done;
-  let cells = List.sort compare (List.rev !cells) in
+  let compare_cell c1 c2 =
+    (* (n, span) is unique per cell, so this total order matches the loop. *)
+    match Int.compare c1.n c2.n with
+    | 0 -> Int.compare c1.span c2.span
+    | c -> c
+  in
+  let cells = List.sort compare_cell (List.rev !cells) in
   {
     cells;
     configurations = !total_configs;

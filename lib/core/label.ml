@@ -24,9 +24,9 @@ let compare_triple t1 t2 =
       | c -> c)
   | c -> c
 
-let compare = List.compare compare_triple
-
-let equal l1 l2 = compare l1 l2 = 0
+let compare_labels = List.compare compare_triple
+let compare = compare_labels
+let equal l1 l2 = compare_labels l1 l2 = 0
 
 let of_observations obs =
   let sorted =
@@ -44,14 +44,17 @@ let of_observations obs =
   sorted
 
 let of_neighbour_slots slots =
-  let sorted = List.sort Stdlib.compare slots in
+  let compare_slot (b1, s1) (b2, s2) =
+    match Int.compare b1 b2 with 0 -> Int.compare s1 s2 | c -> c
+  in
+  let sorted = List.sort compare_slot slots in
   (* Group equal consecutive (block, slot) pairs; the result is already in
      ≺hist order because (block, slot) pairs end up pairwise distinct. *)
   let rec group = function
     | [] -> []
     | (block, slot) :: rest ->
         let rec skip n = function
-          | x :: tl when x = (block, slot) -> skip (n + 1) tl
+          | (b, s) :: tl when b = block && s = slot -> skip (n + 1) tl
           | tl -> (n, tl)
         in
         let n, tl = skip 1 rest in

@@ -53,7 +53,7 @@ let separated keys =
   outer 0
 
 let distinct_awake_keys keys =
-  List.sort_uniq compare
+  List.sort_uniq Int.compare
     (List.filter (fun k -> k <> 0) (Array.to_list keys))
 
 let rec subsets = function
@@ -99,7 +99,19 @@ let step config intern keys ~round ~transmitting =
 module StateSet = Set.Make (struct
   type t = int array
 
-  let compare = compare
+  (* All states in one search share a length, but stay total regardless. *)
+  let compare (a : int array) (b : int array) =
+    match Int.compare (Array.length a) (Array.length b) with
+    | 0 ->
+        let rec go i =
+          if i = Array.length a then 0
+          else
+            match Int.compare a.(i) b.(i) with
+            | 0 -> go (i + 1)
+            | c -> c
+        in
+        go 0
+    | c -> c
 end)
 
 let breaking_time ?(horizon = 24) ?(max_states = 200_000) config =

@@ -87,7 +87,7 @@ let of_string s =
   in
   match lines with
   | magic :: sigma_l :: phases_l :: singleton_l :: rest ->
-      if tokens magic <> [ "drip-plan"; "1" ] then
+      if not (List.equal String.equal (tokens magic) [ "drip-plan"; "1" ]) then
         fail "Plan_io.of_string: bad magic line";
       let sigma =
         match tokens sigma_l with

@@ -14,12 +14,20 @@ type plan = {
 
 let feasible config = Classifier.is_feasible (Fast_classifier.classify config)
 
+let compare_change c1 c2 =
+  match Int.compare c1.node c2.node with
+  | 0 -> (
+      match Int.compare c1.old_tag c2.old_tag with
+      | 0 -> Int.compare c1.new_tag c2.new_tag
+      | c -> c)
+  | c -> c
+
 let plan_of_changes config changes =
   let tags = C.tags config in
   List.iter (fun ch -> tags.(ch.node) <- ch.new_tag) changes;
   let repaired = C.create (C.graph config) tags in
   {
-    changes = List.sort compare changes;
+    changes = List.sort compare_change changes;
     repaired;
     cost = List.fold_left (fun a ch -> a + abs (ch.new_tag - ch.old_tag)) 0 changes;
   }
@@ -48,7 +56,7 @@ let repair_one ?max_tag config =
           if feasible p.repaired then Some p else None)
         (candidate_changes config ~max_tag)
     in
-    match List.sort (fun a b -> compare a.cost b.cost) plans with
+    match List.sort (fun a b -> Int.compare a.cost b.cost) plans with
     | best :: _ -> Some best
     | [] -> None
   end
@@ -68,7 +76,16 @@ let repair ?max_tag ?(max_changes = 2) config =
       (* (touched, cost, next candidate index, change set) — lexicographic *)
       type t = int * int * int * change list
 
-      let compare = compare
+      let compare (t1, c1, i1, l1) (t2, c2, i2, l2) =
+        match Int.compare t1 t2 with
+        | 0 -> (
+            match Int.compare c1 c2 with
+            | 0 -> (
+                match Int.compare i1 i2 with
+                | 0 -> List.compare compare_change l1 l2
+                | c -> c)
+            | c -> c)
+        | c -> c
     end) in
     let cost_of changes =
       List.fold_left (fun a ch -> a + abs (ch.new_tag - ch.old_tag)) 0 changes

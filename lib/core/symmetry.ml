@@ -82,3 +82,51 @@ let certified_infeasible ?budget config =
   match find ?budget config with
   | Some perm -> is_certificate config perm
   | None -> false
+
+(* The full tag-preserving automorphism group (identity included, fixed
+   points allowed): the same backtracking as [find] without the
+   fixed-point-free pruning, collecting every completed assignment instead
+   of stopping at the first.  Used by the model checker to quotient state
+   vectors; a budget-truncated (hence possibly partial) set is still sound
+   there — it merely reduces less. *)
+let automorphisms ?(budget = 200_000) config =
+  let g = C.graph config in
+  let n = C.size config in
+  if n = 0 then []
+  else begin
+    let image = Array.make n (-1) in
+    let used = Array.make n false in
+    let steps = ref 0 in
+    let acc = ref [] in
+    let compatible v w =
+      (not used.(w))
+      && C.tag config v = C.tag config w
+      && G.degree g v = G.degree g w
+      &&
+      let ok = ref true in
+      for u = 0 to v - 1 do
+        if G.mem_edge g u v <> G.mem_edge g image.(u) w then ok := false
+      done;
+      !ok
+    in
+    let rec assign v =
+      incr steps;
+      if !steps > budget then raise Budget;
+      if v = n then acc := Array.copy image :: !acc
+      else
+        for w = 0 to n - 1 do
+          if compatible v w then begin
+            image.(v) <- w;
+            used.(w) <- true;
+            assign (v + 1);
+            used.(w) <- false;
+            image.(v) <- -1
+          end
+        done
+    in
+    (try assign 0 with Budget -> ());
+    (* The identity is the lexicographically first completed assignment, so
+       it is found before the budget can truncate anything else; guard
+       anyway so callers can rely on a non-empty result. *)
+    if !acc = [] then [ Array.init n Fun.id ] else List.rev !acc
+  end

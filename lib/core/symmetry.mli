@@ -34,3 +34,12 @@ val find : ?budget:int -> Radio_config.Config.t -> certificate option
 val certified_infeasible : ?budget:int -> Radio_config.Config.t -> bool
 (** [find] succeeded; implies the classifier must answer infeasible
     (property-tested). *)
+
+val automorphisms : ?budget:int -> Radio_config.Config.t -> int array list
+(** The full tag-preserving automorphism group of the configuration, as
+    image arrays: identity included, fixed points allowed (unlike
+    {!certificate}s).  Exploring at most [budget] (default [200_000]) search
+    nodes; if the budget truncates the enumeration the result is a subset
+    that still contains the identity — sound for symmetry reduction in
+    {!Radio_mc}, which then merely collapses fewer states.  The result is
+    never empty. *)

@@ -1,0 +1,477 @@
+module C = Radio_config.Config
+module G = Radio_graph.Graph
+module Protocol = Radio_drip.Protocol
+module Engine = Radio_sim.Engine
+module Trace = Radio_sim.Trace
+module Classifier = Election.Classifier
+module Fast_classifier = Election.Fast_classifier
+module Canonical = Election.Canonical
+module Symmetry = Election.Symmetry
+
+type budget =
+  [ `Depth
+  | `States
+  ]
+
+type stats = {
+  states_explored : int;
+  states_raw : int;
+  peak_frontier : int;
+  depth_reached : int;
+  distinct_keys : int;
+  automorphisms : int;
+}
+
+type violation =
+  | Two_leaders of int list
+  | No_leader_on_feasible
+  | Leader_on_infeasible of { leader : int }
+  | Wrong_leader of { elected : int; canonical : int }
+  | Liveness_bound_exceeded of { bound : int; completed : int }
+
+type verdict =
+  | Elected of { leader : int; round : int }
+  | Non_election of { classes : int list list }
+  | Violated of violation
+  | Exhausted of budget
+
+type result = {
+  config : C.t;
+  machine_name : string;
+  verdict : verdict;
+  trace : Trace.t;
+  rounds : int;
+  stats : stats;
+}
+
+let normalize config =
+  if C.is_normalized config then config
+  else C.create (C.graph config) (C.tags config)
+
+let global_bound ~n ~sigma = sigma + Canonical.upper_bound_rounds ~n ~sigma
+
+let senders_of g tx v =
+  G.fold_neighbours g v ~init:[] ~f:(fun acc w ->
+      match tx.(w) with Some m -> m :: acc | None -> acc)
+
+(* Protocol mode: the machine is deterministic, so the transition system is
+   a single chain of interned state vectors; walking it is still a static
+   exploration (per-key memoized [decide], no Protocol instances live
+   across rounds), and the visited chain doubles as the concrete trace. *)
+let check ?depth ?(states = 200_000) ~machine config =
+  let config = normalize config in
+  let g = C.graph config in
+  let n = C.size config in
+  if n = 0 then invalid_arg "Checker.check: empty configuration";
+  let sigma = C.span config in
+  let depth =
+    match depth with Some d -> d | None -> global_bound ~n ~sigma + 1
+  in
+  let intern = State.Intern.create () in
+  let decide_cache : (int, Protocol.action) Hashtbl.t = Hashtbl.create 256 in
+  let decide k =
+    match Hashtbl.find_opt decide_cache k with
+    | Some a -> a
+    | None ->
+        let a = machine.Machine.decide (State.Intern.history intern k) in
+        Hashtbl.replace decide_cache k a;
+        a
+  in
+  let decision k = machine.Machine.decision (State.Intern.history intern k) in
+  let state = ref (State.initial n) in
+  let leaders = ref [] in
+  let rev_trace = ref [] in
+  let last_term_round = ref 0 in
+  let rounds = ref 0 in
+  let verdict = ref None in
+  let r = ref 0 in
+  while Option.is_none !verdict do
+    if State.all_terminated !state then
+      verdict :=
+        Some
+          (match !leaders with
+          | [ l ] -> Elected { leader = l; round = !last_term_round }
+          | [] -> Non_election { classes = State.classes !state }
+          | ls -> Violated (Two_leaders (List.sort Int.compare ls)))
+    else if !r >= depth then verdict := Some (Exhausted `Depth)
+    else if State.Intern.size intern > states then
+      verdict := Some (Exhausted `States)
+    else begin
+      let cur = !state in
+      let next = Array.copy cur in
+      let tx : string option array = Array.make n None in
+      let transmitters = ref [] in
+      let terminated = ref [] in
+      let woken = ref [] in
+      (* Phase A: decisions of running nodes (all woke before round r:
+         Phase C below wakes into [next], never into [cur]). *)
+      for v = n - 1 downto 0 do
+        if cur.(v) > 0 then
+          match decide cur.(v) with
+          | Protocol.Terminate ->
+              next.(v) <- -cur.(v);
+              terminated := v :: !terminated;
+              if decision cur.(v) then leaders := v :: !leaders
+          | Protocol.Transmit m ->
+              tx.(v) <- Some m;
+              transmitters := (v, m) :: !transmitters
+          | Protocol.Listen -> ()
+      done;
+      (* Phase B: receptions at nodes still running after Phase A. *)
+      for v = 0 to n - 1 do
+        if cur.(v) > 0 && next.(v) > 0 then begin
+          let event =
+            match tx.(v) with
+            | Some _ -> State.E_silence (* transmitters hear nothing *)
+            | None -> (
+                match senders_of g tx v with
+                | [] -> State.E_silence
+                | [ m ] -> State.E_message m
+                | _ -> State.E_collision)
+          in
+          next.(v) <- State.Intern.get intern cur.(v) event
+        end
+      done;
+      (* Phase C: wake-ups of sleeping nodes. *)
+      for v = n - 1 downto 0 do
+        if cur.(v) = 0 then begin
+          match senders_of g tx v with
+          | [ m ] ->
+              next.(v) <- State.Intern.get intern 0 (State.E_message m);
+              woken := (v, Trace.Forced m) :: !woken
+          | _ ->
+              if C.tag config v = !r then begin
+                next.(v) <- State.Intern.get intern 0 State.E_silence;
+                woken := (v, Trace.Spontaneous) :: !woken
+              end
+        end
+      done;
+      (match !terminated with [] -> () | _ -> last_term_round := !r);
+      (match (!transmitters, !woken, !terminated) with
+      | [], [], [] -> () (* quiet round: omitted, as in Trace.Acc *)
+      | _ ->
+          rev_trace :=
+            {
+              Trace.round = !r;
+              transmitters = !transmitters;
+              woken = !woken;
+              terminated = !terminated;
+            }
+            :: !rev_trace);
+      (match !leaders with
+      | _ :: _ :: _ ->
+          verdict :=
+            Some (Violated (Two_leaders (List.sort Int.compare !leaders)))
+      | _ -> ());
+      state := next;
+      incr r;
+      rounds := !r
+    end
+  done;
+  let verdict =
+    (* radiolint: allow assert-false — the loop only exits once the
+       verdict reference is filled. *)
+    match !verdict with Some v -> v | None -> assert false
+  in
+  {
+    config;
+    machine_name = machine.Machine.name;
+    verdict;
+    trace = List.rev !rev_trace;
+    rounds = !rounds;
+    stats =
+      {
+        states_explored = !rounds + 1;
+        states_raw = !rounds + 1;
+        peak_frontier = 1;
+        depth_reached = !rounds;
+        distinct_keys = State.Intern.size intern;
+        automorphisms = 1;
+      };
+  }
+
+let drip_family name =
+  String.equal name "drip" || String.equal name "pure-drip"
+
+let verify ?depth ?states ?machine config =
+  let config = normalize config in
+  let machine =
+    match machine with Some m -> m | None -> Machine.drip config
+  in
+  let res = check ?depth ?states ~machine config in
+  let run = Fast_classifier.classify config in
+  let n = C.size config in
+  let sigma = C.span config in
+  let bound = global_bound ~n ~sigma in
+  let verdict =
+    match res.verdict with
+    | Elected { leader; round } -> (
+        match Classifier.canonical_leader run with
+        | None -> Violated (Leader_on_infeasible { leader })
+        | Some canonical
+          when drip_family res.machine_name && canonical <> leader ->
+            Violated (Wrong_leader { elected = leader; canonical })
+        | Some _ when round > bound ->
+            Violated (Liveness_bound_exceeded { bound; completed = round })
+        | Some _ -> res.verdict)
+    | Non_election _ ->
+        if Classifier.is_feasible run then Violated No_leader_on_feasible
+        else res.verdict
+    | Violated _ | Exhausted _ -> res.verdict
+  in
+  { res with verdict }
+
+type replay = {
+  outcome : Engine.outcome;
+  trace_matches : bool;
+  report : Radio_lint.Report.t;
+}
+
+let equal_wake_kind k1 k2 =
+  match (k1, k2) with
+  | Trace.Spontaneous, Trace.Spontaneous -> true
+  | Trace.Forced m1, Trace.Forced m2 -> String.equal m1 m2
+  | Trace.Spontaneous, _ | Trace.Forced _, _ -> false
+
+let equal_round_events (e1 : Trace.round_events) (e2 : Trace.round_events) =
+  e1.Trace.round = e2.Trace.round
+  && List.equal
+       (fun (v1, m1) (v2, m2) -> v1 = v2 && String.equal m1 m2)
+       e1.Trace.transmitters e2.Trace.transmitters
+  && List.equal
+       (fun (v1, k1) (v2, k2) -> v1 = v2 && equal_wake_kind k1 k2)
+       e1.Trace.woken e2.Trace.woken
+  && List.equal Int.equal e1.Trace.terminated e2.Trace.terminated
+
+let trace_equal t1 t2 = List.equal equal_round_events t1 t2
+
+let replay ?max_rounds ~machine res =
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None -> (match res.rounds with 0 -> 1 | r -> r)
+  in
+  let outcome =
+    Engine.run ~max_rounds ~record_trace:true machine.Machine.protocol
+      res.config
+  in
+  {
+    outcome;
+    trace_matches = trace_equal res.trace outcome.Engine.trace;
+    report =
+      Radio_lint.Invariants.validate ~protocol:machine.Machine.protocol
+        outcome;
+  }
+
+(* Universal mode: explore every deterministic protocol at once, branching
+   over the subsets of awake history classes that transmit (Optimal's
+   model); messages carry the sender's class key, the strongest content an
+   anonymous DRIP can convey.  There is no termination action here — the
+   mode answers reachability questions (when can some node's history
+   separate?) and carries the symmetry-reduction machinery. *)
+type exploration = {
+  config : C.t;
+  separated_at : int option;
+  exhausted : budget option;
+  stats : stats;
+}
+
+let distinct_awake_keys (s : State.t) =
+  List.sort_uniq Int.compare
+    (List.filter (fun k -> k > 0) (Array.to_list s))
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun t -> x :: t) s
+
+let separated (s : State.t) =
+  let n = Array.length s in
+  let unique v =
+    s.(v) > 0
+    &&
+    let rec inner w =
+      w >= n || ((w = v || abs s.(w) <> s.(v)) && inner (w + 1))
+    in
+    inner 0
+  in
+  let rec outer v = v < n && (unique v || outer (v + 1)) in
+  outer 0
+
+let explore ?(depth = 24) ?(states = 200_000) ?(reduction = true) ?(faults = 0)
+    config =
+  let config = normalize config in
+  let g = C.graph config in
+  let n = C.size config in
+  if n = 0 then invalid_arg "Checker.explore: empty configuration";
+  let autos = if reduction then Symmetry.automorphisms config else [] in
+  let max_tag = Array.fold_left (fun a t -> if t > a then t else a) 0 (C.tags config) in
+  (* Spontaneous wake-ups are spent after [max_tag]: beyond it the
+     transition relation is round-invariant and states may be merged
+     across rounds. *)
+  let round_class r = if r > max_tag then max_tag + 1 else r in
+  let intern = State.Intern.create () in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let explored = ref 0 in
+  let raw = ref 0 in
+  let peak = ref 0 in
+  let depth_seen = ref 0 in
+  let separated_at = ref None in
+  let exhausted = ref None in
+  let step cur ~round ~transmitting =
+    let is_tx v = cur.(v) > 0 && List.mem cur.(v) transmitting in
+    let tx = Array.init n (fun v -> if is_tx v then Some (string_of_int cur.(v)) else None) in
+    Array.init n (fun v ->
+        if cur.(v) > 0 then begin
+          let event =
+            if is_tx v then State.E_silence
+            else
+              match senders_of g tx v with
+              | [] -> State.E_silence
+              | [ m ] -> State.E_message m
+              | _ -> State.E_collision
+          in
+          State.Intern.get intern cur.(v) event
+        end
+        else if cur.(v) < 0 then cur.(v) (* crashed: frozen *)
+        else
+          match senders_of g tx v with
+          | [ m ] -> State.Intern.get intern 0 (State.E_message m)
+          | _ ->
+              if C.tag config v = round then
+                State.Intern.get intern 0 State.E_silence
+              else 0)
+  in
+  (* Frontier entries carry the crash budget already spent: two states that
+     agree node-wise but differ in remaining faults have different
+     futures. *)
+  let visit ~round ~spent s =
+    if !explored >= states then begin
+      (* Enforced per insertion, not per BFS level: one wide level could
+         otherwise overshoot the budget by orders of magnitude. *)
+      exhausted := Some `States;
+      None
+    end
+    else begin
+      let canon = State.canonicalize autos s in
+      let enc =
+        string_of_int spent ^ ":"
+        ^ State.encode ~round_class:(round_class round) canon
+      in
+      if Hashtbl.mem visited enc then None
+      else begin
+        Hashtbl.replace visited enc ();
+        incr explored;
+        Some canon
+      end
+    end
+  in
+  let rec bfs round frontier =
+    match frontier with
+    | [] -> ()
+    | _ when round >= depth -> exhausted := Some `Depth
+    | _ when !explored > states -> exhausted := Some `States
+    | frontier ->
+        depth_seen := round;
+        if List.length frontier > !peak then peak := List.length frontier;
+        let next = ref [] in
+        let push ~spent s =
+          incr raw;
+          if separated s && Option.is_none !separated_at then
+            separated_at := Some round;
+          match visit ~round:(round + 1) ~spent s with
+          | Some canon -> next := (canon, spent) :: !next
+          | None -> ()
+        in
+        List.iter
+          (fun (cur, spent) ->
+            if !explored >= states then exhausted := Some `States
+            else
+            List.iter
+              (fun transmitting ->
+                let s = step cur ~round ~transmitting in
+                push ~spent s;
+                (* Crash adversary: after the round's exchanges, any single
+                   awake node may die (key frozen, negated).  Crashing
+                   automorphic twins yields automorphic sibling states —
+                   the case the symmetry quotient collapses. *)
+                if spent < faults then
+                  for v = 0 to n - 1 do
+                    if s.(v) > 0 then begin
+                      let s' = Array.copy s in
+                      s'.(v) <- -s'.(v);
+                      push ~spent:(spent + 1) s'
+                    end
+                  done)
+              (subsets (distinct_awake_keys cur)))
+          frontier;
+        bfs (round + 1) !next
+  in
+  let initial = State.initial n in
+  (match visit ~round:0 ~spent:0 initial with
+  | Some canon -> bfs 0 [ (canon, 0) ]
+  (* radiolint: allow assert-false — the visited set starts empty, so the
+     initial state is always fresh. *)
+  | None -> assert false);
+  {
+    config;
+    separated_at = !separated_at;
+    exhausted = !exhausted;
+    stats =
+      {
+        states_explored = !explored;
+        states_raw = !raw;
+        peak_frontier = !peak;
+        depth_reached = !depth_seen;
+        distinct_keys = State.Intern.size intern;
+        automorphisms = (match autos with [] -> 1 | l -> List.length l);
+      };
+  }
+
+let pp_violation ppf = function
+  | Two_leaders vs ->
+      Format.fprintf ppf "two leaders elected: nodes %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        vs
+  | No_leader_on_feasible ->
+      Format.pp_print_string ppf
+        "no leader elected on a classifier-feasible configuration"
+  | Leader_on_infeasible { leader } ->
+      Format.fprintf ppf
+        "node %d elected on a classifier-infeasible configuration" leader
+  | Wrong_leader { elected; canonical } ->
+      Format.fprintf ppf "node %d elected but the canonical leader is %d"
+        elected canonical
+  | Liveness_bound_exceeded { bound; completed } ->
+      Format.fprintf ppf
+        "election completed in round %d, past the O(n^2 sigma) bound %d"
+        completed bound
+
+let violation_id = function
+  | Two_leaders _ -> "mc-two-leaders"
+  | No_leader_on_feasible -> "mc-no-leader"
+  | Leader_on_infeasible _ -> "mc-leader-on-infeasible"
+  | Wrong_leader _ -> "mc-wrong-leader"
+  | Liveness_bound_exceeded _ -> "mc-liveness-bound"
+
+let pp_verdict ppf = function
+  | Elected { leader; round } ->
+      Format.fprintf ppf "elected node %d in round %d" leader round
+  | Non_election { classes } ->
+      Format.fprintf ppf
+        "non-election: terminal symmetric state with classes %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           (fun ppf cls ->
+             Format.fprintf ppf "{%a}"
+               (Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+                  Format.pp_print_int)
+               cls))
+        classes
+  | Violated v -> Format.fprintf ppf "VIOLATION: %a" pp_violation v
+  | Exhausted `Depth -> Format.pp_print_string ppf "depth budget exhausted"
+  | Exhausted `States -> Format.pp_print_string ppf "state budget exhausted"

@@ -1,0 +1,42 @@
+module Protocol = Radio_drip.Protocol
+module Classifier = Election.Classifier
+module Canonical = Election.Canonical
+
+let plan_of config = Canonical.plan_of_run (Classifier.classify config)
+
+let greedy_decision config =
+  let plan = plan_of config in
+  {
+    Machine.name = "mutant-greedy-decision";
+    protocol = Canonical.protocol plan;
+    decide = Canonical.pure_drip plan;
+    decision = (fun h -> Option.is_some (Canonical.final_class plan h));
+  }
+
+let early_stop config =
+  let plan = plan_of config in
+  let stop =
+    match Canonical.local_termination_round plan - 1 with
+    | s when s < 1 -> 1
+    | s -> s
+  in
+  let decide h =
+    if Array.length h >= stop then Protocol.Terminate
+    else Canonical.pure_drip plan h
+  in
+  {
+    Machine.name = "mutant-early-stop";
+    protocol = Protocol.of_pure ~name:"mutant-early-stop" decide;
+    decide;
+    decision =
+      (fun h ->
+        (* Truncated histories fall off the plan's schedule. *)
+        try Canonical.decision plan h with Invalid_argument _ -> false);
+  }
+
+let of_name config = function
+  | "mutant-greedy-decision" -> Some (greedy_decision config)
+  | "mutant-early-stop" -> Some (early_stop config)
+  | _ -> None
+
+let names = [ "mutant-greedy-decision"; "mutant-early-stop" ]

@@ -1,0 +1,122 @@
+module C = Radio_config.Config
+module Enumerate = Radio_graph.Enumerate
+module Classifier = Election.Classifier
+module Fast_classifier = Election.Fast_classifier
+module Census = Election.Census
+
+type disagreement = {
+  config : C.t;
+  classifier_feasible : bool;
+  verdict : Checker.verdict;
+  detail : string;
+}
+
+type report = {
+  configurations : int;
+  feasible : int;
+  infeasible : int;
+  replayed : int;
+  max_completion_round : int;
+  disagreements : disagreement list;
+}
+
+let agrees = function [] -> true | _ :: _ -> false
+
+let check_one ~replay acc config =
+  let configurations, feasible, infeasible, replayed, max_round, disags =
+    acc
+  in
+  let run = Fast_classifier.classify config in
+  let is_feasible = Classifier.is_feasible run in
+  let machine = Machine.drip config in
+  let res = Checker.verify ~machine config in
+  let fail detail =
+    Some { config; classifier_feasible = is_feasible; verdict = res.Checker.verdict; detail }
+  in
+  let disagreement =
+    match res.Checker.verdict with
+    | Checker.Elected { round; _ } when is_feasible ->
+        (* verify already enforced leader identity and the liveness bound *)
+        ignore round;
+        None
+    | Checker.Non_election { classes } when not is_feasible ->
+        if List.for_all (fun cls -> List.length cls >= 2) classes then None
+        else
+          fail
+            "infeasible, but the terminal state holds a singleton history \
+             class"
+    | Checker.Elected _ -> fail "MC elected on an infeasible configuration"
+    | Checker.Non_election _ -> fail "MC saw no election on a feasible configuration"
+    | Checker.Violated v ->
+        fail (Format.asprintf "%a" Checker.pp_violation v)
+    | Checker.Exhausted `Depth -> fail "depth budget exhausted"
+    | Checker.Exhausted `States -> fail "state budget exhausted"
+  in
+  let disagreement =
+    match disagreement with
+    | Some _ -> disagreement
+    | None when replay -> (
+        let rp = Checker.replay ~machine res in
+        match
+          ( rp.Checker.trace_matches,
+            Radio_lint.Report.ok rp.Checker.report )
+        with
+        | true, true -> None
+        | false, _ -> fail "engine replay produced a different trace"
+        | _, false -> fail "engine replay failed model validation")
+    | None -> None
+  in
+  let max_round =
+    match res.Checker.verdict with
+    | Checker.Elected { round; _ } when round > max_round -> round
+    | _ -> max_round
+  in
+  ( configurations + 1,
+    (feasible + (if is_feasible then 1 else 0)),
+    (infeasible + (if is_feasible then 0 else 1)),
+    (replayed + (if replay then 1 else 0)),
+    max_round,
+    match disagreement with Some d -> d :: disags | None -> disags )
+
+let run ?(max_n = 5) ?(max_span = 2) ?(replay = false) () =
+  let acc = ref (0, 0, 0, 0, 0, []) in
+  for n = 1 to max_n do
+    let graphs = Enumerate.connected_up_to_iso n in
+    List.iter
+      (fun tags ->
+        List.iter
+          (fun g ->
+            let config = C.create g (Array.copy tags) in
+            acc := check_one ~replay !acc config)
+          graphs)
+      (Census.tag_assignments ~n ~max_span)
+  done;
+  let configurations, feasible, infeasible, replayed, max_round, disags =
+    !acc
+  in
+  {
+    configurations;
+    feasible;
+    infeasible;
+    replayed;
+    max_completion_round = max_round;
+    disagreements = List.rev disags;
+  }
+
+let consistent r = agrees r.disagreements
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>differential oracle over %d configurations (%d feasible, %d \
+     infeasible%s):@ max completion round %d@ %s@]"
+    r.configurations r.feasible r.infeasible
+    (if r.replayed > 0 then Printf.sprintf ", %d replayed" r.replayed else "")
+    r.max_completion_round
+    (match r.disagreements with
+    | [] -> "MC and Classifier agree everywhere"
+    | ds -> Printf.sprintf "%d DISAGREEMENTS" (List.length ds))
+
+let pp_disagreement ppf d =
+  Format.fprintf ppf "@[<v 2>%s configuration disagrees (%s):@ %a@ verdict: %a@]"
+    (if d.classifier_feasible then "feasible" else "infeasible")
+    d.detail C.pp d.config Checker.pp_verdict d.verdict

@@ -1,0 +1,167 @@
+module H = Radio_drip.History
+
+type event =
+  | E_silence
+  | E_message of string
+  | E_collision
+
+let equal_event e1 e2 =
+  match (e1, e2) with
+  | E_silence, E_silence | E_collision, E_collision -> true
+  | E_message m1, E_message m2 -> String.equal m1 m2
+  | E_silence, _ | E_message _, _ | E_collision, _ -> false
+
+let entry_of_event = function
+  | E_silence -> H.Silence
+  | E_message m -> H.Message m
+  | E_collision -> H.Collision
+
+let pp_event ppf = function
+  | E_silence -> Format.pp_print_string ppf "silence"
+  | E_message m -> Format.fprintf ppf "message %S" m
+  | E_collision -> Format.pp_print_string ppf "collision"
+
+module Intern = struct
+  type key = int
+
+  type t = {
+    fwd : (int * event, key) Hashtbl.t;
+    mutable parents : int array;  (* index key - 1 *)
+    mutable events : event array;  (* index key - 1 *)
+    mutable next : key;
+  }
+
+  let create () =
+    {
+      fwd = Hashtbl.create 1024;
+      parents = Array.make 64 0;
+      events = Array.make 64 E_silence;
+      next = 1;
+    }
+
+  let ensure_capacity t =
+    if t.next - 1 >= Array.length t.parents then begin
+      let cap = 2 * Array.length t.parents in
+      let parents = Array.make cap 0 in
+      let events = Array.make cap E_silence in
+      Array.blit t.parents 0 parents 0 (Array.length t.parents);
+      Array.blit t.events 0 events 0 (Array.length t.events);
+      t.parents <- parents;
+      t.events <- events
+    end
+
+  let get t parent event =
+    match Hashtbl.find_opt t.fwd (parent, event) with
+    | Some k -> k
+    | None ->
+        let k = t.next in
+        t.next <- k + 1;
+        ensure_capacity t;
+        t.parents.(k - 1) <- parent;
+        t.events.(k - 1) <- event;
+        Hashtbl.replace t.fwd (parent, event) k;
+        k
+
+  let size t = t.next - 1
+  let parent t k = t.parents.(k - 1)
+  let event t k = t.events.(k - 1)
+
+  let depth t k =
+    let rec go k acc = if k = 0 then acc else go (parent t k) (acc + 1) in
+    go k 0
+
+  let history t k =
+    let len = depth t k in
+    let h = Array.make len H.Silence in
+    let rec fill k i =
+      if k <> 0 then begin
+        h.(i) <- entry_of_event (event t k);
+        fill (parent t k) (i - 1)
+      end
+    in
+    fill k (len - 1);
+    h
+end
+
+type t = int array
+
+let initial n : t = Array.make n 0
+
+let compare_states (a : t) (b : t) =
+  match Int.compare (Array.length a) (Array.length b) with
+  | 0 ->
+      let rec go i =
+        if i = Array.length a then 0
+        else
+          match Int.compare a.(i) b.(i) with
+          | 0 -> go (i + 1)
+          | c -> c
+      in
+      go 0
+  | c -> c
+
+let compare = compare_states
+let equal a b = compare_states a b = 0
+let is_asleep (s : t) v = s.(v) = 0
+let is_awake (s : t) v = s.(v) > 0
+let is_terminated (s : t) v = s.(v) < 0
+let all_terminated (s : t) = Array.for_all (fun k -> k < 0) s
+let none_awake (s : t) = Array.for_all (fun k -> k <= 0) s
+let key (s : t) v = abs s.(v)
+
+let encode ~round_class (s : t) =
+  let b = Buffer.create ((4 * Array.length s) + 8) in
+  Buffer.add_string b (string_of_int round_class);
+  Array.iter
+    (fun k ->
+      Buffer.add_char b '.';
+      Buffer.add_string b (string_of_int k))
+    s;
+  Buffer.contents b
+
+let permute (phi : int array) (s : t) : t =
+  let n = Array.length s in
+  let out = Array.make n 0 in
+  for v = 0 to n - 1 do
+    out.(phi.(v)) <- s.(v)
+  done;
+  out
+
+let canonicalize autos (s : t) : t =
+  match autos with
+  | [] | [ _ ] -> s (* at most the identity: nothing to quotient *)
+  | autos ->
+      List.fold_left
+        (fun best phi ->
+          let cand = permute phi s in
+          if compare_states cand best < 0 then cand else best)
+        s autos
+
+let classes (s : t) =
+  let n = Array.length s in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let members = ref [] in
+      for w = n - 1 downto v do
+        if s.(w) = s.(v) then begin
+          seen.(w) <- true;
+          members := w :: !members
+        end
+      done;
+      acc := !members :: !acc
+    end
+  done;
+  List.rev !acc
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "@[<h>[";
+  Array.iteri
+    (fun v k ->
+      if v > 0 then Format.pp_print_string ppf " ";
+      if k = 0 then Format.pp_print_string ppf "zzz"
+      else if k > 0 then Format.fprintf ppf "+%d" k
+      else Format.fprintf ppf "-%d" (-k))
+    s;
+  Format.fprintf ppf "]@]"

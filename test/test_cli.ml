@@ -379,6 +379,88 @@ let test_lint_baseline () =
       in
       check_int "missing baseline exits 2" 2 code)
 
+(* ------------------------------------------------------------------ *)
+(* mc                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mc_verify () =
+  with_family "h" 2 (fun path ->
+      let code, out = anorad ("mc " ^ Filename.quote path ^ " --replay") in
+      check_int "feasible verifies with exit 0" 0 code;
+      check "canonical leader" true (contains out "elected node 0");
+      check "replay matches" true (contains out "matches bit-for-bit");
+      check "invariants hold" true (contains out "model invariants hold"));
+  with_family "s" 2 (fun path ->
+      let code, out = anorad ("mc " ^ Filename.quote path) in
+      check_int "infeasible non-election is exit 0" 0 code;
+      check "symmetric terminal state" true (contains out "non-election"))
+
+let test_mc_mutant_violation () =
+  with_family "h" 2 (fun path ->
+      let code, out =
+        anorad ("mc " ^ Filename.quote path ^ " --protocol mutant-greedy-decision")
+      in
+      check_int "safety violation exits 1" 1 code;
+      check "two leaders named" true (contains out "two leaders elected");
+      check "counterexample printed" true (contains out "counterexample"));
+  with_family "h" 2 (fun path ->
+      let code, out =
+        anorad ("mc " ^ Filename.quote path ^ " --protocol mutant-early-stop")
+      in
+      check_int "liveness violation exits 1" 1 code;
+      check "no leader reported" true (contains out "no leader"))
+
+let test_mc_usage_and_budget () =
+  let code, _ = anorad "mc" in
+  check_int "missing CONFIG exits 2" 2 code;
+  with_family "h" 2 (fun path ->
+      let code, out =
+        anorad ("mc " ^ Filename.quote path ^ " --protocol no-such-machine")
+      in
+      check_int "unknown protocol exits 2" 2 code;
+      ignore out;
+      let code, out = anorad ("mc " ^ Filename.quote path ^ " --depth 1") in
+      check_int "depth budget exits 2" 2 code;
+      check "budget named" true (contains out "budget exhausted"))
+
+let test_mc_sarif () =
+  with_family "h" 2 (fun path ->
+      let code, out =
+        anorad
+          ("mc " ^ Filename.quote path
+         ^ " --protocol mutant-greedy-decision --sarif -")
+      in
+      check_int "violation exits 1" 1 code;
+      check "sarif version" true (contains out "\"version\":\"2.1.0\"");
+      check "mc rule id" true (contains out "\"ruleId\":\"mc-two-leaders\"");
+      let code, out = anorad ("mc " ^ Filename.quote path ^ " --sarif -") in
+      check_int "verified exits 0" 0 code;
+      check "empty results" true (contains out "\"results\":[]"))
+
+let test_mc_explore_and_oracle () =
+  with_family "s" 2 (fun path ->
+      let code, out =
+        anorad ("mc " ^ Filename.quote path ^ " --explore --depth 8")
+      in
+      check_int "explore exit" 0 code;
+      check "no separation on infeasible" true (contains out "no separation"));
+  with_family "h" 1 (fun path ->
+      let code, out =
+        anorad ("mc " ^ Filename.quote path ^ " --explore --depth 12")
+      in
+      check_int "explore exit" 0 code;
+      check "separation found" true (contains out "separation:"));
+  let code, out = anorad "mc --oracle 3" in
+  check_int "oracle consistent exit 0" 0 code;
+  check "agreement reported" true (contains out "agree everywhere")
+
+let test_mc_help () =
+  let code, out = anorad "mc --help=plain" in
+  check_int "help exit" 0 code;
+  check "documents exit 1" true (contains out "counterexample");
+  check "documents --explore" true (contains out "--explore");
+  check "documents --oracle" true (contains out "--oracle")
+
 let () =
   Alcotest.run "cli"
     [
@@ -414,5 +496,17 @@ let () =
             test_lint_deep_witness_chain;
           Alcotest.test_case "--sarif stdout" `Quick test_lint_sarif_stdout;
           Alcotest.test_case "--baseline" `Quick test_lint_baseline;
+        ] );
+      ( "mc",
+        [
+          Alcotest.test_case "verify exits" `Quick test_mc_verify;
+          Alcotest.test_case "mutant violations" `Quick
+            test_mc_mutant_violation;
+          Alcotest.test_case "usage and budget exits" `Quick
+            test_mc_usage_and_budget;
+          Alcotest.test_case "--sarif" `Quick test_mc_sarif;
+          Alcotest.test_case "--explore and --oracle" `Quick
+            test_mc_explore_and_oracle;
+          Alcotest.test_case "--help" `Quick test_mc_help;
         ] );
     ]

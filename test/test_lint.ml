@@ -387,6 +387,47 @@ let ast_only_tests =
         match Ast_lint.lint_source ~path:"lib/core/foo.ml" "let let = in\n" with
         | Ok _ -> Alcotest.fail "expected a parse error"
         | Error _ -> ());
+    Alcotest.test_case "toplevel ref inside functor argument flagged" `Quick
+      (check_ast_flags "toplevel-mutable-state" ~path:"lib/core/foo.ml"
+         "module M = Make (struct\n  let tbl = Hashtbl.create 16\nend)\n");
+  ]
+
+let poly_compare_tests =
+  [
+    Alcotest.test_case "bare compare flagged in lib/core" `Quick
+      (check_ast_flags "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let sort xs = List.sort compare xs\n");
+    Alcotest.test_case "bare compare flagged in lib/mc" `Quick
+      (check_ast_flags "polymorphic-compare" ~path:"lib/mc/foo.ml"
+         "let c = compare a b\n");
+    Alcotest.test_case "qualified Int.compare clean" `Quick
+      (check_ast_clean "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let sort xs = List.sort Int.compare xs\n");
+    Alcotest.test_case "= on tuples flagged" `Quick
+      (check_ast_flags "polymorphic-compare" ~path:"lib/mc/foo.ml"
+         "let eq a b c d = (a, b) = (c, d)\n");
+    Alcotest.test_case "= on an option payload flagged" `Quick
+      (check_ast_flags "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let hit x m = x = Some m\n");
+    Alcotest.test_case "<> on a list literal flagged" `Quick
+      (check_ast_flags "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let ne xs y = xs <> [ y ]\n");
+    Alcotest.test_case "min on a cons flagged" `Quick
+      (check_ast_flags "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let m x xs = min xs (x :: xs)\n");
+    Alcotest.test_case "scalar = and min stay clean" `Quick
+      (check_ast_clean "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let f a b = min a b = 0 && a <> b\n");
+    Alcotest.test_case "nullary None and [] stay clean" `Quick
+      (check_ast_clean "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "let e x ys = x = None && ys <> []\n");
+    Alcotest.test_case "outside lib/core and lib/mc clean" `Quick
+      (check_ast_clean "polymorphic-compare" ~path:"lib/sim/foo.ml"
+         "let c = compare a b\n");
+    Alcotest.test_case "allow suppresses" `Quick
+      (check_ast_clean "polymorphic-compare" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow polymorphic-compare — scalar keys only *)\n\
+          let c = compare a b\n");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -510,6 +551,45 @@ let taint_tests =
         Alcotest.(check bool)
           "Drip.step tainted" true
           (find_root "Drip.step" findings <> None));
+    Alcotest.test_case "binding inside a functor application is indexed"
+      `Quick (fun () ->
+        (* Regression: [collect_module] used to stop at [Pmod_apply], so the
+           argument struct's impure [draw] was invisible to the analysis. *)
+        let findings =
+          taint_findings
+            [
+              ( "lib/drip/foo.ml",
+                "module M = Make (struct let draw () = Random.int 5 end)\n"
+              );
+            ]
+        in
+        match find_root "Foo.M.draw" findings with
+        | None -> Alcotest.fail "Foo.M.draw should be indexed and tainted"
+        | Some f ->
+            Alcotest.(check string) "sink" "Random.int" f.Taint.sink;
+            Alcotest.(check int) "direct use" 1 (Taint.edges f));
+    Alcotest.test_case "binding inside let module is indexed" `Quick
+      (fun () ->
+        (* Regression: [let module Local = struct ... end in ...] bodies
+           were folded into the enclosing binding without indexing the
+           module's own functions as nodes. *)
+        let findings =
+          taint_findings
+            [
+              ( "lib/sim/foo.ml",
+                "let step () =\n\
+                \  let module Local = struct\n\
+                \    let draw () = Random.bits ()\n\
+                \  end in\n\
+                \  Local.draw ()\n" );
+            ]
+        in
+        Alcotest.(check bool)
+          "Foo.Local.draw indexed and tainted" true
+          (find_root "Foo.Local.draw" findings <> None);
+        Alcotest.(check bool)
+          "enclosing Foo.step tainted too" true
+          (find_root "Foo.step" findings <> None));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -848,6 +928,7 @@ let () =
       ("strip-quoted-strings", quoted_string_tests);
       ("ast-ported-rules", ast_ported_tests);
       ("ast-only-rules", ast_only_tests);
+      ("rule-polymorphic-compare", poly_compare_tests);
       ("taint", taint_tests);
       ("sarif", sarif_tests);
       ("baseline", baseline_tests);

@@ -1,0 +1,299 @@
+(* The bounded model checker (lib/mc): differential agreement with the
+   classifier over the exhaustive small-configuration universe, bit-for-bit
+   counterexample replay through the engine, mutant detection, and the
+   symmetry-reduction quotient. *)
+
+module C = Radio_config.Config
+module F = Radio_config.Families
+module G = Radio_graph.Graph
+module Cl = Election.Classifier
+module Fast = Election.Fast_classifier
+module Sym = Election.Symmetry
+module Lint = Radio_lint.Invariants
+module State = Radio_mc.State
+module Machine = Radio_mc.Machine
+module Checker = Radio_mc.Checker
+module Mutant = Radio_mc.Mutant
+module Oracle = Radio_mc.Oracle
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let uniform_cycle n = C.uniform (Radio_graph.Gen.cycle n) 0
+
+(* --- State encoding ------------------------------------------------- *)
+
+let state_tests =
+  [
+    Alcotest.test_case "interner is a hash-cons" `Quick (fun () ->
+        let i = State.Intern.create () in
+        let k1 = State.Intern.get i 0 State.E_silence in
+        let k2 = State.Intern.get i 0 State.E_silence in
+        let k3 = State.Intern.get i k1 (State.E_message "1") in
+        let k4 = State.Intern.get i k1 (State.E_message "1") in
+        let k5 = State.Intern.get i k1 (State.E_message "2") in
+        check_int "same pair same key" k1 k2;
+        check_int "same message same key" k3 k4;
+        check "distinct message distinct key" true (k4 <> k5);
+        check_int "three keys interned" 3 (State.Intern.size i));
+    Alcotest.test_case "history materialization" `Quick (fun () ->
+        let i = State.Intern.create () in
+        let k1 = State.Intern.get i 0 (State.E_message "m") in
+        let k2 = State.Intern.get i k1 State.E_collision in
+        let k3 = State.Intern.get i k2 State.E_silence in
+        let h = State.Intern.history i k3 in
+        check_int "depth" 3 (State.Intern.depth i k3);
+        check "entries" true
+          (Radio_drip.History.equal h
+             [|
+               Radio_drip.History.Message "m";
+               Radio_drip.History.Collision;
+               Radio_drip.History.Silence;
+             |]));
+    Alcotest.test_case "canonicalize picks the orbit minimum" `Quick
+      (fun () ->
+        let config = uniform_cycle 4 in
+        let autos = Sym.automorphisms config in
+        check_int "C4 has the dihedral group" 8 (List.length autos);
+        let s = [| 3; 1; 1; 1 |] in
+        let canon = State.canonicalize autos s in
+        check "canonical is minimal" true
+          (State.equal canon [| 1; 1; 1; 3 |]);
+        (* every permuted variant canonicalizes identically *)
+        List.iter
+          (fun phi ->
+            check "orbit collapses" true
+              (State.equal canon
+                 (State.canonicalize autos (State.permute phi s))))
+          autos);
+    Alcotest.test_case "encode separates round classes" `Quick (fun () ->
+        let s = [| 1; 0 |] in
+        check "same state, different round class" true
+          (State.encode ~round_class:0 s <> State.encode ~round_class:1 s);
+        check "same round class" true
+          (String.equal
+             (State.encode ~round_class:2 s)
+             (State.encode ~round_class:2 [| 1; 0 |])));
+  ]
+
+(* --- Automorphism groups -------------------------------------------- *)
+
+let symmetry_tests =
+  [
+    Alcotest.test_case "asymmetric config has only the identity" `Quick
+      (fun () ->
+        let autos = Sym.automorphisms (F.h_family 2) in
+        check_int "trivial group" 1 (List.length autos);
+        check "identity" true
+          (match autos with
+          | [ phi ] -> Array.for_all (fun v -> phi.(v) = v) (Array.mapi (fun i _ -> i) phi)
+          | _ -> false));
+    Alcotest.test_case "s-family path has the reversal" `Quick (fun () ->
+        let autos = Sym.automorphisms (F.s_family 2) in
+        check_int "id + reversal" 2 (List.length autos));
+    Alcotest.test_case "every listed permutation is an automorphism" `Quick
+      (fun () ->
+        let config = uniform_cycle 5 in
+        let g = C.graph config in
+        List.iter
+          (fun phi ->
+            List.iter
+              (fun (u, v) ->
+                check "edge preserved" true (G.mem_edge g phi.(u) phi.(v)))
+              (G.edges g))
+          (Sym.automorphisms config));
+  ]
+
+(* --- Protocol-mode verification ------------------------------------- *)
+
+let feasible_config = F.h_family 2
+let infeasible_config = F.s_family 2
+
+let verify_tests =
+  [
+    Alcotest.test_case "feasible family elects the canonical leader" `Quick
+      (fun () ->
+        let res = Checker.verify feasible_config in
+        match res.Checker.verdict with
+        | Checker.Elected { leader; round } ->
+            let expected =
+              match Cl.canonical_leader (Fast.classify feasible_config) with
+              | Some l -> l
+              | None -> Alcotest.fail "family must be feasible"
+            in
+            check_int "canonical leader" expected leader;
+            let n = C.size feasible_config in
+            let sigma = C.span feasible_config in
+            check "within the O(n^2 sigma) bound" true
+              (round <= Checker.global_bound ~n ~sigma)
+        | v -> Alcotest.failf "unexpected verdict: %a" Checker.pp_verdict v);
+    Alcotest.test_case "infeasible family reaches a symmetric state" `Quick
+      (fun () ->
+        let res = Checker.verify infeasible_config in
+        match res.Checker.verdict with
+        | Checker.Non_election { classes } ->
+            check "at least one class" true (List.length classes >= 1);
+            List.iter
+              (fun cls ->
+                check "no singleton history class" true
+                  (List.length cls >= 2))
+              classes
+        | v -> Alcotest.failf "unexpected verdict: %a" Checker.pp_verdict v);
+    Alcotest.test_case "counterexample trace replays bit-for-bit" `Quick
+      (fun () ->
+        List.iter
+          (fun config ->
+            let machine = Machine.drip config in
+            let res = Checker.verify ~machine config in
+            let rp = Checker.replay ~machine res in
+            check "trace equality" true rp.Checker.trace_matches;
+            check "model validation" true
+              (Radio_lint.Report.ok rp.Checker.report))
+          [ feasible_config; infeasible_config; F.g_family 2; F.h_family 1 ]);
+    Alcotest.test_case "depth budget trips" `Quick (fun () ->
+        let res = Checker.verify ~depth:1 feasible_config in
+        check "exhausted" true
+          (match res.Checker.verdict with
+          | Checker.Exhausted `Depth -> true
+          | _ -> false));
+    Alcotest.test_case "pure-drip machine agrees with drip" `Quick (fun () ->
+        let r1 = Checker.verify ~machine:(Machine.drip feasible_config) feasible_config in
+        let r2 =
+          Checker.verify
+            ~machine:(Machine.pure_drip feasible_config)
+            feasible_config
+        in
+        check "same trace" true
+          (Checker.trace_equal r1.Checker.trace r2.Checker.trace));
+    Alcotest.test_case "wave machine verifies on its domain" `Quick (fun () ->
+        (* a depth-tagged star: node 0 tag 0, leaves woken by the wave *)
+        let g = Radio_graph.Gen.star 4 in
+        let config = C.create g [| 0; 1; 1; 1 |] in
+        check "wave applies" true (Election.Wave_election.applies config);
+        let machine =
+          match Machine.of_name config "wave" with
+          | Some m -> m
+          | None -> Alcotest.fail "registry must know wave"
+        in
+        let res = Checker.check ~machine config in
+        match res.Checker.verdict with
+        | Checker.Elected { leader; _ } -> check_int "wave leader" 0 leader
+        | v -> Alcotest.failf "unexpected verdict: %a" Checker.pp_verdict v);
+  ]
+
+(* --- Mutants --------------------------------------------------------- *)
+
+let mutant_tests =
+  [
+    Alcotest.test_case "greedy decision mutant violates safety" `Quick
+      (fun () ->
+        let machine = Mutant.greedy_decision feasible_config in
+        let res = Checker.check ~machine feasible_config in
+        (match res.Checker.verdict with
+        | Checker.Violated (Checker.Two_leaders ls) ->
+            check "at least two leaders" true (List.length ls >= 2)
+        | v -> Alcotest.failf "unexpected verdict: %a" Checker.pp_verdict v);
+        (* The action schedule is the canonical DRIP's, so the trace is a
+           valid execution: check-trace passes, as the verdict predicts. *)
+        let rp = Checker.replay ~machine res in
+        check "trace equality" true rp.Checker.trace_matches;
+        check "replay passes validation" true
+          (Radio_lint.Report.ok rp.Checker.report));
+    Alcotest.test_case "early-stop mutant breaks liveness" `Quick (fun () ->
+        let machine = Mutant.early_stop feasible_config in
+        let res = Checker.verify ~machine feasible_config in
+        (match res.Checker.verdict with
+        | Checker.Violated Checker.No_leader_on_feasible -> ()
+        | v -> Alcotest.failf "unexpected verdict: %a" Checker.pp_verdict v);
+        (* Replaying under the mutant itself is bit-for-bit clean... *)
+        let rp = Checker.replay ~machine res in
+        check "trace equality" true rp.Checker.trace_matches;
+        check "self-replay passes" true
+          (Radio_lint.Report.ok rp.Checker.report);
+        (* ...but the same outcome validated against the healthy canonical
+           protocol fails check-trace, exactly as the verdict predicts. *)
+        let healthy = (Machine.drip feasible_config).Machine.protocol in
+        check "fails against healthy protocol" false
+          (Radio_lint.Report.ok
+             (Lint.validate ~protocol:healthy rp.Checker.outcome)));
+  ]
+
+(* --- Universal mode and the symmetry quotient ------------------------ *)
+
+let explore_tests =
+  [
+    Alcotest.test_case "fault-free anonymous states are symmetric" `Quick
+      (fun () ->
+        (* Lockstep classes keep every reachable state automorphism-
+           invariant, so the quotient changes nothing — the checker's
+           restatement of the paper's symmetry impossibility. *)
+        let config = uniform_cycle 4 in
+        let on = Checker.explore ~depth:6 ~reduction:true config in
+        let off = Checker.explore ~depth:6 ~reduction:false config in
+        check "group found" true (on.Checker.stats.Checker.automorphisms > 1);
+        check_int "identical visited sets"
+          off.Checker.stats.Checker.states_explored
+          on.Checker.stats.Checker.states_explored);
+    Alcotest.test_case "symmetry reduction shrinks the visited set" `Quick
+      (fun () ->
+        (* A crash adversary names concrete nodes, breaking lockstep:
+           killing automorphic twins yields automorphic sibling states the
+           quotient collapses. *)
+        let config = uniform_cycle 4 in
+        let on = Checker.explore ~depth:6 ~faults:1 ~reduction:true config in
+        let off =
+          Checker.explore ~depth:6 ~faults:1 ~reduction:false config
+        in
+        check "group found" true (on.Checker.stats.Checker.automorphisms > 1);
+        check "strictly fewer states" true
+          (on.Checker.stats.Checker.states_explored
+          < off.Checker.stats.Checker.states_explored);
+        check "same separation verdict" true
+          (match (on.Checker.separated_at, off.Checker.separated_at) with
+          | None, None -> true
+          | Some a, Some b -> a = b
+          | _ -> false);
+        check "peak frontier recorded" true
+          (on.Checker.stats.Checker.peak_frontier >= 1));
+    Alcotest.test_case "uniform cycle never separates" `Quick (fun () ->
+        let e = Checker.explore ~depth:8 (uniform_cycle 4) in
+        check "no separation" true (Option.is_none e.Checker.separated_at));
+    Alcotest.test_case "feasible family separates" `Quick (fun () ->
+        let e = Checker.explore ~depth:12 (F.h_family 1) in
+        check "separates" true (Option.is_some e.Checker.separated_at));
+    Alcotest.test_case "state budget trips" `Quick (fun () ->
+        let e = Checker.explore ~depth:20 ~states:1 (uniform_cycle 4) in
+        check "exhausted" true
+          (match e.Checker.exhausted with
+          | Some `States -> true
+          | _ -> false));
+  ]
+
+(* --- Differential oracle --------------------------------------------- *)
+
+let oracle_tests =
+  [
+    Alcotest.test_case "MC agrees with the classifier (n <= 4, replayed)"
+      `Slow
+      (fun () ->
+        let r = Oracle.run ~max_n:4 ~max_span:2 ~replay:true () in
+        check_int "exhaustive universe" 434 r.Oracle.configurations;
+        check "feasible configs exist" true (r.Oracle.feasible > 0);
+        check "infeasible configs exist" true (r.Oracle.infeasible > 0);
+        (match r.Oracle.disagreements with
+        | [] -> ()
+        | d :: _ ->
+            Alcotest.failf "disagreement: %a" Oracle.pp_disagreement d);
+        check "consistent" true (Oracle.consistent r));
+  ]
+
+let () =
+  Alcotest.run "mc"
+    [
+      ("state", state_tests);
+      ("symmetry", symmetry_tests);
+      ("verify", verify_tests);
+      ("mutants", mutant_tests);
+      ("explore", explore_tests);
+      ("oracle", oracle_tests);
+    ]

@@ -88,6 +88,12 @@ let msg_assert_false =
    that faults cannot account for; return an explicit error or make the \
    case unrepresentable"
 
+let msg_poly_compare =
+  "polymorphic compare walks representations, not semantics: interner \
+   indices, closures and abstract keys order unpredictably (or raise) \
+   under bare compare/=/min/max; canonicalization code must use dedicated \
+   comparators (Int.compare, List.compare, an explicit equal)"
+
 let rule_names =
   [
     "random";
@@ -98,6 +104,7 @@ let rule_names =
     "toplevel-mutable-state";
     "catch-all-exception";
     "assert-false";
+    "polymorphic-compare";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -120,8 +127,11 @@ let lint_structure ~path ~allowed ast =
   let hot = Rules.deterministic_hot_path path in
   let faults = Rules.in_faults path in
   let boundary = Rules.deterministic_boundary path in
+  let canon = Rules.canonical_order_path path in
   (* A referenced value identifier. *)
   let check_ident ~line comps =
+    if canon && comps = [ "compare" ] then
+      report ~line ~rule:"polymorphic-compare" ~message:msg_poly_compare;
     if random_banned && is_random_path comps then
       report ~line ~rule:"random" ~message:msg_random;
     if in_lib && comps = [ "Obj"; "magic" ] then
@@ -143,9 +153,28 @@ let lint_structure ~path ~allowed ast =
     | Ppat_alias (p, _) | Ppat_constraint (p, _) -> is_catch_all p
     | _ -> false
   in
+  (* Syntactically structured data: an argument shape under which the
+     polymorphic primitives definitely recurse through a representation.
+     Nullary constructors ([None], [[]], [true]) compare like scalars and
+     stay exempt. *)
+  let rec structured e =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) -> structured e
+    | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+    | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) -> true
+    | _ -> false
+  in
+  let poly_primitive comps =
+    match comps with [ ("=" | "<>" | "min" | "max") ] -> true | _ -> false
+  in
   let expr_handler self e =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_ident ~line:(line_of loc) (flat txt)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+      when canon && poly_primitive (flat txt)
+           && List.exists (fun (_, a) -> structured a) args ->
+        report ~line:(line_of loc) ~rule:"polymorphic-compare"
+          ~message:msg_poly_compare
     | Pexp_try (_, cases) when boundary ->
         List.iter
           (fun c ->
@@ -218,6 +247,13 @@ let lint_structure ~path ~allowed ast =
     | Pmod_structure items -> check_items items
     | Pmod_constraint (m, _) -> check_module_expr m
     | Pmod_functor (_, m) -> check_module_expr m
+    | Pmod_apply (f, arg) ->
+        (* Functor application: toplevel state inside the argument struct
+           ([Make (struct let tbl = Hashtbl.create 16 end)]) is as shared
+           as any other module-level binding. *)
+        check_module_expr f;
+        check_module_expr arg
+    | Pmod_apply_unit m -> check_module_expr m
     | _ -> ()
   in
   check_items ast;

@@ -3,14 +3,22 @@
     Re-implements the textual rules of {!Rules} on parsed longidents and
     expressions — eliminating substring false positives and catching aliased
     forms ([Stdlib.(==)], [Stdlib.Random.int], [module R = Random]) — and
-    adds three rules only an AST can check:
+    adds four rules only an AST can check:
 
     - [toplevel-mutable-state]: a module-level [let] binding [ref _] or
       [Hashtbl.create _] inside the deterministic boundary;
     - [catch-all-exception]: [try ... with _ ->] (or a variable pattern)
       inside the deterministic boundary;
     - [assert-false]: [assert false] on a protocol path (deterministic
-      boundary).
+      boundary);
+    - [polymorphic-compare]: in canonicalization-critical code
+      ({!Rules.canonical_order_path}: [lib/core/], [lib/mc/]), a bare
+      [compare] reference, or [=] / [<>] / [min] / [max] applied to a
+      syntactically structured argument (tuple, record, array, constructor
+      or variant carrying a payload — nullary [None] / [[]] stay exempt).
+      The rule is syntactic: it cannot see a local [let compare = ...]
+      shadow, so such modules name their comparators ([compare_states],
+      [compare_labels]) and alias [compare] only at the end.
 
     [radiolint: allow <rule>] annotations suppress findings exactly as in
     the textual layer. *)

@@ -62,6 +62,23 @@ let refs_of_expr e =
   it.expr it e;
   List.rev !acc
 
+(* [let module M = ... in ...] occurrences in a binding's body.  The
+   returned module expressions are indexed separately (their bindings
+   become call-graph nodes); the iterator recurses only into the [in]
+   body, so a nested struct is collected exactly once. *)
+let let_modules_of_expr e =
+  let acc = ref [] in
+  let expr self e =
+    match e.pexp_desc with
+    | Pexp_letmodule ({ txt; _ }, m, body) ->
+        acc := (txt, m) :: !acc;
+        self.Ast_iterator.expr self body
+    | _ -> Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.rev !acc
+
 (* Every variable a binding pattern introduces, with its line. *)
 let rec vars_of_pattern p =
   match p.ppat_desc with
@@ -101,6 +118,7 @@ let rec collect_items t ~top ~subpath ~path items =
           List.iter
             (fun vb ->
               let refs = refs_of_expr vb.pvb_expr in
+              collect_let_modules t ~top ~subpath ~path vb.pvb_expr;
               match vars_of_pattern vb.pvb_pat with
               | [] ->
                   (* [let () = ...] and friends: module initialization code
@@ -117,6 +135,7 @@ let rec collect_items t ~top ~subpath ~path items =
             vbs
       | Pstr_eval (e, _) ->
           let refs = refs_of_expr e in
+          collect_let_modules t ~top ~subpath ~path e;
           if refs <> [] then
             add_def t ~top ~subpath ~name:"(init)" ~path
               ~line:item.pstr_loc.loc_start.Lexing.pos_lnum ~refs
@@ -141,7 +160,21 @@ and collect_module t ~top ~subpath ~path m =
   | Pmod_structure items -> collect_items t ~top ~subpath ~path items
   | Pmod_constraint (m, _) -> collect_module t ~top ~subpath ~path m
   | Pmod_functor (_, m) -> collect_module t ~top ~subpath ~path m
+  | Pmod_apply (f, arg) ->
+      (* Functor application: bindings in the argument struct
+         ([module M = Make (struct let gen () = ... end)]) are real
+         definitions the taint analysis must see. *)
+      collect_module t ~top ~subpath ~path f;
+      collect_module t ~top ~subpath ~path arg
+  | Pmod_apply_unit m -> collect_module t ~top ~subpath ~path m
   | _ -> ()
+
+and collect_let_modules t ~top ~subpath ~path e =
+  List.iter
+    (fun (name, m) ->
+      let sub = match name with Some s -> [ s ] | None -> [] in
+      collect_module t ~top ~subpath:(subpath @ sub) ~path m)
+    (let_modules_of_expr e)
 
 (* ------------------------------------------------------------------ *)
 (* Building                                                            *)

@@ -24,6 +24,8 @@ let rule_descriptions =
       "module-level ref/Hashtbl.create in a deterministic library" );
     ("catch-all-exception", "try ... with _ -> swallows invariant violations");
     ("assert-false", "assert false on a protocol path");
+    ( "polymorphic-compare",
+      "bare compare/=/min/max on structured data in canonicalization code" );
     ("missing-mli", "lib module without an interface");
     ("taint", "deterministic boundary transitively reaches an impure primitive");
   ]

@@ -258,6 +258,14 @@ let deterministic_hot_path path =
 
 let in_faults path = contains ~needle:"lib/faults/" path
 
+(* Canonicalization-critical directories: the classifier's orders in
+   lib/core/ and the model checker's canonical state encodings in lib/mc/
+   must never lean on polymorphic structural comparison — it walks
+   representations (closures, interner indices, abstract keys), not
+   semantics, and raises on functional values at runtime. *)
+let canonical_order_path path =
+  contains ~needle:"lib/core/" path || contains ~needle:"lib/mc/" path
+
 (* The declared purity boundary: directories whose code must be a
    deterministic function of local history (docs/LINTING.md). *)
 let deterministic_boundary path = deterministic_hot_path path || in_faults path

@@ -53,6 +53,11 @@ val deterministic_hot_path : string -> bool
 val in_faults : string -> bool
 (** [lib/faults/]. *)
 
+val canonical_order_path : string -> bool
+(** [lib/core/], [lib/mc/]: canonicalization-critical code where the
+    AST-level [polymorphic-compare] rule bans bare [compare]/[=]/[min]/[max]
+    on structured data (see {!Ast_lint}). *)
+
 val deterministic_boundary : string -> bool
 (** The declared purity boundary ([deterministic_hot_path] or [in_faults]):
     code here must stay a deterministic function of local history. *)
