@@ -6,9 +6,9 @@
 DUNE ?= dune
 
 .PHONY: check build test lint lint-deep lint-sarif fmt resilience-smoke \
-  mc-smoke clean
+  mc-smoke par-smoke bench-parallel clean
 
-check: build test lint lint-deep fmt resilience-smoke mc-smoke
+check: build test lint lint-deep fmt resilience-smoke mc-smoke par-smoke
 
 build:
 	$(DUNE) build
@@ -62,6 +62,31 @@ mc-smoke:
 	  [ $$? -eq 1 ] || status=1; \
 	fi; \
 	rm -f $$tmp $$sarif; exit $$status
+
+# Parallel determinism end to end: the same sweep at --jobs 1 and --jobs 2
+# must be byte-for-byte identical through the real CLI (docs/PARALLEL.md),
+# both for the census and for the model-checker oracle.  The runs are
+# sequential on purpose: two concurrent `dune exec` invocations contend on
+# the build lock.
+par-smoke:
+	@a=$$(mktemp); b=$$(mktemp); status=0; \
+	$(DUNE) exec bin/anorad.exe -- census --max-n 3 --jobs 1 > $$a && \
+	$(DUNE) exec bin/anorad.exe -- census --max-n 3 --jobs 2 > $$b && \
+	cmp -s $$a $$b || status=1; \
+	if [ $$status -eq 0 ]; then \
+	  $(DUNE) exec bin/anorad.exe -- mc --oracle 3 --jobs 1 > $$a && \
+	  $(DUNE) exec bin/anorad.exe -- mc --oracle 3 --jobs 2 > $$b && \
+	  cmp -s $$a $$b || status=1; \
+	fi; \
+	rm -f $$a $$b; \
+	if [ $$status -ne 0 ]; then \
+	  echo "par-smoke: parallel output differs from sequential"; \
+	fi; exit $$status
+
+# E20 only: sequential-vs-parallel wall clock per workload, written to
+# BENCH_parallel.json in the working directory.
+bench-parallel:
+	$(DUNE) exec bench/main.exe -- par
 
 clean:
 	$(DUNE) clean

@@ -982,6 +982,110 @@ let e19 () =
      the reduction column is the visited-set saving it buys.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E20 - lib/exec: domain-pool sweeps, sequential vs parallel          *)
+(* ------------------------------------------------------------------ *)
+
+let e20 ?(quick = false) () =
+  section "E20  Domain pool: sequential vs parallel sweeps (lib/exec)";
+  let module Pool = Radio_exec.Pool in
+  let jobs = if quick then 2 else 4 in
+  let reps = if quick then 1 else 3 in
+  let census_n = if quick then 3 else 4 in
+  let oracle_n = if quick then 3 else 4 in
+  let trials = if quick then 10 else 25 in
+  let horizon = if quick then 8 else 10 in
+  (* Each workload renders its full report to a string so the equality
+     column below really is the byte-identity contract of docs/PARALLEL.md,
+     not a spot check. *)
+  let workloads =
+    [
+      ( "census",
+        fun pool ->
+          Format.asprintf "%a" Election.Census.pp_report
+            (Election.Census.run ?pool ~max_n:census_n ~max_span:1 ()) );
+      ( "mc-oracle",
+        fun pool ->
+          Format.asprintf "%a" Radio_mc.Oracle.pp_report
+            (Radio_mc.Oracle.run ?pool ~max_n:oracle_n ()) );
+      ( "resilience",
+        fun pool ->
+          Radio_faults.Resilience.to_csv
+            (Radio_faults.Resilience.crash_sweep ?pool ~trials ~name:"h3"
+               (F.h_family 3)) );
+      ( "optimal",
+        fun pool ->
+          match
+            Election.Optimal.breaking_time ?pool ~horizon (F.h_family 2)
+          with
+          | Election.Optimal.Broken_at r -> Printf.sprintf "broken@%d" r
+          | Election.Optimal.Never -> "never"
+          | Election.Optimal.Not_within_horizon -> "not-within-horizon"
+          | Election.Optimal.Search_budget_exhausted -> "budget-exhausted" );
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "sequential vs %d-worker pool (wall-clock s, median of %d)" jobs
+           reps)
+      ~columns:[ "workload"; "seq s"; "par s"; "speedup"; "equal" ]
+  in
+  let wall reps f =
+    let times =
+      List.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Sys.opaque_identity (f ()));
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare times) (reps / 2)
+  in
+  let json_rows = ref [] in
+  let pool = Pool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun (name, work) ->
+          let seq_out = work None in
+          let par_out = work (Some pool) in
+          let equal = String.equal seq_out par_out in
+          let seq_s = wall reps (fun () -> work None) in
+          let par_s = wall reps (fun () -> work (Some pool)) in
+          let speedup = seq_s /. Float.max par_s 1e-9 in
+          Table.add_row table
+            [
+              name;
+              Printf.sprintf "%.3f" seq_s;
+              Printf.sprintf "%.3f" par_s;
+              Printf.sprintf "%.2fx" speedup;
+              Table.cell_bool equal;
+            ];
+          json_rows :=
+            Printf.sprintf
+              "    {\"workload\": %S, \"jobs\": %d, \"seq_s\": %.6f, \
+               \"par_s\": %.6f, \"speedup\": %.4f, \"equal\": %b}"
+              name jobs seq_s par_s speedup equal
+            :: !json_rows)
+        workloads;
+      Table.print table;
+      Format.printf "pool telemetry: %a@." Pool.pp_stats (Pool.stats pool));
+  let json =
+    "{\n  \"experiment\": \"E20\",\n  \"kernel\": \
+     \"Radio_exec.Pool\",\n  \"workloads\": [\n"
+    ^ String.concat ",\n" (List.rev !json_rows)
+    ^ "\n  ]\n}\n"
+  in
+  Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
+      output_string oc json);
+  Printf.printf
+    "wrote BENCH_parallel.json\n\
+     The equal column is the determinism contract: a pooled sweep renders\n\
+     byte-for-byte the sequential report.  Speedups track the machine's\n\
+     core count - on a single-core container par ~ seq plus scheduling\n\
+     overhead, and that honest number is recorded as-is.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one group per experiment kernel          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1108,6 +1212,13 @@ let () =
     e19 ();
     exit 0
   end;
+  (* `dune exec bench/main.exe -- par [--quick]` regenerates only the E20
+     domain-pool series (and BENCH_parallel.json); --quick shrinks the
+     workloads for `make par-smoke` and the test suite. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "par" then begin
+    e20 ~quick:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick") ();
+    exit 0
+  end;
   print_endline
     "anorad benchmark harness - reproduces the evaluation of Miller, Pelc,\n\
      Yadav: 'Deterministic Leader Election in Anonymous Radio Networks'\n\
@@ -1132,5 +1243,6 @@ let () =
   e17 ();
   e18 ();
   e19 ();
+  e20 ();
   run_bechamel ();
   print_endline "\nDone.  All series regenerated."

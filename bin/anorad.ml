@@ -63,6 +63,21 @@ let max_rounds_arg =
   let doc = "Abort the simulation after this many global rounds." in
   Arg.(value & opt int 10_000_000 & info [ "max-rounds" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sweep (default: the $(b,ANORAD_JOBS) \
+     environment variable, else the machine's recommended domain count).  \
+     1 is the literal sequential path; every level produces byte-identical \
+     output (see docs/PARALLEL.md)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let with_jobs_pool jobs f =
+  let pool = Radio_exec.Pool.create ?jobs () in
+  Fun.protect
+    ~finally:(fun () -> Radio_exec.Pool.shutdown pool)
+    (fun () -> f pool)
+
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -326,8 +341,11 @@ let census_cmd =
     let doc = "Largest tag span to enumerate." in
     Arg.(value & opt int 2 & info [ "max-span" ] ~docv:"S" ~doc)
   in
-  let run max_n max_span =
-    let report = Election.Census.run ~max_n ~max_span () in
+  let run max_n max_span jobs =
+    let report =
+      with_jobs_pool jobs (fun pool ->
+          Election.Census.run ~pool ~max_n ~max_span ())
+    in
     Format.printf "%a@." Election.Census.pp_report report;
     if report.Election.Census.all_consistent then 0 else 2
   in
@@ -335,7 +353,8 @@ let census_cmd =
     "exhaustively classify and cross-validate every small configuration \
      (all connected graphs up to isomorphism x all normalized tag vectors)"
   in
-  Cmd.v (Cmd.info "census" ~doc) Term.(const run $ max_n_arg $ max_span_arg)
+  Cmd.v (Cmd.info "census" ~doc)
+    Term.(const run $ max_n_arg $ max_span_arg $ jobs_arg)
 
 let catalog_cmd =
   let name_arg =
@@ -365,9 +384,12 @@ let catalog_cmd =
   Cmd.v (Cmd.info "catalog" ~doc) Term.(const run $ name_arg)
 
 let optimal_cmd =
-  let run path =
+  let run path jobs =
     let config = load_config path in
-    (match Election.Optimal.breaking_time config with
+    (match
+       with_jobs_pool jobs (fun pool ->
+           Election.Optimal.breaking_time ~pool config)
+     with
     | Election.Optimal.Broken_at r ->
         Format.printf
           "optimal symmetry-breaking round (over all algorithms): %d@." r
@@ -386,7 +408,7 @@ let optimal_cmd =
     "exhaustively search for the minimal symmetry-breaking round (small \
      configurations only)"
   in
-  Cmd.v (Cmd.info "optimal" ~doc) Term.(const run $ config_arg)
+  Cmd.v (Cmd.info "optimal" ~doc) Term.(const run $ config_arg $ jobs_arg)
 
 let fragility_cmd =
   let run path =
@@ -662,8 +684,16 @@ let mc_cmd =
         if dst = "-" then print_string doc
         else Out_channel.with_open_text dst (fun oc -> output_string oc doc)
   in
-  let run_oracle max_n replay sarif =
-    let report = Oracle.run ~max_n ~replay () in
+  let run_oracle max_n replay sarif jobs =
+    (* Liveness on stderr so stdout stays byte-comparable across runs. *)
+    let progress finished total =
+      if finished = total || finished mod 16 = 0 then
+        Printf.eprintf "\rmc oracle: %d/%d configs%!" finished total;
+      if finished = total then prerr_newline ()
+    in
+    let report =
+      with_jobs_pool jobs (fun pool -> Oracle.run ~pool ~progress ~max_n ~replay ())
+    in
     Format.printf "%a@." Oracle.pp_report report;
     let results =
       List.map
@@ -756,9 +786,9 @@ let mc_cmd =
         2
   in
   let run config_path depth states protocol explore faults no_reduction
-      replay oracle sarif =
+      replay oracle sarif jobs =
     match oracle with
-    | Some max_n -> run_oracle max_n replay sarif
+    | Some max_n -> run_oracle max_n replay sarif jobs
     | None -> (
         match config_path with
         | None ->
@@ -829,7 +859,7 @@ let mc_cmd =
     Term.(
       const run $ config_opt_arg $ depth_arg $ states_arg $ protocol_arg
       $ explore_arg $ faults_arg $ no_reduction_arg $ replay_arg
-      $ oracle_arg $ sarif_arg)
+      $ oracle_arg $ sarif_arg $ jobs_arg)
 
 (* Headline for a failed conformance check: name the invariant and the node
    it broke at, so a failing CI line is actionable without the full report. *)
@@ -993,10 +1023,13 @@ let resilience_cmd =
     let doc = "Write the degradation curve as csv to this file ('-' for stdout)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run path trials seed max_intensity csv =
+  let run path trials seed max_intensity csv jobs =
     let config = load_config path in
     let name = Filename.remove_extension (Filename.basename path) in
-    match R.crash_sweep ~seed ~trials ?max_intensity ~name config with
+    match
+      with_jobs_pool jobs (fun pool ->
+          R.crash_sweep ~pool ~seed ~trials ?max_intensity ~name config)
+    with
     | exception Invalid_argument msg ->
         Format.eprintf "anorad resilience: %s@." msg;
         1
@@ -1018,7 +1051,7 @@ let resilience_cmd =
     (Cmd.info "resilience" ~doc)
     Term.(
       const run $ config_arg $ trials_arg $ seed_arg $ max_intensity_arg
-      $ csv_arg)
+      $ csv_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

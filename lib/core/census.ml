@@ -64,9 +64,16 @@ let audit config =
   in
   (feasible, disagreement, impl_mismatch)
 
-let run ?(max_n = 4) ?(max_span = 2) () =
+let run ?pool ?(max_n = 4) ?(max_span = 2) () =
   if max_n < 1 || max_n > 6 then invalid_arg "Census.run: max_n must be in 1..6";
   if max_span < 0 then invalid_arg "Census.run: max_span must be >= 0";
+  let audit_all =
+    (* Each audit is independent; fold the verdicts in submission order so
+       the report is byte-identical whatever the jobs level. *)
+    match pool with
+    | None -> List.map audit
+    | Some pool -> fun configs -> Radio_exec.Pool.map pool ~f:audit configs
+  in
   let cells = ref [] in
   let total_configs = ref 0 in
   for n = 1 to max_n do
@@ -78,22 +85,22 @@ let run ?(max_n = 4) ?(max_span = 2) () =
           (fun tags -> Array.fold_left max 0 tags = span)
           (tag_assignments ~n ~max_span:span)
       in
+      let configs =
+        List.concat_map
+          (fun g -> List.map (fun tags -> C.create g tags) assignments)
+          graphs
+      in
       let total = ref 0 in
       let feas = ref 0 in
       let dis = ref 0 in
       let mis = ref 0 in
       List.iter
-        (fun g ->
-          List.iter
-            (fun tags ->
-              let config = C.create g tags in
-              let feasible, disagreement, impl_mismatch = audit config in
-              incr total;
-              if feasible then incr feas;
-              if disagreement then incr dis;
-              if impl_mismatch then incr mis)
-            assignments)
-        graphs;
+        (fun (feasible, disagreement, impl_mismatch) ->
+          incr total;
+          if feasible then incr feas;
+          if disagreement then incr dis;
+          if impl_mismatch then incr mis)
+        (audit_all configs);
       total_configs := !total_configs + !total;
       cells :=
         {

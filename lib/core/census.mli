@@ -33,9 +33,12 @@ val tag_assignments : n:int -> max_span:int -> int array list
 (** All normalized tag vectors: values in [0 .. max_span], at least one 0.
     [(max_span+1)^n - max_span^n] of them. *)
 
-val run : ?max_n:int -> ?max_span:int -> unit -> report
+val run : ?pool:Radio_exec.Pool.t -> ?max_n:int -> ?max_span:int -> unit -> report
 (** Defaults: [max_n = 4], [max_span = 2].  [max_n = 5] multiplies the work
     by roughly the number of 5-vertex connected graphs (21) times [3^5]
-    assignments and is still fast; [max_n = 6] takes minutes. *)
+    assignments and is still fast; [max_n = 6] takes minutes.
+
+    [pool] audits configurations in parallel; the report is byte-identical
+    to the sequential run at every jobs level (docs/PARALLEL.md). *)
 
 val pp_report : Format.formatter -> report -> unit

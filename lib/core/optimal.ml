@@ -19,23 +19,12 @@ type event =
   | Ev_wake_silent
   | Ev_wake_msg of int
 
-module Intern = struct
-  type t = {
-    table : (int * event, int) Hashtbl.t;
-    mutable next : int;
-  }
-
-  let create () = { table = Hashtbl.create 1024; next = 1 }
-
-  let get t parent event =
-    match Hashtbl.find_opt t.table (parent, event) with
-    | Some id -> id
-    | None ->
-        let id = t.next in
-        t.next <- t.next + 1;
-        Hashtbl.replace t.table (parent, event) id;
-        id
-end
+(* Interning lives in Radio_exec.Intern: a global (parent, event) -> id
+   table with first-seen dense ids starting at 1 (0 is reserved for ⊥),
+   plus task-local views whose provisional ids are merged back — in
+   submission order — at the parallel search's round barriers, keeping
+   the ids bit-identical to a sequential left-to-right exploration. *)
+module Intern = Radio_exec.Intern
 
 let separated keys =
   let n = Array.length keys in
@@ -62,7 +51,10 @@ let rec subsets = function
       let s = subsets rest in
       s @ List.map (fun t -> x :: t) s
 
-let step config intern keys ~round ~transmitting =
+(* [get parent event] interns one history extension; the search threads
+   either the global table's [get] (sequential) or a task-local view's
+   (parallel) through here. *)
+let step config ~get keys ~round ~transmitting =
   let g = C.graph config in
   let n = C.size config in
   let is_tx v = keys.(v) <> 0 && List.mem keys.(v) transmitting in
@@ -82,7 +74,7 @@ let step config intern keys ~round ~transmitting =
             | _ -> Ev_noise
           end
         in
-        Intern.get intern keys.(v) event
+        get keys.(v) event
       end
       else begin
         (* asleep: forced wake by a lone transmitting neighbour, else
@@ -92,8 +84,8 @@ let step config intern keys ~round ~transmitting =
               if is_tx w then keys.(w) :: acc else acc)
         in
         match senders with
-        | [ c ] -> Intern.get intern 0 (Ev_wake_msg c)
-        | _ -> if C.tag config v = round then Intern.get intern 0 Ev_wake_silent else 0
+        | [ c ] -> get 0 (Ev_wake_msg c)
+        | _ -> if C.tag config v = round then get 0 Ev_wake_silent else 0
       end)
 
 module StateSet = Set.Make (struct
@@ -114,7 +106,18 @@ module StateSet = Set.Make (struct
     | c -> c
 end)
 
-let breaking_time ?(horizon = 24) ?(max_states = 200_000) config =
+(* Provisional ids only ever appear as whole key entries: parents and
+   message classes are drawn from the current (already global) state, so
+   [remap] has nothing to rewrite inside the key — applying the resolver
+   anyway keeps the protocol honest if that invariant ever changes. *)
+let remap_key resolve (parent, event) =
+  ( resolve parent,
+    match event with
+    | Ev_msg c -> Ev_msg (resolve c)
+    | Ev_wake_msg c -> Ev_wake_msg (resolve c)
+    | (Ev_silence | Ev_noise | Ev_wake_silent) as e -> e )
+
+let breaking_time ?pool ?(horizon = 24) ?(max_states = 200_000) config =
   let config =
     if C.is_normalized config then config
     else C.create (C.graph config) (C.tags config)
@@ -125,8 +128,61 @@ let breaking_time ?(horizon = 24) ?(max_states = 200_000) config =
      search, which would otherwise chase growing histories forever. *)
   if not (Classifier.is_feasible (Fast_classifier.classify config)) then Never
   else begin
-  let intern = Intern.create () in
+  let intern = Intern.create ~first:1 () in
   let explored = ref 0 in
+  (* Fold one expanded successor into the round's accumulator, exactly as
+     the historical sequential loop did: separated states break, the rest
+     dedup into the next frontier. *)
+  let absorb next broken keys' =
+    if separated keys' then broken := true
+    else if not (StateSet.mem keys' !next) then begin
+      next := StateSet.add keys' !next;
+      incr explored
+    end
+  in
+  let expand_seq ~round frontier next broken =
+    StateSet.iter
+      (fun keys ->
+        let get parent event = Intern.get intern (parent, event) in
+        List.iter
+          (fun transmitting ->
+            absorb next broken (step config ~get keys ~round ~transmitting))
+          (subsets (distinct_awake_keys keys)))
+      frontier
+  in
+  (* Parallel rounds: every task expands its states against a task-local
+     interner view (the global table is frozen while the batch is in
+     flight), then — after the batch barrier — each task's fresh keys are
+     committed in submission order, which reproduces the sequential id
+     assignment bit for bit (see Radio_exec.Intern). *)
+  let expand_par pool ~round frontier next broken =
+    let states = Array.of_list (StateSet.elements frontier) in
+    let results =
+      Radio_exec.Pool.map_array pool
+        ~f:(fun keys ->
+          let local = Intern.local intern in
+          let get parent event = Intern.get_local local (parent, event) in
+          let nexts =
+            List.map
+              (fun transmitting -> step config ~get keys ~round ~transmitting)
+              (subsets (distinct_awake_keys keys))
+          in
+          (local, nexts))
+        states
+    in
+    Array.iter
+      (fun (local, nexts) ->
+        let resolve = Intern.commit intern ~remap:remap_key local in
+        List.iter
+          (fun keys' -> absorb next broken (Array.map resolve keys'))
+          nexts)
+      results
+  in
+  let expand =
+    match pool with
+    | Some pool when Radio_exec.Pool.jobs pool > 1 -> expand_par pool
+    | _ -> expand_seq
+  in
   let rec bfs round frontier =
     if StateSet.is_empty frontier then Not_within_horizon
     else if round > horizon then Not_within_horizon
@@ -135,19 +191,7 @@ let breaking_time ?(horizon = 24) ?(max_states = 200_000) config =
       (* Expand every state by every choice of transmitting classes. *)
       let next = ref StateSet.empty in
       let broken = ref false in
-      StateSet.iter
-        (fun keys ->
-          let choices = subsets (distinct_awake_keys keys) in
-          List.iter
-            (fun transmitting ->
-              let keys' = step config intern keys ~round ~transmitting in
-              if separated keys' then broken := true
-              else if not (StateSet.mem keys' !next) then begin
-                next := StateSet.add keys' !next;
-                incr explored
-              end)
-            choices)
-        frontier;
+      expand ~round frontier next broken;
       if !broken then Broken_at round else bfs (round + 1) !next
     end
   in

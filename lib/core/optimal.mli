@@ -28,9 +28,18 @@ type outcome =
   | Search_budget_exhausted
 
 val breaking_time :
-  ?horizon:int -> ?max_states:int -> Radio_config.Config.t -> outcome
+  ?pool:Radio_exec.Pool.t ->
+  ?horizon:int ->
+  ?max_states:int ->
+  Radio_config.Config.t ->
+  outcome
 (** [breaking_time config] explores up to [horizon] (default 24) global
-    rounds and [max_states] (default 200_000) distinct states. *)
+    rounds and [max_states] (default 200_000) distinct states.
+
+    [pool] expands each BFS frontier in parallel, merging task-local
+    interner views at the round barrier in submission order, so the
+    outcome (and internal id assignment) is bit-identical to the
+    sequential search at every jobs level (docs/PARALLEL.md). *)
 
 val canonical_breaking_time :
   ?max_rounds:int -> Radio_config.Config.t -> int option

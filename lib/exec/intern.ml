@@ -1,0 +1,57 @@
+(* Deterministic mergeable interner: see intern.mli for the protocol.
+
+   Provisional ids are negative — [-1, -2, ...] in creation order — so a
+   resolver is just an array lookup at [-id - 1].  The global table is
+   only mutated by [get] and [commit], both restricted to the
+   orchestrating domain; [find] and [get_local] read it concurrently
+   during a batch, which is safe because the table is frozen for the
+   batch's whole lifetime. *)
+
+type 'k t = { table : ('k, int) Hashtbl.t; mutable next : int }
+
+let create ?(first = 0) () = { table = Hashtbl.create 256; next = first }
+let size t = Hashtbl.length t.table
+let next_id t = t.next
+
+let get t k =
+  match Hashtbl.find_opt t.table k with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      t.next <- t.next + 1;
+      Hashtbl.add t.table k id;
+      id
+
+let find t k = Hashtbl.find_opt t.table k
+
+type 'k local = {
+  global : 'k t;
+  own : ('k, int) Hashtbl.t;
+  mutable log : 'k list; (* creation order, newest first *)
+  mutable fresh : int; (* count of provisional ids handed out *)
+}
+
+let local t = { global = t; own = Hashtbl.create 64; log = []; fresh = 0 }
+
+let get_local l k =
+  match Hashtbl.find_opt l.global.table k with
+  | Some id -> id
+  | None -> (
+      match Hashtbl.find_opt l.own k with
+      | Some id -> id
+      | None ->
+          l.fresh <- l.fresh + 1;
+          let id = -l.fresh in
+          Hashtbl.add l.own k id;
+          l.log <- k :: l.log;
+          id)
+
+let commit t ~remap l =
+  let resolved = Array.make l.fresh 0 in
+  let resolve id = if id >= 0 then id else resolved.(-id - 1) in
+  (* oldest-first: the log is stored newest-first, and the key that got
+     provisional id [-(j+1)] is the j-th oldest *)
+  List.iteri
+    (fun j k -> resolved.(j) <- get t (remap resolve k))
+    (List.rev l.log);
+  resolve

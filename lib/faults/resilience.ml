@@ -28,8 +28,8 @@ let stability_rate p =
 
 let overhead c p = p.mean_rounds /. float_of_int c.baseline_rounds
 
-let crash_sweep ?(seed = 0xFA17) ?(trials = 20) ?max_intensity ?max_rounds
-    ~name config =
+let crash_sweep ?pool ?(seed = 0xFA17) ?(trials = 20) ?max_intensity
+    ?max_rounds ~name config =
   let n = Config.size config in
   let a = Fe.analyze config in
   if not a.Fe.feasible then
@@ -55,32 +55,42 @@ let crash_sweep ?(seed = 0xFA17) ?(trials = 20) ?max_intensity ?max_rounds
         Array.of_list
           (Fault_plan.crash_schedule ~seed:(seed + (7919 * t)) ~horizon config))
   in
+  (* One intensity level is an independent unit of work: every trial's
+     plan is derived from the precomputed (read-only) schedules, and
+     Faulty_engine allocates all run state per call.  Mapping over the
+     levels with a pool preserves the ascending-intensity order, so the
+     curve is byte-identical at any jobs count. *)
+  let point_at k =
+    let successes = ref 0 and stable = ref 0 in
+    let rounds_sum = ref 0 in
+    for t = 0 to trials - 1 do
+      let plan =
+        Array.to_list (Array.sub schedules.(t) 0 k)
+        |> List.map (fun (node, round) -> Fault_plan.Crash { node; round })
+      in
+      let o = Faulty_engine.run ~max_rounds plan election.Runner.protocol config in
+      match Faulty_engine.elected election.Runner.decision o with
+      | Some v ->
+          incr successes;
+          if v = baseline_leader then incr stable;
+          rounds_sum := !rounds_sum + o.Faulty_engine.base.Engine.rounds
+      | None -> ()
+    done;
+    {
+      intensity = k;
+      trials;
+      successes = !successes;
+      stable = !stable;
+      mean_rounds =
+        (if !successes = 0 then nan
+         else float_of_int !rounds_sum /. float_of_int !successes);
+    }
+  in
+  let intensities = List.init (max_intensity + 1) (fun k -> k) in
   let points =
-    List.init (max_intensity + 1) (fun k ->
-        let successes = ref 0 and stable = ref 0 in
-        let rounds_sum = ref 0 in
-        for t = 0 to trials - 1 do
-          let plan =
-            Array.to_list (Array.sub schedules.(t) 0 k)
-            |> List.map (fun (node, round) -> Fault_plan.Crash { node; round })
-          in
-          let o = Faulty_engine.run ~max_rounds plan election.Runner.protocol config in
-          match Faulty_engine.elected election.Runner.decision o with
-          | Some v ->
-              incr successes;
-              if v = baseline_leader then incr stable;
-              rounds_sum := !rounds_sum + o.Faulty_engine.base.Engine.rounds
-          | None -> ()
-        done;
-        {
-          intensity = k;
-          trials;
-          successes = !successes;
-          stable = !stable;
-          mean_rounds =
-            (if !successes = 0 then nan
-             else float_of_int !rounds_sum /. float_of_int !successes);
-        })
+    match pool with
+    | None -> List.map point_at intensities
+    | Some pool -> Radio_exec.Pool.map pool ~chunk:1 ~f:point_at intensities
   in
   { name; config; seed; baseline_leader; baseline_rounds; points }
 

@@ -43,6 +43,7 @@ val overhead : curve -> point -> float
 (** [mean_rounds / baseline_rounds]; [nan] when the point has no success. *)
 
 val crash_sweep :
+  ?pool:Radio_exec.Pool.t ->
   ?seed:int ->
   ?trials:int ->
   ?max_intensity:int ->
@@ -54,7 +55,11 @@ val crash_sweep :
     (default [n]) with [trials] seeds per point (default 20).  The crash
     horizon is the fault-free completion round + 1, so every crash can land
     anywhere in the live part of the run.  Raises [Invalid_argument] when
-    the configuration is infeasible — there is no election to degrade. *)
+    the configuration is infeasible — there is no election to degrade.
+
+    [pool] runs intensity levels in parallel; the curve (and csv/chart)
+    is byte-identical to the sequential sweep at every jobs level
+    (docs/PARALLEL.md). *)
 
 val to_csv : curve -> string
 (** Header [intensity,trials,successes,success_rate,stable,stability_rate,

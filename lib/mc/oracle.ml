@@ -22,10 +22,17 @@ type report = {
 
 let agrees = function [] -> true | _ :: _ -> false
 
-let check_one ~replay acc config =
-  let configurations, feasible, infeasible, replayed, max_round, disags =
-    acc
-  in
+(* Everything the oracle learns from one configuration.  [examine] is
+   side-effect free and independent across configurations, so it is the
+   unit of parallelism; the fold below runs on the orchestrating domain
+   in submission order. *)
+type verdict_one = {
+  one_feasible : bool;
+  one_disagreement : disagreement option;
+  one_round : int;  (* completion round on feasible configs, else 0 *)
+}
+
+let examine ~replay config =
   let run = Fast_classifier.classify config in
   let is_feasible = Classifier.is_feasible run in
   let machine = Machine.drip config in
@@ -66,31 +73,55 @@ let check_one ~replay acc config =
         | _, false -> fail "engine replay failed model validation")
     | None -> None
   in
-  let max_round =
+  let one_round =
     match res.Checker.verdict with
-    | Checker.Elected { round; _ } when round > max_round -> round
-    | _ -> max_round
+    | Checker.Elected { round; _ } -> round
+    | _ -> 0
+  in
+  { one_feasible = is_feasible; one_disagreement = disagreement; one_round }
+
+let fold_one ~replay acc one =
+  let configurations, feasible, infeasible, replayed, max_round, disags =
+    acc
   in
   ( configurations + 1,
-    (feasible + (if is_feasible then 1 else 0)),
-    (infeasible + (if is_feasible then 0 else 1)),
+    (feasible + (if one.one_feasible then 1 else 0)),
+    (infeasible + (if one.one_feasible then 0 else 1)),
     (replayed + (if replay then 1 else 0)),
-    max_round,
-    match disagreement with Some d -> d :: disags | None -> disags )
+    (if one.one_round > max_round then one.one_round else max_round),
+    match one.one_disagreement with Some d -> d :: disags | None -> disags )
 
-let run ?(max_n = 5) ?(max_span = 2) ?(replay = false) () =
+let all_configs ~max_n ~max_span =
+  (* Same traversal order as the historical sequential loop: n ascending,
+     tag assignments outer, graphs inner. *)
+  List.concat
+    (List.init max_n (fun i ->
+         let n = i + 1 in
+         let graphs = Enumerate.connected_up_to_iso n in
+         List.concat_map
+           (fun tags ->
+             List.map (fun g -> C.create g (Array.copy tags)) graphs)
+           (Census.tag_assignments ~n ~max_span)))
+
+let run ?pool ?progress ?(max_n = 5) ?(max_span = 2) ?(replay = false) () =
+  let configs = all_configs ~max_n ~max_span in
+  let total = List.length configs in
   let acc = ref (0, 0, 0, 0, 0, []) in
-  for n = 1 to max_n do
-    let graphs = Enumerate.connected_up_to_iso n in
-    List.iter
-      (fun tags ->
-        List.iter
-          (fun g ->
-            let config = C.create g (Array.copy tags) in
-            acc := check_one ~replay !acc config)
-          graphs)
-      (Census.tag_assignments ~n ~max_span)
-  done;
+  let commit one =
+    acc := fold_one ~replay !acc one;
+    match progress with
+    | Some f ->
+        let finished, _, _, _, _, _ = !acc in
+        f finished total
+    | None -> ()
+  in
+  (match pool with
+  | None -> List.iter (fun config -> commit (examine ~replay config)) configs
+  | Some pool ->
+      Radio_exec.Pool.run_batch pool
+        ~f:(fun _ config -> examine ~replay config)
+        ~commit:(fun _ one -> commit one)
+        (Array.of_list configs));
   let configurations, feasible, infeasible, replayed, max_round, disags =
     !acc
   in

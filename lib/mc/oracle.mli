@@ -32,8 +32,20 @@ type report = {
   disagreements : disagreement list;
 }
 
-val run : ?max_n:int -> ?max_span:int -> ?replay:bool -> unit -> report
-(** Defaults: [max_n = 5], [max_span = 2], [replay = false]. *)
+val run :
+  ?pool:Radio_exec.Pool.t ->
+  ?progress:(int -> int -> unit) ->
+  ?max_n:int ->
+  ?max_span:int ->
+  ?replay:bool ->
+  unit ->
+  report
+(** Defaults: [max_n = 5], [max_span = 2], [replay = false].
+
+    [pool] checks configurations in parallel; the report is byte-identical
+    to the sequential run at every jobs level (docs/PARALLEL.md).
+    [progress done total] is invoked on the calling domain after each
+    configuration's verdict is folded in, in submission order. *)
 
 val consistent : report -> bool
 (** No disagreements. *)

@@ -102,6 +102,27 @@ let test_census_cli () =
   check_int "exit" 0 code;
   check "consistent" true (contains out "consistent: true")
 
+(* The --jobs determinism contract through the real CLI: a pooled census
+   renders byte-for-byte the sequential report (docs/PARALLEL.md). *)
+let test_jobs_cli () =
+  let code_seq, out_seq = anorad "census --max-n 3 --max-span 1 --jobs 1" in
+  let code_par, out_par = anorad "census --max-n 3 --max-span 1 --jobs 2" in
+  check_int "jobs 1 exit" 0 code_seq;
+  check_int "jobs 2 exit" 0 code_par;
+  check "census parallel = sequential" true (String.equal out_seq out_par);
+  let code_seq, out_seq = anorad "mc --oracle 3 --jobs 1" in
+  let code_par, out_par = anorad "mc --oracle 3 --jobs 2" in
+  check_int "oracle jobs 1 exit" 0 code_seq;
+  check_int "oracle jobs 2 exit" 0 code_par;
+  check "oracle parallel = sequential" true (String.equal out_seq out_par);
+  let code, out = anorad "census --help=plain" in
+  check_int "census help exit" 0 code;
+  check "census documents --jobs" true (contains out "--jobs");
+  check "census documents ANORAD_JOBS" true (contains out "ANORAD_JOBS");
+  let code, out = anorad "resilience --help=plain" in
+  check_int "resilience help exit" 0 code;
+  check "resilience documents --jobs" true (contains out "--jobs")
+
 let test_catalog_cli () =
   let code, out = anorad "catalog" in
   check_int "list exit" 0 code;
@@ -474,6 +495,7 @@ let () =
           Alcotest.test_case "repair" `Quick test_repair;
           Alcotest.test_case "audit" `Quick test_audit;
           Alcotest.test_case "census" `Quick test_census_cli;
+          Alcotest.test_case "--jobs determinism" `Quick test_jobs_cli;
           Alcotest.test_case "catalog" `Quick test_catalog_cli;
           Alcotest.test_case "optimal" `Quick test_optimal_cli;
           Alcotest.test_case "refute" `Quick test_refute_cli;

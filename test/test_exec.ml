@@ -1,0 +1,354 @@
+(* The execution subsystem: Pool scheduling/determinism/telemetry, the
+   mergeable interner, and the parallel == sequential byte-equality
+   contract for every wired sweep (census, oracle, resilience, optimal)
+   at jobs in {1, 2, 4}. *)
+
+open Radio_exec
+
+let jobs_levels = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool units                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_batch () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let hits = ref 0 in
+          Pool.run_batch pool
+            ~f:(fun _ _ -> incr hits)
+            ~commit:(fun _ () -> ())
+            [||];
+          Alcotest.(check int) "no tasks ran" 0 !hits;
+          Alcotest.(check (list int)) "map of empty" [] (Pool.map pool ~f:succ [])))
+    jobs_levels
+
+let test_one_task () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (list int))
+            "singleton map" [ 42 ]
+            (Pool.map pool ~f:(fun x -> x * 2) [ 21 ])))
+    jobs_levels
+
+let test_map_order () =
+  let xs = List.init 257 (fun i -> i) in
+  let expect = List.map (fun i -> (i * 7) mod 13) xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "map order, jobs=%d" jobs)
+            expect
+            (Pool.map pool ~f:(fun i -> (i * 7) mod 13) xs)))
+    jobs_levels
+
+let test_map_reduce_matches_fold () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = Printf.sprintf "<%d>" (x * x) in
+  let seq = List.fold_left (fun acc x -> acc ^ f x) "" xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let par = Pool.map_reduce pool ~f ~init:"" ~merge:( ^ ) xs in
+          Alcotest.(check string)
+            (Printf.sprintf "fold equality, jobs=%d" jobs)
+            seq par))
+    jobs_levels
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      let committed = ref [] in
+      let raised =
+        try
+          Pool.run_batch pool ~chunk:1
+            ~f:(fun i x -> if i = 5 then raise (Boom x) else x * 10)
+            ~commit:(fun i y -> committed := (i, y) :: !committed)
+            (Array.init 12 (fun i -> i));
+          None
+        with Boom x -> Some x
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "exception surfaced, jobs=%d" jobs)
+        (Some 5) raised;
+      (* the exact sequential prefix was committed, in order *)
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "prefix committed, jobs=%d" jobs)
+        [ (0, 0); (1, 10); (2, 20); (3, 30); (4, 40) ]
+        (List.rev !committed);
+      (* the pool survives the exception and shuts down cleanly *)
+      Alcotest.(check (list int))
+        "pool usable after exception" [ 2; 4; 6 ]
+        (Pool.map pool ~f:(fun x -> 2 * x) [ 1; 2; 3 ]);
+      Pool.shutdown pool;
+      Pool.shutdown pool (* idempotent *);
+      Alcotest.(check (list int))
+        "post-shutdown degrades to caller" [ 1; 2 ]
+        (Pool.map pool ~f:succ [ 0; 1 ]))
+    jobs_levels
+
+let test_stats_monotone () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let snapshots =
+        List.map
+          (fun n ->
+            ignore (Pool.map pool ~f:succ (List.init n (fun i -> i)));
+            Pool.stats pool)
+          [ 10; 100; 1000 ]
+      in
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            let open Pool in
+            Alcotest.(check bool) "tasks monotone" true (b.tasks >= a.tasks);
+            Alcotest.(check bool) "steals monotone" true (b.steals >= a.steals);
+            Alcotest.(check bool)
+              "depth monotone" true
+              (b.max_queue_depth >= a.max_queue_depth);
+            Array.iteri
+              (fun i bi ->
+                Alcotest.(check bool) "busy monotone" true (bi >= a.busy.(i)))
+              b.busy;
+            pairs rest
+        | _ -> ()
+      in
+      pairs snapshots;
+      let s = Pool.stats pool in
+      Alcotest.(check int) "jobs reported" 2 s.Pool.jobs;
+      Alcotest.(check int) "all elements counted" 1110 s.Pool.tasks)
+
+let test_jobs_resolution () =
+  let pool = Pool.create ~jobs:7 () in
+  Alcotest.(check int) "explicit jobs" 7 (Pool.jobs pool);
+  Pool.shutdown pool;
+  let pool = Pool.create ~jobs:0 () in
+  Alcotest.(check int) "clamped to 1" 1 (Pool.jobs pool);
+  Pool.shutdown pool;
+  Unix.putenv "ANORAD_JOBS" "3";
+  let pool = Pool.create () in
+  Alcotest.(check int) "ANORAD_JOBS honoured" 3 (Pool.jobs pool);
+  Pool.shutdown pool;
+  Unix.putenv "ANORAD_JOBS" "";
+  let pool = Pool.create () in
+  Alcotest.(check bool) "garbage env falls back" true (Pool.jobs pool >= 1);
+  Pool.shutdown pool
+
+let test_busy_work () =
+  (* a batch heavy enough that workers actually run tasks; checks the
+     result is still deterministic and telemetry counts every element *)
+  let n = 2000 in
+  let f i =
+    let acc = ref 0 in
+    for k = 1 to 200 do
+      acc := (!acc + (i * k)) mod 9973
+    done;
+    !acc
+  in
+  let expect = Array.init n f in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let got = Pool.map_array pool ~f (Array.init n (fun i -> i)) in
+      Alcotest.(check (array int)) "heavy batch deterministic" expect got;
+      let s = Pool.stats pool in
+      Alcotest.(check int) "telemetry counted all" n s.Pool.tasks;
+      Alcotest.(check bool)
+        "busy time recorded" true
+        (Array.fold_left ( +. ) 0. s.Pool.busy > 0.))
+
+(* ------------------------------------------------------------------ *)
+(* Intern                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern_sequential () =
+  let t = Intern.create ~first:1 () in
+  Alcotest.(check int) "first id" 1 (Intern.get t "a");
+  Alcotest.(check int) "second id" 2 (Intern.get t "b");
+  Alcotest.(check int) "hit" 1 (Intern.get t "a");
+  Alcotest.(check int) "size" 2 (Intern.size t);
+  Alcotest.(check int) "next" 3 (Intern.next_id t);
+  Alcotest.(check (option int)) "find hit" (Some 2) (Intern.find t "b");
+  Alcotest.(check (option int)) "find miss" None (Intern.find t "z")
+
+let test_intern_commit_matches_sequential () =
+  (* keys embed ids (parent, label) exactly like Optimal's history keys;
+     two "tasks" intern overlapping key streams, committed in submission
+     order, and the resulting global ids must equal a sequential run *)
+  let streams =
+    [
+      [ (0, "x"); (0, "y"); (1, "x") ];
+      [ (0, "y"); (0, "z"); (2, "w") ];
+      [ (1, "x"); (4, "q") ];
+    ]
+  in
+  (* sequential reference *)
+  let seq = Intern.create ~first:1 () in
+  let seq_ids =
+    List.map
+      (List.map (fun (p, l) -> Intern.get seq (p, l)))
+      (* sequential interning resolves parents against already-final ids *)
+      streams
+  in
+  (* parallel-shaped run: locals filled "concurrently", committed in order *)
+  let par = Intern.create ~first:1 () in
+  let locals = List.map (fun _ -> Intern.local par) streams in
+  let local_ids =
+    List.map2
+      (fun l stream -> List.map (fun k -> Intern.get_local l k) stream)
+      locals streams
+  in
+  let remap resolve (p, l) = (resolve p, l) in
+  let par_ids =
+    List.map2
+      (fun l ids ->
+        let resolve = Intern.commit par ~remap l in
+        List.map resolve ids)
+      locals local_ids
+  in
+  Alcotest.(check (list (list int))) "ids bit-identical" seq_ids par_ids;
+  Alcotest.(check int) "same table size" (Intern.size seq) (Intern.size par)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel == sequential byte equality for the wired sweeps           *)
+(* ------------------------------------------------------------------ *)
+
+let with_jobs_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let check_bytes_across_jobs name render =
+  let reference = with_jobs_pool 1 render in
+  List.iter
+    (fun jobs ->
+      let got = with_jobs_pool jobs render in
+      Alcotest.(check string) (Printf.sprintf "%s, jobs=%d" name jobs) reference got)
+    (List.tl jobs_levels)
+
+let test_census_bytes () =
+  check_bytes_across_jobs "census report" (fun pool ->
+      let report = Election.Census.run ~pool ~max_n:3 ~max_span:1 () in
+      Format.asprintf "%a" Election.Census.pp_report report)
+
+let test_oracle_bytes () =
+  check_bytes_across_jobs "oracle report" (fun pool ->
+      let r = Radio_mc.Oracle.run ~pool ~max_n:3 () in
+      Format.asprintf "%a" Radio_mc.Oracle.pp_report r)
+
+let catalog_config name =
+  match Radio_config.Catalog.find name with
+  | Some e -> e.Radio_config.Catalog.config
+  | None -> Alcotest.fail ("catalog entry missing: " ^ name)
+
+let test_resilience_bytes () =
+  let config = catalog_config "h2" in
+  check_bytes_across_jobs "resilience csv+table" (fun pool ->
+      let sweep =
+        Radio_faults.Resilience.crash_sweep ~pool ~trials:10 ~name:"h2" config
+      in
+      Radio_faults.Resilience.to_csv sweep
+      ^ "\n"
+      ^ Format.asprintf "%a" Radio_faults.Resilience.pp sweep)
+
+let test_optimal_bytes () =
+  check_bytes_across_jobs "optimal breaking time" (fun pool ->
+      let outcomes =
+        List.map
+          (fun name ->
+            let c = catalog_config name in
+            match Election.Optimal.breaking_time ~pool ~horizon:8 c with
+            | Election.Optimal.Broken_at r ->
+                Printf.sprintf "%s: broken at %d" name r
+            | Election.Optimal.Never -> name ^ ": never"
+            | Election.Optimal.Not_within_horizon -> name ^ ": horizon"
+            | Election.Optimal.Search_budget_exhausted -> name ^ ": budget")
+          [ "two-cells"; "symmetric-pair"; "h2" ]
+      in
+      String.concat "\n" outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Bench E20 JSON                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal structural JSON validation: balanced delimiters outside
+   strings, non-empty, and the keys E20 promises. *)
+let json_well_formed s =
+  let depth = ref 0 and ok = ref true and in_str = ref false in
+  let escaped = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_str := false
+        else ()
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && (not !in_str) && String.length (String.trim s) > 0
+
+let test_bench_parallel_json () =
+  let bench =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bench/main.exe"
+  in
+  let rc = Sys.command (Filename.quote bench ^ " par --quick > /dev/null 2>&1") in
+  Alcotest.(check int) "bench par --quick exits 0" 0 rc;
+  let json =
+    In_channel.with_open_text "BENCH_parallel.json" In_channel.input_all
+  in
+  Alcotest.(check bool) "well-formed json" true (json_well_formed json);
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %s present" key)
+        true
+        (let re = Printf.sprintf "\"%s\"" key in
+         let rec search i =
+           i + String.length re <= String.length json
+           && (String.sub json i (String.length re) = re || search (i + 1))
+         in
+         search 0))
+    [ "workload"; "jobs"; "seq_s"; "par_s"; "speedup"; "equal" ]
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "one task" `Quick test_one_task;
+          Alcotest.test_case "map order" `Quick test_map_order;
+          Alcotest.test_case "map_reduce = fold" `Quick
+            test_map_reduce_matches_fold;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
+          Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
+          Alcotest.test_case "heavy batch" `Quick test_busy_work;
+        ] );
+      ( "intern",
+        [
+          Alcotest.test_case "sequential" `Quick test_intern_sequential;
+          Alcotest.test_case "commit = sequential ids" `Quick
+            test_intern_commit_matches_sequential;
+        ] );
+      ( "parallel-equals-sequential",
+        [
+          Alcotest.test_case "census bytes" `Slow test_census_bytes;
+          Alcotest.test_case "oracle bytes" `Slow test_oracle_bytes;
+          Alcotest.test_case "resilience bytes" `Slow test_resilience_bytes;
+          Alcotest.test_case "optimal bytes" `Slow test_optimal_bytes;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "E20 json" `Slow test_bench_parallel_json;
+        ] );
+    ]

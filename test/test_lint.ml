@@ -430,6 +430,60 @@ let poly_compare_tests =
           let c = compare a b\n");
   ]
 
+let domain_safety_tests =
+  [
+    Alcotest.test_case "Domain.spawn flagged in lib/core" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/core/foo.ml"
+         "let d = Domain.spawn work\n");
+    Alcotest.test_case "Atomic.make flagged in lib/mc" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/mc/foo.ml"
+         "let counter = Atomic.make 0\n");
+    Alcotest.test_case "Mutex.lock flagged in lib/faults" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/faults/foo.ml"
+         "let go mu = Mutex.lock mu\n");
+    Alcotest.test_case "Condition.wait flagged in lib/sim" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/sim/foo.ml"
+         "let w c m = Condition.wait c m\n");
+    Alcotest.test_case "module alias D = Domain flagged" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/core/foo.ml"
+         "module D = Domain\n");
+    Alcotest.test_case "Stdlib.Atomic.get flagged" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/core/foo.ml"
+         "let g a = Stdlib.Atomic.get a\n");
+    Alcotest.test_case "exempt inside lib/exec" `Quick
+      (check_ast_clean "domain-safety" ~path:"lib/exec/pool.ml"
+         "let d = Domain.spawn work\nlet c = Atomic.make 0\n");
+    Alcotest.test_case "outside lib clean" `Quick
+      (check_ast_clean "domain-safety" ~path:"bin/foo.ml"
+         "let d = Domain.spawn work\n");
+    Alcotest.test_case "allow suppresses" `Quick
+      (check_ast_clean "domain-safety" ~path:"lib/core/foo.ml"
+         "(* radiolint: allow domain-safety — benchmark scaffold *)\n\
+          let d = Domain.recommended_domain_count ()\n");
+    Alcotest.test_case "task closure capturing toplevel table flagged" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/analysis/foo.ml"
+         "let cache = Hashtbl.create 16\n\
+          let go pool xs =\n\
+         \  Radio_exec.Pool.map pool ~f:(fun x -> Hashtbl.replace cache x x) \
+          xs\n");
+    Alcotest.test_case "task closure capturing toplevel ref flagged" `Quick
+      (check_ast_flags "domain-safety" ~path:"lib/analysis/foo.ml"
+         "let hits = ref 0\n\
+          let go pool xs = Pool.iter_batches pool ~f:(fun _ -> incr hits) xs\n");
+    Alcotest.test_case "task closure over local state clean" `Quick
+      (check_ast_clean "domain-safety" ~path:"lib/analysis/foo.ml"
+         "let go pool xs =\n\
+         \  let acc = ref 0 in\n\
+         \  Radio_exec.Pool.map_reduce pool ~f:(fun x -> x) ~init:0\n\
+         \    ~merge:(fun a b -> ignore acc; a + b) xs\n");
+    Alcotest.test_case "mutable name outside the closure clean" `Quick
+      (check_ast_clean "domain-safety" ~path:"lib/analysis/foo.ml"
+         "let cache = Hashtbl.create 16\n\
+          let go pool xs =\n\
+         \  Hashtbl.reset cache;\n\
+         \  Radio_exec.Pool.map pool ~f:(fun x -> x + 1) xs\n");
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Interprocedural taint                                               *)
 (* ------------------------------------------------------------------ *)
@@ -929,6 +983,7 @@ let () =
       ("ast-ported-rules", ast_ported_tests);
       ("ast-only-rules", ast_only_tests);
       ("rule-polymorphic-compare", poly_compare_tests);
+      ("rule-domain-safety", domain_safety_tests);
       ("taint", taint_tests);
       ("sarif", sarif_tests);
       ("baseline", baseline_tests);

@@ -26,6 +26,9 @@ let rule_descriptions =
     ("assert-false", "assert false on a protocol path");
     ( "polymorphic-compare",
       "bare compare/=/min/max on structured data in canonicalization code" );
+    ( "domain-safety",
+      "multicore primitives outside lib/exec/, or a Pool task closure \
+       capturing module-level mutable state" );
     ("missing-mli", "lib module without an interface");
     ("taint", "deterministic boundary transitively reaches an impure primitive");
   ]

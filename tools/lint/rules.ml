@@ -258,6 +258,11 @@ let deterministic_hot_path path =
 
 let in_faults path = contains ~needle:"lib/faults/" path
 
+(* The one directory allowed to touch the multicore runtime: the domain
+   pool and its merge protocols live there, everything else goes through
+   Radio_exec.Pool (docs/PARALLEL.md). *)
+let in_exec path = contains ~needle:"lib/exec/" path
+
 (* Canonicalization-critical directories: the classifier's orders in
    lib/core/ and the model checker's canonical state encodings in lib/mc/
    must never lean on polymorphic structural comparison — it walks

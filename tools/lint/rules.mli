@@ -53,6 +53,10 @@ val deterministic_hot_path : string -> bool
 val in_faults : string -> bool
 (** [lib/faults/]. *)
 
+val in_exec : string -> bool
+(** [lib/exec/]: the only directory allowed to use the multicore runtime
+    primitives (Domain/Atomic/Mutex/Condition) directly. *)
+
 val canonical_order_path : string -> bool
 (** [lib/core/], [lib/mc/]: canonicalization-critical code where the
     AST-level [polymorphic-compare] rule bans bare [compare]/[=]/[min]/[max]
