@@ -5,10 +5,11 @@
 
 DUNE ?= dune
 
-.PHONY: check build test lint lint-deep lint-sarif fmt resilience-smoke \
-  mc-smoke par-smoke bench-parallel clean
+.PHONY: check build test lint lint-deep lint-effects lint-sarif fmt \
+  resilience-smoke mc-smoke par-smoke bench-parallel clean
 
-check: build test lint lint-deep fmt resilience-smoke mc-smoke par-smoke
+check: build test lint lint-deep lint-effects fmt resilience-smoke mc-smoke \
+  par-smoke
 
 build:
 	$(DUNE) build
@@ -23,6 +24,13 @@ lint:
 # fails on any finding not grandfathered in .radiolint-baseline.
 lint-deep:
 	$(DUNE) exec tools/lint/radiolint.exe -- --deep \
+	  --baseline .radiolint-baseline lib
+
+# Interprocedural effect-and-escape analysis on its own (lint-deep already
+# implies it): every Pool task closure must stay <= LocalMut on the effect
+# lattice (docs/LINTING.md).
+lint-effects:
+	$(DUNE) exec tools/lint/radiolint.exe -- --effects \
 	  --baseline .radiolint-baseline lib
 
 # SARIF 2.1.0 report for CI annotation viewers.

@@ -989,7 +989,7 @@ let e20 ?(quick = false) () =
   section "E20  Domain pool: sequential vs parallel sweeps (lib/exec)";
   let module Pool = Radio_exec.Pool in
   let jobs = if quick then 2 else 4 in
-  let reps = if quick then 1 else 3 in
+  let reps = if quick then 1 else 5 in
   let census_n = if quick then 3 else 4 in
   let oracle_n = if quick then 3 else 4 in
   let trials = if quick then 10 else 25 in
@@ -1032,12 +1032,21 @@ let e20 ?(quick = false) () =
       ~columns:[ "workload"; "seq s"; "par s"; "speedup"; "equal" ]
   in
   let wall reps f =
-    let times =
-      List.init reps (fun _ ->
-          let t0 = Unix.gettimeofday () in
-          ignore (Sys.opaque_identity (f ()));
-          Unix.gettimeofday () -. t0)
+    (* The fast workloads finish in microseconds, below the resolution a
+       single [Unix.gettimeofday] pair can measure honestly, so each
+       sample repeats the workload until it spans [min_span] and reports
+       the per-iteration time; the samples' median is returned. *)
+    let min_span = 0.2 in
+    let sample () =
+      let t0 = Unix.gettimeofday () in
+      let rec go n =
+        ignore (Sys.opaque_identity (f ()));
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < min_span then go (n + 1) else dt /. float_of_int n
+      in
+      go 1
     in
+    let times = List.init reps (fun _ -> sample ()) in
     List.nth (List.sort compare times) (reps / 2)
   in
   let json_rows = ref [] in

@@ -486,6 +486,16 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "deep" ] ~doc)
   in
+  let effects_arg =
+    let doc =
+      "Also run the interprocedural effect-and-escape analysis: classify \
+       every function on the Pure < LocalMut < SharedMut < IO lattice and \
+       report each Pool task closure that transitively reaches shared \
+       mutable state or I/O, with its full witness chain.  Implied by \
+       $(b,--deep)."
+    in
+    Arg.(value & flag & info [ "effects" ] ~doc)
+  in
   let sarif_arg =
     let doc = "Write a SARIF 2.1.0 report to $(docv) ('-' for stdout)." in
     Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
@@ -499,7 +509,7 @@ let lint_cmd =
     Arg.(
       value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
   in
-  let run paths deep sarif baseline =
+  let run paths deep effects sarif baseline =
     List.iter
       (fun root ->
         if not (Sys.file_exists root) then begin
@@ -507,7 +517,7 @@ let lint_cmd =
           exit 2
         end)
       paths;
-    let scan = D.scan ~deep paths in
+    let scan = D.scan ~deep ~effects paths in
     let scan, suppressed =
       match baseline with
       | None -> (scan, 0)
@@ -516,7 +526,13 @@ let lint_cmd =
             Format.eprintf "anorad lint: no such baseline file: %s@." file;
             exit 2
           end;
-          D.apply_baseline ~baseline:(D.load_baseline file) scan
+          let baseline = D.load_baseline file in
+          List.iter
+            (Format.eprintf
+               "anorad lint: warning: stale baseline entry (no matching \
+                finding): %s@.")
+            (D.stale_baseline ~deep ~effects ~baseline scan);
+          D.apply_baseline ~baseline scan
     in
     (match sarif with
     | None ->
@@ -546,8 +562,8 @@ let lint_cmd =
     "lint sources for determinism hazards: AST rules (stray Random.*, \
      Hashtbl iteration, physical equality, Obj.magic, toplevel mutable \
      state, catch-all handlers, assert false, missing .mli) with a textual \
-     fallback for unparseable files, plus interprocedural taint paths with \
-     $(b,--deep)"
+     fallback for unparseable files, plus interprocedural effect escapes \
+     with $(b,--effects) and taint paths with $(b,--deep)"
   in
   let exits =
     [
@@ -564,14 +580,118 @@ let lint_cmd =
         "Annotate the offending line (or a comment-only line directly \
          above it) with (* radiolint: allow <rule> — reason *).  Taint \
          findings anchor at the function definition, so the annotation \
-         belongs on the $(b,let); a baselined fingerprint \
-         (rule:path:line, or taint:path:Function:sink) suppresses without \
-         touching the source.";
+         belongs on the $(b,let); effect escapes anchor at the Pool submit \
+         call but take the annotation on the submitting function's \
+         $(b,let); a baselined fingerprint (rule:path:line, \
+         taint:path:Function:sink, or effect:path:Function:class) \
+         suppresses without touching the source.";
     ]
   in
   Cmd.v
     (Cmd.info "lint" ~doc ~exits ~man)
-    Term.(const run $ paths_arg $ deep_arg $ sarif_arg $ baseline_arg)
+    Term.(
+      const run $ paths_arg $ deep_arg $ effects_arg $ sarif_arg
+      $ baseline_arg)
+
+(* ------------------------------------------------------------------ *)
+(* effects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let effects_cmd =
+  let module CG = Radiolint_core.Callgraph in
+  let module E = Radiolint_core.Effects in
+  let paths_arg =
+    let doc = "Files or directories to analyze (default: lib)." in
+    Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
+  in
+  let summary_arg =
+    let doc =
+      "Print a per-module census (how many functions land in each effect \
+       class) instead of the per-function listing."
+    in
+    Arg.(value & flag & info [ "summary" ] ~doc)
+  in
+  let run paths summary =
+    List.iter
+      (fun root ->
+        if not (Sys.file_exists root) then begin
+          Format.eprintf "anorad effects: no such file or directory: %s@."
+            root;
+          exit 2
+        end)
+      paths;
+    let cg = CG.create () in
+    List.iter
+      (fun root ->
+        if Sys.is_directory root then CG.add_tree cg root
+        else CG.add_file cg root)
+      paths;
+    let infos = E.classify cg in
+    if summary then begin
+      (* Census rows keyed by top module, in first-appearance order
+         (classify sorts by path, so modules group by file). *)
+      let tbl = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun (i : E.info) ->
+          let m = CG.module_name_of_path i.E.def.CG.def_path in
+          let row =
+            match Hashtbl.find_opt tbl m with
+            | Some r -> r
+            | None ->
+                let r = Array.make 4 0 in
+                Hashtbl.add tbl m r;
+                order := m :: !order;
+                r
+          in
+          row.(E.rank i.E.cls) <- row.(E.rank i.E.cls) + 1)
+        infos;
+      let width =
+        List.fold_left (fun w m -> max w (String.length m)) 6 !order
+      in
+      Format.printf "%-*s %6s %9s %10s %6s %6s@." width "module" "Pure"
+        "LocalMut" "SharedMut" "IO" "total";
+      List.iter
+        (fun m ->
+          let r = Hashtbl.find tbl m in
+          Format.printf "%-*s %6d %9d %10d %6d %6d@." width m r.(0) r.(1)
+            r.(2) r.(3)
+            (r.(0) + r.(1) + r.(2) + r.(3)))
+        (List.rev !order);
+      let count c =
+        List.length (List.filter (fun (i : E.info) -> i.E.cls = c) infos)
+      in
+      Format.printf "%-*s %6d %9d %10d %6d %6d@." width "total"
+        (count E.Pure) (count E.Local_mut) (count E.Shared_mut) (count E.Io)
+        (List.length infos)
+    end
+    else
+      List.iter
+        (fun (i : E.info) ->
+          match i.E.chain with
+          | [] ->
+              Format.printf "%s:%d: %s  %s@." i.E.def.CG.def_path
+                i.E.def.CG.def_line i.E.def.CG.display (E.cls_name i.E.cls)
+          | chain ->
+              Format.printf "%s:%d: %s  %s  (%s)@." i.E.def.CG.def_path
+                i.E.def.CG.def_line i.E.def.CG.display (E.cls_name i.E.cls)
+                (String.concat " → "
+                   (List.map (fun (h : E.hop) -> h.E.name) chain)))
+        infos;
+    List.iter
+      (fun (path, msg) ->
+        Format.eprintf "anorad effects: warning: %s does not parse: %s@." path
+          msg)
+      (CG.skipped cg);
+    0
+  in
+  let doc =
+    "classify every function on the effect lattice (Pure < LocalMut < \
+     SharedMut < IO) with witness chains; $(b,--summary) prints a \
+     per-module census.  The escape check (Pool tasks must stay <= \
+     LocalMut) runs under $(b,anorad lint --effects)."
+  in
+  Cmd.v (Cmd.info "effects" ~doc) Term.(const run $ paths_arg $ summary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mc                                                                  *)
@@ -706,6 +826,7 @@ let mc_cmd =
             path = "<enumerated>";
             line = 1;
             fingerprint = Format.asprintf "mc-oracle:%s" d.Oracle.detail;
+            properties = [];
           })
         report.Oracle.disagreements
     in
@@ -777,6 +898,7 @@ let mc_cmd =
               line = 1;
               fingerprint =
                 Printf.sprintf "%s:%s" (Checker.violation_id v) path;
+              properties = [];
             };
           ];
         1
@@ -1077,6 +1199,7 @@ let () =
             catalog_cmd;
             optimal_cmd;
             lint_cmd;
+            effects_cmd;
             mc_cmd;
             check_trace_cmd;
             faults_cmd;

@@ -150,40 +150,77 @@ let breaking_time ?pool ?(horizon = 24) ?(max_states = 200_000) config =
           (subsets (distinct_awake_keys keys)))
       frontier
   in
-  (* Parallel rounds: every task expands its states against a task-local
-     interner view (the global table is frozen while the batch is in
-     flight), then — after the batch barrier — each task's fresh keys are
-     committed in submission order, which reproduces the sequential id
-     assignment bit for bit (see Radio_exec.Intern). *)
+  (* Parallel rounds: each task expands one contiguous chunk of the
+     frontier against a task-local interner view (the global table is
+     frozen while the batch is in flight), then — after the batch
+     barrier — each chunk's fresh keys are committed in submission order.
+     A key's id is fixed by its first encounter in frontier order whether
+     that happens inside a chunk, at an earlier chunk's commit, or in the
+     sequential loop, so the id assignment is bit-identical to
+     [expand_seq] (see Radio_exec.Intern).  Chunk-level (not per-state)
+     views matter: a state expands in ~µs, so a hash table and a commit
+     per state used to cost several times the work being parallelised. *)
   let expand_par pool ~round frontier next broken =
     let states = Array.of_list (StateSet.elements frontier) in
+    let n = Array.length states in
+    (* One chunk per worker, not the pool's usual 4×: the frozen global
+       table means every chunk re-interns the fresh keys it shares with
+       its neighbours (adjacent states produce heavily overlapping
+       successors), so duplicated dedup work scales with the chunk count
+       and quickly eats the parallel gain. *)
+    let jobs = Radio_exec.Pool.jobs pool in
+    let chunk = (n + jobs - 1) / jobs in
+    let nchunks = (n + chunk - 1) / chunk in
+    let chunks =
+      Array.init nchunks (fun c ->
+          Array.sub states (c * chunk) (Int.min chunk (n - (c * chunk))))
+    in
     let results =
-      Radio_exec.Pool.map_array pool
-        ~f:(fun keys ->
+      Radio_exec.Pool.map_array pool ~chunk:1
+        ~f:(fun states ->
           let local = Intern.local intern in
           let get parent event = Intern.get_local local (parent, event) in
           let nexts =
-            List.map
-              (fun transmitting -> step config ~get keys ~round ~transmitting)
-              (subsets (distinct_awake_keys keys))
+            Array.map
+              (fun keys ->
+                List.map
+                  (fun transmitting ->
+                    step config ~get keys ~round ~transmitting)
+                  (subsets (distinct_awake_keys keys)))
+              states
           in
           (local, nexts))
-        states
+        chunks
     in
     Array.iter
       (fun (local, nexts) ->
         let resolve = Intern.commit intern ~remap:remap_key local in
-        List.iter
-          (fun keys' -> absorb next broken (Array.map resolve keys'))
+        Array.iter
+          (fun per_state ->
+            List.iter
+              (fun keys' -> absorb next broken (Array.map resolve keys'))
+              per_state)
           nexts)
       results
   in
+  (* The local-view/commit machinery of [expand_par] has a per-batch cost
+     of its own, so frontiers the pool would serialise anyway (below
+     [min_parallel_batch]) go straight through the sequential expander —
+     both produce bit-identical frontiers, so mixing them per round is
+     invisible.  [fsize] is the frontier's cardinality, threaded through
+     [bfs] (each round knows how many states it added) so the choice
+     costs an integer compare, not a set traversal. *)
   let expand =
     match pool with
-    | Some pool when Radio_exec.Pool.jobs pool > 1 -> expand_par pool
-    | _ -> expand_seq
+    | Some pool when Radio_exec.Pool.jobs pool > 1 ->
+        fun ~fsize ~round frontier next broken ->
+          if fsize < Radio_exec.Pool.min_parallel_batch then
+            expand_seq ~round frontier next broken
+          else expand_par pool ~round frontier next broken
+    | _ -> fun ~fsize:_ ~round frontier next broken ->
+        expand_seq ~round frontier next broken
   in
-  let rec bfs round frontier =
+  let rec bfs round frontier fsize =
     if StateSet.is_empty frontier then Not_within_horizon
     else if round > horizon then Not_within_horizon
     else if !explored > max_states then Search_budget_exhausted
@@ -191,13 +228,15 @@ let breaking_time ?pool ?(horizon = 24) ?(max_states = 200_000) config =
       (* Expand every state by every choice of transmitting classes. *)
       let next = ref StateSet.empty in
       let broken = ref false in
-      expand ~round frontier next broken;
-      if !broken then Broken_at round else bfs (round + 1) !next
+      let before = !explored in
+      expand ~fsize ~round frontier next broken;
+      if !broken then Broken_at round
+      else bfs (round + 1) !next (!explored - before)
     end
   in
   let initial = StateSet.singleton (Array.make n 0) in
   (* Round 0 may already separate (a lone tag-0 node among sleepers). *)
-  bfs 0 initial
+  bfs 0 initial 1
   end
 
 let canonical_breaking_time ?(max_rounds = 1_000_000) config =

@@ -312,14 +312,24 @@ let run_parallel pool ~chunk ~f ~commit xs =
   drain_block ();
   match !first_err with None -> () | Some ex -> raise ex
 
+(* Batches smaller than this run on the caller: at a few microseconds per
+   element, the scatter/steal/barrier machinery costs more than the work
+   (docs/PARALLEL.md).  Only applies when the caller did not pass ~chunk —
+   an explicit chunk size is a statement that the per-element work is
+   heavy enough to split regardless of batch length. *)
+let min_parallel_batch = 16
+
 let run_batch t ?chunk ~f ~commit xs =
-  if Array.length xs = 0 then ()
-  else if t.njobs = 1 || t.stopped then begin
-    (* The literal sequential path: jobs=1 never touches domains,
-       atomics, or the deques. *)
-    ignore chunk;
+  let n = Array.length xs in
+  if n = 0 then ()
+  else if
+    t.njobs = 1 || t.stopped || (chunk = None && n < min_parallel_batch)
+  then begin
+    (* The literal sequential path: never touches domains, atomics, or
+       the deques.  Taken for jobs=1 and for small un-chunked batches
+       (caller-executes fallback). *)
     Mutex.lock t.mu;
-    t.total_tasks <- t.total_tasks + Array.length xs;
+    t.total_tasks <- t.total_tasks + n;
     Mutex.unlock t.mu;
     let t0 = now () in
     Fun.protect

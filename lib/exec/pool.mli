@@ -36,6 +36,12 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
     whether [f] returns or raises. *)
 
+val min_parallel_batch : int
+(** Batches shorter than this ([16]) run sequentially on the caller when
+    [chunk] is omitted.  Exposed so callers whose {e parallel set-up} has a
+    per-batch cost of its own (e.g. task-local interner views) can skip it
+    for batches the pool would serialise anyway. *)
+
 val run_batch :
   t -> ?chunk:int -> f:(int -> 'a -> 'b) -> commit:(int -> 'b -> unit) -> 'a array -> unit
 (** [run_batch pool ~f ~commit xs] evaluates [f i xs.(i)] for every index,
@@ -51,7 +57,13 @@ val run_batch :
     one on other domains.
 
     [chunk] overrides the contiguous chunk length (default: batch split
-    into roughly [4 * jobs] chunks). *)
+    into roughly [4 * jobs] chunks).
+
+    Batches shorter than 16 elements run sequentially on the caller when
+    [chunk] is omitted — at microsecond task granularity the
+    scatter/steal/barrier machinery costs more than the work
+    (docs/PARALLEL.md).  Passing [chunk] explicitly always takes the
+    parallel path. *)
 
 val map_array : t -> ?chunk:int -> f:('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic ordering. *)

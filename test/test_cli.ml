@@ -355,6 +355,92 @@ let test_lint_deep_witness_chain () =
         (contains out "Drip.step") ;
       check "chain reaches the primitive" true (contains out "Random.int"))
 
+(* Negative control for the escape analysis: a pool task mutating a
+   module-level Hashtbl through a 2-edge call chain.  lib/analysis is
+   outside the taint boundary and the toplevel-mutable-state scope on
+   purpose, so only --effects can see the hazard. *)
+let effect_escape_tree =
+  [
+    ( "lib/analysis/tally.ml",
+      "let cache = Hashtbl.create 16\n\
+       let note x = Hashtbl.replace cache x x\n\
+       let go pool xs =\n\
+      \  Radio_exec.Pool.map pool ~f:(fun x -> note x) xs\n" );
+    ("lib/analysis/tally.mli", "val go : 'a -> int list -> int list\n");
+  ]
+
+let test_lint_effects () =
+  with_lint_tree effect_escape_tree (fun lib ->
+      (* The per-file rules cannot see the hazard: clean without --effects. *)
+      let code, out = anorad ("lint " ^ Filename.quote lib) in
+      check_int "shallow exit 0" 0 code;
+      check "no effect finding without --effects" false
+        (contains out "[effect]");
+      (* --effects reports it with the full witness chain. *)
+      let code, out = anorad ("lint --effects " ^ Filename.quote lib) in
+      check_int "effects exit 1" 1 code;
+      check "effect rule named" true (contains out "[effect]");
+      check "class named" true (contains out "SharedMut");
+      check "witness chain printed" true
+        (contains out "Tally.go → Tally.note → Tally.cache");
+      (* --deep implies --effects. *)
+      let code, out = anorad ("lint --deep " ^ Filename.quote lib) in
+      check_int "deep exit 1" 1 code;
+      check "deep implies effects" true (contains out "[effect]");
+      (* SARIF carries the lattice class as a result property. *)
+      let code, out =
+        anorad ("lint --effects --sarif - " ^ Filename.quote lib)
+      in
+      check_int "sarif exit 1" 1 code;
+      check "sarif effect rule" true (contains out "\"ruleId\":\"effect\"");
+      check "sarif effectClass property" true
+        (contains out "\"properties\":{\"effectClass\":\"SharedMut\"}");
+      (* A baselined fingerprint suppresses it; a stale entry warns. *)
+      let tally =
+        Filename.concat (Filename.dirname lib) "lib/analysis/tally.ml"
+      in
+      let baseline = Filename.temp_file "anorad_lint" ".baseline" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove baseline)
+        (fun () ->
+          write_file baseline
+            (Printf.sprintf "effect:%s:Tally.go:SharedMut\n" tally);
+          let code, _ =
+            anorad
+              (Printf.sprintf "lint --effects --baseline %s %s"
+                 (Filename.quote baseline) (Filename.quote lib))
+          in
+          check_int "baselined escape exits 0" 0 code;
+          (* Without --effects the entry cannot be vetted, so the scan
+             stays clean and silent about it. *)
+          let code, _ =
+            anorad
+              (Printf.sprintf "lint --baseline %s %s"
+                 (Filename.quote baseline) (Filename.quote lib))
+          in
+          check_int "shallow scan leaves effect entries alone" 0 code));
+  (* A clean tree exits 0 under --effects. *)
+  with_lint_tree
+    [
+      ("lib/analysis/pure.ml", "let double pool xs = Radio_exec.Pool.map pool ~f:(fun x -> x * 2) xs\n");
+      ("lib/analysis/pure.mli", "val double : 'a -> int list -> int list\n");
+    ]
+    (fun lib ->
+      let code, _ = anorad ("lint --effects " ^ Filename.quote lib) in
+      check_int "clean tree exits 0" 0 code)
+
+let test_effects_cmd () =
+  with_lint_tree effect_escape_tree (fun lib ->
+      let code, out = anorad ("effects " ^ Filename.quote lib) in
+      check_int "listing exit 0" 0 code;
+      check "classifies the chain head" true (contains out "Tally.note");
+      check "names the class" true (contains out "SharedMut");
+      let code, out = anorad ("effects --summary " ^ Filename.quote lib) in
+      check_int "summary exit 0" 0 code;
+      check "census header" true (contains out "module");
+      check "per-module row" true (contains out "Tally");
+      check "total row" true (contains out "total"))
+
 let test_lint_sarif_stdout () =
   with_lint_tree
     [ ("lib/core/bad.ml", "let x = Random.int 10\n") ]
@@ -516,6 +602,10 @@ let () =
             test_lint_clean_and_findings;
           Alcotest.test_case "--deep witness chain" `Quick
             test_lint_deep_witness_chain;
+          Alcotest.test_case "--effects escape check" `Quick
+            test_lint_effects;
+          Alcotest.test_case "effects listing and census" `Quick
+            test_effects_cmd;
           Alcotest.test_case "--sarif stdout" `Quick test_lint_sarif_stdout;
           Alcotest.test_case "--baseline" `Quick test_lint_baseline;
         ] );

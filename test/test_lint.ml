@@ -13,6 +13,7 @@ module Rules = Radiolint_core.Rules
 module Ast_lint = Radiolint_core.Ast_lint
 module Callgraph = Radiolint_core.Callgraph
 module Taint = Radiolint_core.Taint
+module Effects = Radiolint_core.Effects
 module Driver = Radiolint_core.Driver
 module G = Radio_graph.Graph
 module C = Radio_config.Config
@@ -460,28 +461,6 @@ let domain_safety_tests =
       (check_ast_clean "domain-safety" ~path:"lib/core/foo.ml"
          "(* radiolint: allow domain-safety — benchmark scaffold *)\n\
           let d = Domain.recommended_domain_count ()\n");
-    Alcotest.test_case "task closure capturing toplevel table flagged" `Quick
-      (check_ast_flags "domain-safety" ~path:"lib/analysis/foo.ml"
-         "let cache = Hashtbl.create 16\n\
-          let go pool xs =\n\
-         \  Radio_exec.Pool.map pool ~f:(fun x -> Hashtbl.replace cache x x) \
-          xs\n");
-    Alcotest.test_case "task closure capturing toplevel ref flagged" `Quick
-      (check_ast_flags "domain-safety" ~path:"lib/analysis/foo.ml"
-         "let hits = ref 0\n\
-          let go pool xs = Pool.iter_batches pool ~f:(fun _ -> incr hits) xs\n");
-    Alcotest.test_case "task closure over local state clean" `Quick
-      (check_ast_clean "domain-safety" ~path:"lib/analysis/foo.ml"
-         "let go pool xs =\n\
-         \  let acc = ref 0 in\n\
-         \  Radio_exec.Pool.map_reduce pool ~f:(fun x -> x) ~init:0\n\
-         \    ~merge:(fun a b -> ignore acc; a + b) xs\n");
-    Alcotest.test_case "mutable name outside the closure clean" `Quick
-      (check_ast_clean "domain-safety" ~path:"lib/analysis/foo.ml"
-         "let cache = Hashtbl.create 16\n\
-          let go pool xs =\n\
-         \  Hashtbl.reset cache;\n\
-         \  Radio_exec.Pool.map pool ~f:(fun x -> x + 1) xs\n");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -644,6 +623,325 @@ let taint_tests =
         Alcotest.(check bool)
           "enclosing Foo.step tainted too" true
           (find_root "Foo.step" findings <> None));
+    Alcotest.test_case "call under let open resolves" `Quick (fun () ->
+        (* Regression: [let open Util in shuffle order] used to drop the
+           edge to Util.shuffle because the bare [shuffle] never resolved —
+           the opened-module variant restores it. *)
+        let findings =
+          taint_findings
+            [
+              ("lib/core/util.ml", helper_src);
+              ( "lib/drip/drip.ml",
+                "let step order = let open Util in shuffle order\n" );
+            ]
+        in
+        match find_root "Drip.step" findings with
+        | None -> Alcotest.fail "Drip.step should be tainted through the open"
+        | Some f ->
+            Alcotest.(check (list string))
+              "chain names"
+              [ "Drip.step"; "Util.shuffle"; "Random.int" ]
+              (List.map (fun h -> h.Taint.name) f.Taint.chain));
+    Alcotest.test_case "call under M.(...) resolves" `Quick (fun () ->
+        let findings =
+          taint_findings
+            [
+              ("lib/core/util.ml", helper_src);
+              ("lib/drip/drip.ml", "let step order = Util.(shuffle order)\n");
+            ]
+        in
+        Alcotest.(check bool)
+          "Drip.step tainted" true
+          (find_root "Drip.step" findings <> None));
+    Alcotest.test_case "call under toplevel open resolves" `Quick (fun () ->
+        let findings =
+          taint_findings
+            [
+              ("lib/core/util.ml", helper_src);
+              ( "lib/drip/drip.ml",
+                "open Util\nlet step order = shuffle order\n" );
+            ]
+        in
+        Alcotest.(check bool)
+          "Drip.step tainted" true
+          (find_root "Drip.step" findings <> None));
+    Alcotest.test_case "local binding does not alias a toplevel def" `Quick
+      (fun () ->
+        (* Regression: a local [let draw = ...] inside a body used to
+           resolve the bare [draw] to the same-named toplevel binding,
+           fabricating an edge into its effects. *)
+        let findings =
+          taint_findings
+            [
+              ( "lib/drip/drip.ml",
+                "let draw () = Random.bits ()\n\
+                 let step x =\n\
+                \  let draw = x + 1 in\n\
+                \  draw\n" );
+            ]
+        in
+        Alcotest.(check bool)
+          "Drip.step stays clean" true
+          (find_root "Drip.step" findings = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural effects                                             *)
+(* ------------------------------------------------------------------ *)
+
+let effect_infos sources = Effects.classify (Callgraph.of_sources sources)
+let effect_escapes sources = Effects.escapes (Callgraph.of_sources sources)
+
+let info_of name infos =
+  List.find_opt
+    (fun (i : Effects.info) -> i.Effects.def.Callgraph.display = name)
+    infos
+
+let check_class name expected infos =
+  match info_of name infos with
+  | None -> Alcotest.fail (name ^ " should be classified")
+  | Some i ->
+      Alcotest.(check string)
+        (name ^ " class") (Effects.cls_name expected)
+        (Effects.cls_name i.Effects.cls)
+
+let effect_class_tests =
+  [
+    Alcotest.test_case "pure arithmetic is Pure" `Quick (fun () ->
+        let infos =
+          effect_infos [ ("lib/core/foo.ml", "let add x y = x + y\n") ]
+        in
+        check_class "Foo.add" Effects.Pure infos;
+        match info_of "Foo.add" infos with
+        | Some i -> Alcotest.(check int) "no chain" 0 (List.length i.Effects.chain)
+        | None -> Alcotest.fail "Foo.add missing");
+    Alcotest.test_case "ref mutation is LocalMut" `Quick (fun () ->
+        check_class "Foo.bump" Effects.Local_mut
+          (effect_infos [ ("lib/core/foo.ml", "let bump r = incr r\n") ]));
+    Alcotest.test_case "indexed assignment is LocalMut" `Quick (fun () ->
+        (* a.(i) <- v desugars to Array.set: the ident classifier sees it. *)
+        check_class "Foo.set" Effects.Local_mut
+          (effect_infos
+             [ ("lib/core/foo.ml", "let set a i v = a.(i) <- v\n") ]));
+    Alcotest.test_case "record-field assignment is LocalMut" `Quick (fun () ->
+        check_class "Foo.tick" Effects.Local_mut
+          (effect_infos
+             [
+               ( "lib/core/foo.ml",
+                 "type t = { mutable n : int }\n\
+                  let tick c = c.n <- c.n + 1\n" );
+             ]));
+    Alcotest.test_case "Atomic use is SharedMut" `Quick (fun () ->
+        check_class "Foo.get" Effects.Shared_mut
+          (effect_infos [ ("lib/core/foo.ml", "let get a = Atomic.get a\n") ]));
+    Alcotest.test_case "module-level mutable read is SharedMut" `Quick
+      (fun () ->
+        (* A read is as scheduling-order sensitive as a write. *)
+        check_class "Foo.peek" Effects.Shared_mut
+          (effect_infos
+             [
+               ( "lib/core/foo.ml",
+                 "let cache = Hashtbl.create 16\n\
+                  let peek () = Hashtbl.length cache\n" );
+             ]));
+    Alcotest.test_case "printing is IO" `Quick (fun () ->
+        check_class "Foo.log" Effects.Io
+          (effect_infos
+             [ ("lib/core/foo.ml", "let log x = print_endline x\n") ]));
+    Alcotest.test_case "Sys read is IO" `Quick (fun () ->
+        check_class "Foo.home" Effects.Io
+          (effect_infos
+             [ ("lib/core/foo.ml", "let home () = Sys.getenv \"HOME\"\n") ]));
+    Alcotest.test_case "Sys constants stay Pure" `Quick (fun () ->
+        check_class "Foo.ws" Effects.Pure
+          (effect_infos [ ("lib/core/foo.ml", "let ws () = Sys.word_size\n") ]));
+    Alcotest.test_case "pp helper on a caller-supplied formatter stays Pure"
+      `Quick (fun () ->
+        check_class "Foo.pp" Effects.Pure
+          (effect_infos
+             [
+               ( "lib/core/foo.ml",
+                 "let pp ppf x = Format.fprintf ppf \"%d\" x\n" );
+             ]));
+    Alcotest.test_case "class joins over a 2-edge chain with witness" `Quick
+      (fun () ->
+        let infos =
+          effect_infos
+            [
+              ( "lib/core/foo.ml",
+                "let log x = print_endline x\nlet run x = log x\n" );
+            ]
+        in
+        check_class "Foo.run" Effects.Io infos;
+        match info_of "Foo.run" infos with
+        | None -> Alcotest.fail "Foo.run missing"
+        | Some i ->
+            Alcotest.(check (list string))
+              "witness chain"
+              [ "Foo.run"; "Foo.log"; "print_endline" ]
+              (List.map (fun (h : Effects.hop) -> h.Effects.name) i.Effects.chain));
+    Alcotest.test_case "local shadow does not inherit the toplevel class"
+      `Quick (fun () ->
+        let infos =
+          effect_infos
+            [
+              ( "lib/core/foo.ml",
+                "let log x = print_endline x\n\
+                 let step x =\n\
+                \  let log = x + 1 in\n\
+                \  log\n" );
+            ]
+        in
+        check_class "Foo.step" Effects.Pure infos);
+  ]
+
+let find_escape name findings =
+  List.find_opt
+    (fun (f : Effects.finding) -> f.Effects.func.Callgraph.display = name)
+    findings
+
+let escape_chain f =
+  List.map (fun (h : Effects.hop) -> h.Effects.name) f.Effects.chain
+
+let effect_escape_tests =
+  [
+    Alcotest.test_case "task mutating shared table through a 2-edge chain"
+      `Quick (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ( "lib/analysis/foo.ml",
+                "let cache = Hashtbl.create 16\n\
+                 let note x = Hashtbl.replace cache x x\n\
+                 let go pool xs =\n\
+                \  Radio_exec.Pool.map pool ~f:(fun x -> note x) xs\n" );
+            ]
+        in
+        match find_escape "Foo.go" findings with
+        | None -> Alcotest.fail "Foo.go should be reported"
+        | Some f ->
+            Alcotest.(check string)
+              "class" "SharedMut"
+              (Effects.cls_name f.Effects.cls);
+            Alcotest.(check string) "source" "Foo.cache" f.Effects.source;
+            Alcotest.(check int) "submit line" 4 f.Effects.submit_line;
+            Alcotest.(check (list string))
+              "witness chain"
+              [ "Foo.go"; "Foo.note"; "Foo.cache" ]
+              (escape_chain f);
+            Alcotest.(check int) "edges" 2 (Effects.edges f));
+    Alcotest.test_case "IO three calls deep is reached" `Quick (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ("lib/core/leaf.ml", "let say x = print_endline x\n");
+              ("lib/core/mid.ml", "let relay x = Leaf.say x\n");
+              ( "lib/analysis/top.ml",
+                "let go pool xs =\n\
+                \  Radio_exec.Pool.iter_batches pool ~f:(fun x -> Mid.relay \
+                 x) xs\n" );
+            ]
+        in
+        match find_escape "Top.go" findings with
+        | None -> Alcotest.fail "Top.go should be reported"
+        | Some f ->
+            Alcotest.(check string) "class" "IO" (Effects.cls_name f.Effects.cls);
+            Alcotest.(check (list string))
+              "witness chain"
+              [ "Top.go"; "Mid.relay"; "Leaf.say"; "print_endline" ]
+              (escape_chain f));
+    Alcotest.test_case "direct mutation inside the closure is caught" `Quick
+      (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ( "lib/analysis/foo.ml",
+                "let hits = ref 0\n\
+                 let go pool xs =\n\
+                \  Radio_exec.Pool.iter_batches pool ~f:(fun _ -> hits := 1) \
+                 xs\n" );
+            ]
+        in
+        match find_escape "Foo.go" findings with
+        | None -> Alcotest.fail "Foo.go should be reported"
+        | Some f ->
+            Alcotest.(check string) "source" "Foo.hits" f.Effects.source;
+            Alcotest.(check (list string))
+              "witness chain" [ "Foo.go"; "Foo.hits" ] (escape_chain f));
+    Alcotest.test_case "local mutation in the task stays clean" `Quick
+      (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ( "lib/analysis/foo.ml",
+                "let go pool xs =\n\
+                \  Radio_exec.Pool.map pool\n\
+                \    ~f:(fun x -> let r = ref 0 in r := x; !r) xs\n" );
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "commit closure runs on the caller: not checked"
+      `Quick (fun () ->
+        (* ~commit mutating shared state is the contract (in-order, caller
+           domain); only ~f runs on workers. *)
+        let findings =
+          effect_escapes
+            [
+              ( "lib/analysis/foo.ml",
+                "let acc = Hashtbl.create 16\n\
+                 let go pool xs =\n\
+                \  Radio_exec.Pool.run_batch pool ~f:(fun _ x -> x + 1)\n\
+                \    ~commit:(fun i y -> Hashtbl.replace acc i y) xs\n" );
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "Intern local views are a barrier" `Quick (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ( "lib/exec/intern.ml",
+                "let table = Hashtbl.create 16\n\
+                 let commit l = Hashtbl.replace table l l\n" );
+              ( "lib/analysis/foo.ml",
+                "let go pool xs =\n\
+                \  Radio_exec.Pool.map pool ~f:(fun x -> Intern.commit x) xs\n"
+              );
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "allow-effect annotation is a barrier" `Quick
+      (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ( "lib/analysis/foo.ml",
+                "let cache = Hashtbl.create 16\n\
+                 (* radiolint: allow effect — replayed at the barrier *)\n\
+                 let go pool xs =\n\
+                \  Radio_exec.Pool.map pool ~f:(fun x -> Hashtbl.replace \
+                 cache x x) xs\n" );
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "worst class wins across task references" `Quick
+      (fun () ->
+        let findings =
+          effect_escapes
+            [
+              ( "lib/analysis/foo.ml",
+                "let cache = Hashtbl.create 16\n\
+                 let note x = Hashtbl.replace cache x x\n\
+                 let shout x = print_endline x\n\
+                 let go pool xs =\n\
+                \  Radio_exec.Pool.map pool ~f:(fun x -> note x; shout x; x) \
+                 xs\n" );
+            ]
+        in
+        match find_escape "Foo.go" findings with
+        | None -> Alcotest.fail "Foo.go should be reported"
+        | Some f ->
+            Alcotest.(check string) "IO beats SharedMut" "IO"
+              (Effects.cls_name f.Effects.cls));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -688,6 +986,29 @@ let sarif_tests =
         has "\"region\":{\"startLine\":3}";
         has
           "\"partialFingerprints\":{\"radiolint/v1\":\"taint:lib/drip/drip.ml:Drip.step:Random.int\"}");
+    Alcotest.test_case "effect findings carry an effectClass property" `Quick
+      (fun () ->
+        let doc =
+          Driver.to_sarif
+            [
+              {
+                Driver.rule = "effect";
+                path = "lib/analysis/foo.ml";
+                line = 4;
+                message = "Pool task reaches SharedMut state Foo.cache";
+                fingerprint = "effect:lib/analysis/foo.ml:Foo.go:SharedMut";
+              };
+            ]
+        in
+        Alcotest.(check bool)
+          "properties bag present" true
+          (contains ~needle:"\"properties\":{\"effectClass\":\"SharedMut\"}"
+             doc);
+        (* Non-effect findings carry no properties bag. *)
+        let plain = Driver.to_sarif sample_findings in
+        Alcotest.(check bool)
+          "absent elsewhere" false
+          (contains ~needle:"\"properties\"" plain));
     Alcotest.test_case "empty finding set is still a complete document"
       `Quick (fun () ->
         let doc = Driver.to_sarif [] in
@@ -734,6 +1055,34 @@ let baseline_tests =
             "taint:lib/drip/drip.ml:Drip.step:Random.int";
           ]
           (Driver.baseline_lines (sample_findings @ sample_findings)));
+    Alcotest.test_case "stale entries are reported per analysis depth" `Quick
+      (fun () ->
+        let scan = { Driver.findings = sample_findings; skipped = [] } in
+        let baseline =
+          [
+            "random:lib/core/foo.ml:3" (* matches *);
+            "random:lib/gone.ml:9" (* stale at any depth *);
+            "taint:lib/drip/drip.ml:Drip.step:Random.int" (* matches *);
+            "taint:lib/gone.ml:Gone.f:Random.int" (* stale only when deep *);
+            "effect:lib/gone.ml:Gone.g:IO" (* stale only when effects ran *);
+          ]
+        in
+        Alcotest.(check (list string))
+          "shallow scan cannot disprove interprocedural entries"
+          [ "random:lib/gone.ml:9" ]
+          (Driver.stale_baseline ~baseline scan);
+        Alcotest.(check (list string))
+          "effects scan adds effect entries"
+          [ "random:lib/gone.ml:9"; "effect:lib/gone.ml:Gone.g:IO" ]
+          (Driver.stale_baseline ~effects:true ~baseline scan);
+        Alcotest.(check (list string))
+          "deep scan vets everything"
+          [
+            "random:lib/gone.ml:9";
+            "taint:lib/gone.ml:Gone.f:Random.int";
+            "effect:lib/gone.ml:Gone.g:IO";
+          ]
+          (Driver.stale_baseline ~deep:true ~baseline scan));
     Alcotest.test_case "driver falls back to textual rules" `Quick (fun () ->
         with_temp_tree (fun ~dir:_ ~core ->
             (* Unparseable on purpose: the textual layer still sees the
@@ -985,6 +1334,8 @@ let () =
       ("rule-polymorphic-compare", poly_compare_tests);
       ("rule-domain-safety", domain_safety_tests);
       ("taint", taint_tests);
+      ("effect-classes", effect_class_tests);
+      ("effect-escapes", effect_escape_tests);
       ("sarif", sarif_tests);
       ("baseline", baseline_tests);
       ("invariants-clean", clean_tests);

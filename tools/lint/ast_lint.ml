@@ -100,12 +100,6 @@ let msg_domain_primitive =
    barrier merges); submit the work through Radio_exec.Pool instead \
    (docs/PARALLEL.md)"
 
-let msg_pool_capture =
-  "task closure submitted to Pool captures module-level mutable state; \
-   tasks run concurrently on many domains, so a shared ref/table is a data \
-   race — confine the state per task and merge through the pool's in-order \
-   commit (docs/PARALLEL.md)"
-
 let rule_names =
   [
     "random";
@@ -187,10 +181,10 @@ let lint_structure ~path ~allowed ast =
   let poly_primitive comps =
     match comps with [ ("=" | "<>" | "min" | "max") ] -> true | _ -> false
   in
-  (* Module-level mutable bindings: shared by every caller of the module,
-     and — once a closure capturing one is shipped to the pool — by every
-     worker domain at once.  Collected up front so the capture check below
-     can run in the same pass as the other expression rules. *)
+  (* Module-level mutable bindings: shared by every caller of the module.
+     (Task closures capturing them are the effect analysis' job now —
+     effects.ml checks the whole call graph transitively, not just the
+     closure body.) *)
   let rec peel e =
     match e.pexp_desc with Pexp_constraint (e, _) -> peel e | _ -> e
   in
@@ -202,69 +196,6 @@ let lint_structure ~path ~allowed ast =
         | _ -> false)
     | _ -> false
   in
-  let rec bound_name pat =
-    match pat.ppat_desc with
-    | Ppat_var { txt; _ } -> Some txt
-    | Ppat_constraint (p, _) -> bound_name p
-    | _ -> None
-  in
-  let mutable_toplevel = Hashtbl.create 8 in
-  let rec collect_mutables items =
-    List.iter
-      (fun item ->
-        match item.pstr_desc with
-        | Pstr_value (_, vbs) ->
-            List.iter
-              (fun vb ->
-                if binds_mutable vb then
-                  match bound_name vb.pvb_pat with
-                  | Some name -> Hashtbl.replace mutable_toplevel name ()
-                  | None -> ())
-              vbs
-        | Pstr_module { pmb_expr; _ } -> collect_module_expr pmb_expr
-        | Pstr_recmodule mbs ->
-            List.iter (fun mb -> collect_module_expr mb.pmb_expr) mbs
-        | Pstr_include { pincl_mod; _ } -> collect_module_expr pincl_mod
-        | _ -> ())
-      items
-  and collect_module_expr m =
-    match m.pmod_desc with
-    | Pmod_structure items -> collect_mutables items
-    | Pmod_constraint (m, _) | Pmod_functor (_, m) | Pmod_apply_unit m ->
-        collect_module_expr m
-    | Pmod_apply (f, arg) ->
-        collect_module_expr f;
-        collect_module_expr arg
-    | _ -> ()
-  in
-  collect_mutables ast;
-  (* [Pool.<submit>] entry points whose function arguments run on worker
-     domains. *)
-  let pool_submit comps =
-    match List.rev comps with
-    | fn :: "Pool" :: _ ->
-        List.mem fn
-          [ "run_batch"; "map"; "map_array"; "map_reduce"; "iter_batches" ]
-    | _ -> false
-  in
-  let captured_mutable_lines e =
-    let hits = ref [] in
-    let it =
-      {
-        Ast_iterator.default_iterator with
-        expr =
-          (fun self e ->
-            (match e.pexp_desc with
-            | Pexp_ident { txt = Longident.Lident name; loc }
-              when Hashtbl.mem mutable_toplevel name ->
-                hits := line_of loc :: !hits
-            | _ -> ());
-            Ast_iterator.default_iterator.expr self e);
-      }
-    in
-    it.expr it e;
-    List.rev !hits
-  in
   let expr_handler self e =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_ident ~line:(line_of loc) (flat txt)
@@ -273,21 +204,6 @@ let lint_structure ~path ~allowed ast =
            && List.exists (fun (_, a) -> structured a) args ->
         report ~line:(line_of loc) ~rule:"polymorphic-compare"
           ~message:msg_poly_compare
-    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
-      when in_lib && pool_submit (flat txt) ->
-        (* Task closures shipped to the pool must not close over shared
-           mutable module state. *)
-        List.iter
-          (fun (_, a) ->
-            match a.pexp_desc with
-            | Pexp_fun _ | Pexp_function _ ->
-                List.iter
-                  (fun line ->
-                    report ~line ~rule:"domain-safety"
-                      ~message:msg_pool_capture)
-                  (captured_mutable_lines a)
-            | _ -> ())
-          args
     | Pexp_try (_, cases) when boundary ->
         List.iter
           (fun c ->

@@ -1,15 +1,26 @@
-(** Per-module call graph over parsed sources (taint-analysis substrate).
+(** Per-module call graph over parsed sources (substrate of the taint and
+    effect analyses).
 
     Nodes are toplevel value bindings — bindings inside nested
     [module ... = struct] blocks are keyed under their top module, so a
     reference to [Trace.Acc.wake] meets the definition registered for
     [trace.ml].  Edges are the longidents each body references, with their
-    call-site lines.  Files the parser rejects are recorded in {!skipped}
-    and contribute no nodes. *)
+    call-site lines; references made under [let open M in ...] / [M.(...)]
+    / a toplevel [open M] are additionally recorded with the opened module
+    prefixed, so propagation does not drop edges through opened modules.
+    Files the parser rejects are recorded in {!skipped} and contribute no
+    nodes. *)
 
 type reference = {
   target : string list;  (** flattened longident, [Stdlib.] dropped *)
   ref_line : int;
+}
+
+type task = {
+  submit_line : int;  (** line of the [Pool.<submit>] application *)
+  task_refs : reference list;
+      (** every reference made inside the [~f] argument — the closure that
+          runs on worker domains *)
 }
 
 type def = {
@@ -18,6 +29,13 @@ type def = {
   def_path : string;
   def_line : int;
   mutable refs : reference list;
+  mutable setfield_lines : int list;
+      (** lines holding a record-field mutation ([r.f <- v]) — the one
+          mutation shape the parser does not desugar to an ident *)
+  mutable tasks : task list;
+      (** Pool task closures submitted from this binding's body:
+          [run_batch]/[map]/[map_array]/[map_reduce]/[iter_batches] call
+          sites with the references their [~f] argument makes *)
 }
 
 type t
@@ -36,6 +54,12 @@ val defs : t -> def list
 val find : t -> string -> def option
 val has_module : t -> string -> bool
 (** Is this top module part of the scanned set? *)
+
+val is_mutable : t -> string -> bool
+(** Does this def key name a module-level mutable binding — a toplevel
+    [let] bound to [ref ...], [Hashtbl.create ...], [Buffer.create ...],
+    [Queue.create ...] or [Stack.create ...]?  Any reference to such a
+    binding is shared-state access ({!Effects}). *)
 
 val allowed : t -> path:string -> line:int -> rule:string -> bool
 (** The [radiolint: allow] predicate of the file at [path]. *)

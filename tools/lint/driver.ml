@@ -1,7 +1,9 @@
 (* Orchestration shared by the radiolint executable and `anorad lint`:
    expand paths, run the AST rules with textual fallback on unparseable
-   files, optionally add the interprocedural taint layer (--deep), filter
-   against a committed baseline, and render text or SARIF. *)
+   files, optionally add the interprocedural layers — the taint analysis
+   (--deep) and the effect-and-escape analysis (--effects; implied by
+   --deep) — filter against a committed baseline, and render text or
+   SARIF. *)
 
 type finding = {
   rule : string;
@@ -27,10 +29,13 @@ let rule_descriptions =
     ( "polymorphic-compare",
       "bare compare/=/min/max on structured data in canonicalization code" );
     ( "domain-safety",
-      "multicore primitives outside lib/exec/, or a Pool task closure \
-       capturing module-level mutable state" );
+      "multicore primitives (Domain/Atomic/Mutex/Condition) outside \
+       lib/exec/" );
     ("missing-mli", "lib module without an interface");
     ("taint", "deterministic boundary transitively reaches an impure primitive");
+    ( "effect",
+      "a Pool task closure transitively reaches shared mutable state or \
+       I/O (effect class above LocalMut)" );
   ]
 
 let rule_names = List.map fst rule_descriptions
@@ -54,6 +59,23 @@ let of_taint (f : Taint.finding) =
     fingerprint =
       Printf.sprintf "taint:%s:%s:%s" d.Callgraph.def_path
         d.Callgraph.display f.Taint.sink;
+  }
+
+(* Effect escapes anchor at the Pool submit site (the actionable line);
+   the fingerprint is line-free — effect:path:Function:class — so a
+   baselined escape survives unrelated edits and a class change
+   (SharedMut -> IO) resurfaces. *)
+let of_effect (f : Effects.finding) =
+  let d = f.Effects.func in
+  {
+    rule = Effects.rule;
+    path = d.Callgraph.def_path;
+    line = f.Effects.submit_line;
+    message = Effects.message f;
+    fingerprint =
+      Printf.sprintf "effect:%s:%s:%s" d.Callgraph.def_path
+        d.Callgraph.display
+        (Effects.cls_name f.Effects.cls);
   }
 
 let pp_finding ppf f =
@@ -83,17 +105,23 @@ let expand_path root =
   if Sys.is_directory root then List.rev (Rules.walk root [])
   else [ Rules.normalize root ]
 
-(* [roots] must exist (callers validate).  [deep] builds one call graph
-   over every scanned file, so cross-root calls are still visible. *)
-let scan ?(deep = false) roots =
+(* [roots] must exist (callers validate).  [deep] and [effects] build one
+   call graph over every scanned file, so cross-root calls are still
+   visible; [deep] implies [effects]. *)
+let scan ?(deep = false) ?(effects = false) roots =
+  let effects = effects || deep in
   let files = List.concat_map expand_path roots in
   let shallow = List.concat_map lint_file files in
   let deep_findings, skipped =
-    if not deep then ([], [])
+    if not (deep || effects) then ([], [])
     else begin
       let cg = Callgraph.create () in
       List.iter (Callgraph.add_file cg) files;
-      (List.map of_taint (Taint.analyze cg), Callgraph.skipped cg)
+      let taint = if deep then List.map of_taint (Taint.analyze cg) else [] in
+      let escape =
+        if effects then List.map of_effect (Effects.escapes cg) else []
+      in
+      (taint @ escape, Callgraph.skipped cg)
     end
   in
   let findings =
@@ -124,9 +152,39 @@ let apply_baseline ~baseline scan =
 let baseline_lines findings =
   List.map (fun f -> f.fingerprint) findings |> List.sort_uniq compare
 
+(* Baseline entries that matched nothing in [scan] (run on the raw scan,
+   before [apply_baseline]).  Interprocedural fingerprints only count as
+   stale when their analysis actually ran — a shallow scan can't observe
+   taint/effect findings, so their absence proves nothing. *)
+let stale_baseline ?(deep = false) ?(effects = false) ~baseline scan =
+  let effects = effects || deep in
+  let prefixed p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  List.filter
+    (fun entry ->
+      (not (List.exists (fun f -> f.fingerprint = entry) scan.findings))
+      && (deep || not (prefixed "taint:" entry))
+      && (effects || not (prefixed "effect:" entry)))
+    baseline
+
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Effect findings carry their lattice class as a SARIF property, read
+   off the (line-free) fingerprint's last [:] segment. *)
+let sarif_properties f =
+  if f.rule <> "effect" then []
+  else
+    match String.rindex_opt f.fingerprint ':' with
+    | None -> []
+    | Some i ->
+        [
+          ( "effectClass",
+            String.sub f.fingerprint (i + 1)
+              (String.length f.fingerprint - i - 1) );
+        ]
 
 let to_sarif findings =
   Sarif.to_string ~tool_version:version ~rules:rule_descriptions
@@ -138,5 +196,6 @@ let to_sarif findings =
            path = f.path;
            line = f.line;
            fingerprint = f.fingerprint;
+           properties = sarif_properties f;
          })
        findings)

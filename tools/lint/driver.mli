@@ -2,9 +2,10 @@
 
     A scan runs the AST rules ({!Ast_lint}) on every [.ml] under the given
     roots, falling back to the textual rules ({!Rules}) for files the
-    parser rejects, plus the [missing-mli] check; [--deep] additionally
+    parser rejects, plus the [missing-mli] check; [--effects] additionally
     builds one call graph over the whole file set and runs the
-    interprocedural taint analysis ({!Taint}). *)
+    effect-and-escape analysis ({!Effects}); [--deep] implies [--effects]
+    and adds the interprocedural taint analysis ({!Taint}). *)
 
 type finding = {
   rule : string;
@@ -13,7 +14,8 @@ type finding = {
   message : string;
   fingerprint : string;
       (** baseline key: [rule:path:line] for per-file rules,
-          [taint:path:Function:sink] for taint findings *)
+          [taint:path:Function:sink] for taint findings,
+          [effect:path:Function:class] for effect escapes *)
 }
 
 val version : string
@@ -27,8 +29,10 @@ type scan = {
 }
 
 val lint_file : string -> finding list
-val scan : ?deep:bool -> string list -> scan
-(** Roots (directories or [.ml] files) must exist — validate first. *)
+
+val scan : ?deep:bool -> ?effects:bool -> string list -> scan
+(** Roots (directories or [.ml] files) must exist — validate first.
+    [deep] implies [effects]. *)
 
 val load_baseline : string -> string list
 (** Fingerprints from a baseline file; blank and [#] lines ignored. *)
@@ -38,6 +42,13 @@ val apply_baseline : baseline:string list -> scan -> scan * int
 
 val baseline_lines : finding list -> string list
 (** Sorted, deduplicated fingerprints — the baseline file content. *)
+
+val stale_baseline :
+  ?deep:bool -> ?effects:bool -> baseline:string list -> scan -> string list
+(** Baseline entries that matched no finding in the (pre-[apply_baseline])
+    scan.  [taint:] entries only count as stale when [deep] ran and
+    [effect:] entries only when [effects] (or [deep]) ran — a shallower
+    scan cannot observe them, so their absence proves nothing. *)
 
 val to_sarif : finding list -> string
 (** SARIF 2.1.0 document for a finding set. *)

@@ -1,21 +1,25 @@
-(* radiolint — two-tier determinism lint (see docs/LINTING.md).
+(* radiolint — three-tier determinism lint (see docs/LINTING.md).
 
-   Usage: radiolint [--deep] [--baseline FILE] [--sarif FILE]
+   Usage: radiolint [--deep] [--effects] [--baseline FILE] [--sarif FILE]
                     [--write-baseline FILE] [PATH ...]
 
    Scans each PATH (directory or .ml file; default: lib) with the AST rule
-   engine (textual fallback for unparseable files); --deep adds the
-   interprocedural taint analysis.  Exit codes: 0 = clean (every finding
+   engine (textual fallback for unparseable files); --effects adds the
+   interprocedural effect-and-escape analysis; --deep implies --effects
+   and adds the taint analysis.  Exit codes: 0 = clean (every finding
    baselined), 1 = findings, 2 = usage or I/O error. *)
 
 let usage () =
   prerr_endline
-    "usage: radiolint [--deep] [--baseline FILE] [--sarif FILE] \
+    "usage: radiolint [--deep] [--effects] [--baseline FILE] [--sarif FILE] \
      [--write-baseline FILE] [PATH ...]";
   prerr_endline "  Lints .ml sources under each PATH (default: lib).";
   prerr_endline
     "  --deep            add the interprocedural taint analysis (witness \
-     chains)";
+     chains); implies --effects";
+  prerr_endline
+    "  --effects         add the interprocedural effect-and-escape analysis \
+     (pool-task domain safety)";
   prerr_endline
     "  --baseline FILE   ignore findings whose fingerprint is listed in FILE";
   prerr_endline
@@ -38,6 +42,7 @@ let fail_usage msg =
 let () =
   let module D = Radiolint_core.Driver in
   let deep = ref false in
+  let effects = ref false in
   let baseline = ref None in
   let sarif = ref None in
   let write_baseline = ref None in
@@ -49,6 +54,9 @@ let () =
         exit 0
     | "--deep" :: rest ->
         deep := true;
+        parse rest
+    | "--effects" :: rest ->
+        effects := true;
         parse rest
     | "--baseline" :: file :: rest ->
         baseline := Some file;
@@ -76,20 +84,30 @@ let () =
         exit 2
       end)
     roots;
-  let scan = D.scan ~deep:!deep roots in
+  let scan = D.scan ~deep:!deep ~effects:!effects roots in
   (match !write_baseline with
   | Some file ->
+      let lines = D.baseline_lines scan.D.findings in
+      let pruned =
+        if not (Sys.file_exists file) then 0
+        else
+          List.length
+            (List.filter
+               (fun old -> not (List.mem old lines))
+               (D.load_baseline file))
+      in
       Out_channel.with_open_text file (fun oc ->
           output_string oc
             "# radiolint baseline — grandfathered findings, one fingerprint \
              per line.\n";
-          List.iter
-            (fun l -> output_string oc (l ^ "\n"))
-            (D.baseline_lines scan.D.findings));
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines);
       Printf.printf "radiolint: wrote %d fingerprint%s to %s\n"
         (List.length scan.D.findings)
         (if List.length scan.D.findings = 1 then "" else "s")
         file;
+      if pruned > 0 then
+        Printf.printf "radiolint: pruned %d stale fingerprint%s\n" pruned
+          (if pruned = 1 then "" else "s");
       exit 0
   | None -> ());
   let scan, suppressed =
@@ -100,7 +118,13 @@ let () =
           Printf.eprintf "radiolint: no such baseline file: %s\n" file;
           exit 2
         end;
-        D.apply_baseline ~baseline:(D.load_baseline file) scan
+        let baseline = D.load_baseline file in
+        List.iter
+          (Printf.eprintf
+             "radiolint: warning: stale baseline entry (no matching \
+              finding): %s\n")
+          (D.stale_baseline ~deep:!deep ~effects:!effects ~baseline scan);
+        D.apply_baseline ~baseline scan
   in
   (match !sarif with
   | None ->

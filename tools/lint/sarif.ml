@@ -11,6 +11,7 @@ type result = {
   path : string;
   line : int;
   fingerprint : string;
+  properties : (string * string) list;
 }
 
 let schema_uri =
@@ -49,7 +50,7 @@ let rule_object (id, description) =
 
 let result_object r =
   obj
-    [
+    ([
       ("ruleId", str r.rule_id);
       ("level", str "error");
       ("message", obj [ ("text", str r.message) ]);
@@ -71,6 +72,10 @@ let result_object r =
       ( "partialFingerprints",
         obj [ ("radiolint/v1", str r.fingerprint) ] );
     ]
+    @
+    match r.properties with
+    | [] -> []
+    | ps -> [ ("properties", obj (List.map (fun (k, v) -> (k, str v)) ps)) ])
 
 let to_string ~tool_version ~rules results =
   obj

@@ -12,6 +12,10 @@ type result = {
   path : string;
   line : int;
   fingerprint : string;
+  properties : (string * string) list;
+      (** extra per-result string properties (emitted as the SARIF
+          [properties] bag when non-empty), e.g. [effectClass] on effect
+          escapes *)
 }
 
 val schema_uri : string

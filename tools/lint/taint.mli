@@ -28,6 +28,12 @@ val rule : string
 val primitive : string list -> string option
 (** Is this flattened longident an impure primitive? *)
 
+val resolve : Callgraph.t -> top:string -> string list -> string option
+(** Resolve a flattened reference made inside top module [top] to a
+    call-graph key: [f] alone within the same module, [...; M; ...; f]
+    through the first component naming a scanned module.  Shared with the
+    effect analysis ({!Effects}), which propagates over the same edges. *)
+
 val analyze :
   ?checked:(string -> bool) ->
   ?exempt:(string -> bool) ->
