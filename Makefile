@@ -6,10 +6,11 @@
 DUNE ?= dune
 
 .PHONY: check build test lint lint-deep lint-effects lint-sarif fmt \
-  resilience-smoke mc-smoke par-smoke bench-parallel clean
+  resilience-smoke mc-smoke par-smoke churn-smoke bench-churn \
+  bench-parallel clean
 
 check: build test lint lint-deep lint-effects fmt resilience-smoke mc-smoke \
-  par-smoke
+  par-smoke churn-smoke
 
 build:
 	$(DUNE) build
@@ -90,6 +91,42 @@ par-smoke:
 	if [ $$status -ne 0 ]; then \
 	  echo "par-smoke: parallel output differs from sequential"; \
 	fi; exit $$status
+
+# Churn determinism end to end: a tiny scripted flap run replayed twice
+# must print byte-identical reports, the incremental oracle must agree at
+# --jobs 1 and 2, and the quick E21 series (generated in a scratch
+# directory so the committed BENCH_churn.json is untouched) must be
+# byte-identical at --jobs 1 and 2.
+churn-smoke:
+	@cfg=$$(mktemp); plan=$$(mktemp); a=$$(mktemp); b=$$(mktemp); \
+	dir=$$(mktemp -d); status=0; \
+	$(DUNE) exec bin/anorad.exe -- catalog h2 > $$cfg && \
+	printf 'faults\nlink-down 0 1 6\nlink-up 0 1 10\nleave 0 20\njoin 0 26 1\n' > $$plan && \
+	$(DUNE) exec bin/anorad.exe -- churn $$cfg --plan $$plan --horizon 48 > $$a && \
+	$(DUNE) exec bin/anorad.exe -- churn $$cfg --plan $$plan --horizon 48 > $$b && \
+	cmp -s $$a $$b || status=1; \
+	if [ $$status -eq 0 ]; then \
+	  $(DUNE) exec bin/anorad.exe -- churn $$cfg --oracle 4 --jobs 1 > $$a && \
+	  $(DUNE) exec bin/anorad.exe -- churn $$cfg --oracle 4 --jobs 2 > $$b && \
+	  cmp -s $$a $$b || status=1; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+	  $(DUNE) build bench/main.exe && \
+	  (cd $$dir && \
+	   $(CURDIR)/_build/default/bench/main.exe churn --quick --jobs 1 > /dev/null && \
+	   mv BENCH_churn.json jobs1.json && \
+	   $(CURDIR)/_build/default/bench/main.exe churn --quick --jobs 2 > /dev/null && \
+	   cmp -s jobs1.json BENCH_churn.json) || status=1; \
+	fi; \
+	rm -rf $$cfg $$plan $$a $$b $$dir; \
+	if [ $$status -ne 0 ]; then \
+	  echo "churn-smoke: churn replay is not byte-identical"; \
+	fi; exit $$status
+
+# E21 only: regenerate the churn series (BENCH_churn.json) in the working
+# directory.
+bench-churn:
+	$(DUNE) exec bench/main.exe -- churn
 
 # E20 only: sequential-vs-parallel wall clock per workload, written to
 # BENCH_parallel.json in the working directory.

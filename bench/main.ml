@@ -1095,6 +1095,196 @@ let e20 ?(quick = false) () =
      overhead, and that honest number is recorded as-is.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E21 - Churn: incremental re-classification + supervised            *)
+(* re-election under link/node flaps                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e21 ?(quick = false) ?(jobs = 2) () =
+  section "E21  Churn: incremental re-classification + re-election";
+  let module G = Radio_graph.Graph in
+  let module FP = Radio_faults.Fault_plan in
+  let module Ch = Radio_faults.Churn in
+  let module I = Election.Incremental in
+  let module Pool = Radio_exec.Pool in
+  (* Two path families: [churn_config] keeps the span at 2 so the dedicated
+     election fits inside an inter-event epoch (local rounds ~8, supervisor
+     base timeout ~20); [dense_config] spreads tags over [0..16] to give the
+     single-edit re-classification a non-trivial refinement to replay. *)
+  let path n tags =
+    let g = G.of_edges n (List.init (n - 1) (fun i -> (i, i + 1))) in
+    C.create g (Array.init n tags)
+  in
+  let churn_config n = path n (fun i -> i mod 3) in
+  let dense_config n = path n (fun i -> i * 31 mod 17) in
+  (* Wall-clock sampler (same honesty rules as E20): repeat until the
+     sample spans 50ms, report per-iteration time, take the median. *)
+  let wall f =
+    let min_span = 0.05 in
+    let sample () =
+      let t0 = Unix.gettimeofday () in
+      let rec go n =
+        ignore (Sys.opaque_identity (f ()));
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < min_span then go (n + 1) else dt /. float_of_int n
+      in
+      go 1
+    in
+    let times = List.init 3 (fun _ -> sample ()) in
+    List.nth (List.sort compare times) 1
+  in
+  (* 1. Seeded churn schedules: availability and re-election economics. *)
+  let churn_sizes = if quick then [ 8; 16 ] else [ 16; 32; 64 ] in
+  let churn_table =
+    Table.create ~title:"supervised churn (seeded flap schedules)"
+      ~columns:
+        [
+          "n"; "horizon"; "events"; "epochs"; "avail"; "re-elect";
+          "elect rounds"; "computed"; "reused"; "rebuilds";
+        ]
+  in
+  let churn_rows =
+    List.map
+      (fun n ->
+        let config = churn_config n in
+        let horizon = 16 * n in
+        let plan =
+          FP.sample ~seed:(0xC0FF + n)
+            ~link_flaps:(max 1 (n / 16))
+            ~node_flaps:1
+            ~retags:(max 1 (n / 16))
+            ~horizon config
+        in
+        let r = Ch.run ~plan ~horizon config in
+        (* The attempt sequence witnesses byte-identical supervision. *)
+        let attempt_seq =
+          String.concat ","
+            (List.map
+               (fun e -> string_of_int e.Ch.attempts)
+               r.Ch.epochs)
+        in
+        let st = r.Ch.stats in
+        Table.add_row churn_table
+          [
+            string_of_int n;
+            string_of_int horizon;
+            string_of_int (List.length plan);
+            string_of_int (List.length r.Ch.epochs);
+            Printf.sprintf "%.3f" r.Ch.availability;
+            string_of_int r.Ch.re_elections;
+            string_of_int r.Ch.total_election_rounds;
+            string_of_int st.I.computed;
+            string_of_int st.I.reused;
+            string_of_int st.I.full_rebuilds;
+          ];
+        Printf.sprintf
+          "    {\"n\": %d, \"horizon\": %d, \"events\": %d, \"epochs\": %d, \
+           \"availability\": %.4f, \"re_elections\": %d, \
+           \"election_rounds\": %d, \"attempt_sequence\": %S, \"edits\": \
+           %d, \"labels_computed\": %d, \"labels_reused\": %d, \
+           \"full_rebuilds\": %d, \"elected\": %b}"
+          n horizon (List.length plan)
+          (List.length r.Ch.epochs)
+          r.Ch.availability r.Ch.re_elections r.Ch.total_election_rounds
+          attempt_seq st.I.edits st.I.computed st.I.reused st.I.full_rebuilds
+          (r.Ch.final_leader <> None))
+      churn_sizes
+  in
+  Table.print churn_table;
+  (* 2. Single-edit re-classification vs from-scratch at n >= 64.  The
+     JSON speedup column is the deterministic label-cost ratio (scratch
+     recomputes n labels per refinement iteration; the incremental path
+     recomputes only the dirty ball); wall-clock medians are printed for
+     the honest physical check but kept out of the replayable series. *)
+  let speedup_sizes = if quick then [ 64 ] else [ 64; 128; 256 ] in
+  let speedup_table =
+    Table.create ~title:"single-edit re-classification (span-preserving retag)"
+      ~columns:
+        [
+          "n"; "iters"; "scratch labels"; "incr labels"; "speedup";
+          "scratch ms"; "incr ms"; "wall speedup";
+        ]
+  in
+  let speedup_rows =
+    List.map
+      (fun n ->
+        let st0 = I.init (dense_config n) in
+        let edit = I.Set_tag (n / 2, 3) in
+        let st1 = I.apply st0 edit in
+        let d = I.last st1 in
+        let run1 =
+          match I.run st1 with
+          | Some r -> r
+          | None -> failwith "e21: empty incremental run"
+        in
+        let iters = List.length run1.Cl.iterations in
+        let scratch_cost = n * iters in
+        let incr_cost = max 1 d.I.labels_computed in
+        let speedup = float_of_int scratch_cost /. float_of_int incr_cost in
+        let edited =
+          match I.current st1 with
+          | Some c -> c
+          | None -> failwith "e21: no induced configuration"
+        in
+        let scratch_s = wall (fun () -> Fast.classify edited) in
+        let incr_s = wall (fun () -> I.apply st0 edit) in
+        Table.add_row speedup_table
+          [
+            string_of_int n;
+            string_of_int iters;
+            string_of_int scratch_cost;
+            string_of_int d.I.labels_computed;
+            Printf.sprintf "%.1fx" speedup;
+            Printf.sprintf "%.3f" (scratch_s *. 1e3);
+            Printf.sprintf "%.3f" (incr_s *. 1e3);
+            Printf.sprintf "%.1fx" (scratch_s /. Float.max incr_s 1e-9);
+          ];
+        Printf.sprintf
+          "    {\"n\": %d, \"iterations\": %d, \"scratch_label_cost\": %d, \
+           \"incremental_label_cost\": %d, \"labels_reused\": %d, \
+           \"speedup\": %.2f, \"unit\": \"labels\"}"
+          n iters scratch_cost d.I.labels_computed d.I.labels_reused speedup)
+      speedup_sizes
+  in
+  Table.print speedup_table;
+  (* 3. The differential oracle through the domain pool: the report is a
+     pure function of its parameters, so this section is byte-identical
+     at every jobs level. *)
+  let sequences = if quick then 8 else 32 in
+  let report =
+    let pool = Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> I.Oracle.run ~pool ~sequences ~seed:0x1CE ())
+  in
+  Format.printf "%a@." I.Oracle.pp report;
+  let oracle_json =
+    Printf.sprintf
+      "  {\"sequences\": %d, \"edits\": %d, \"mismatches\": %d, \
+       \"verdict_flips\": %d, \"labels_computed\": %d, \"labels_reused\": \
+       %d, \"full_rebuilds\": %d}"
+      report.I.Oracle.sequences report.I.Oracle.edits
+      (List.length report.I.Oracle.mismatches)
+      report.I.Oracle.verdict_flips report.I.Oracle.computed
+      report.I.Oracle.reused report.I.Oracle.full_rebuilds
+  in
+  let json =
+    "{\n  \"experiment\": \"E21\",\n  \"kernel\": \"Election.Incremental + \
+     Radio_faults.Churn\",\n  \"churn\": [\n"
+    ^ String.concat ",\n" churn_rows
+    ^ "\n  ],\n  \"speedup\": [\n"
+    ^ String.concat ",\n" speedup_rows
+    ^ "\n  ],\n  \"oracle\":\n" ^ oracle_json ^ "\n}\n"
+  in
+  Out_channel.with_open_text "BENCH_churn.json" (fun oc ->
+      output_string oc json);
+  print_endline
+    "wrote BENCH_churn.json\n\
+     The series is a pure function of (schedule, seed): `make churn-smoke`\n\
+     asserts the file is byte-identical at --jobs 1 and 2.  Wall-clock\n\
+     medians above are the physical check that a single-edit incremental\n\
+     re-classification beats the from-scratch classifier at n >= 64."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one group per experiment kernel          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1228,10 +1418,29 @@ let () =
     e20 ~quick:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick") ();
     exit 0
   end;
+  (* `dune exec bench/main.exe -- churn [--quick] [--jobs N]` regenerates
+     only the E21 churn series (and BENCH_churn.json).  The JSON carries
+     deterministic quantities only, so `make churn-smoke` can assert it is
+     byte-identical at --jobs 1 and 2. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "churn" then begin
+    let quick = ref false and jobs = ref 2 in
+    let i = ref 2 in
+    while !i < Array.length Sys.argv do
+      (match Sys.argv.(!i) with
+      | "--quick" -> quick := true
+      | "--jobs" when !i + 1 < Array.length Sys.argv ->
+          incr i;
+          jobs := int_of_string Sys.argv.(!i)
+      | a -> failwith ("bench churn: unknown argument " ^ a));
+      incr i
+    done;
+    e21 ~quick:!quick ~jobs:!jobs ();
+    exit 0
+  end;
   print_endline
     "anorad benchmark harness - reproduces the evaluation of Miller, Pelc,\n\
      Yadav: 'Deterministic Leader Election in Anonymous Radio Networks'\n\
-     (SPAA 2020).  Experiment ids E1-E19 are indexed in DESIGN.md; measured\n\
+     (SPAA 2020).  Experiment ids E1-E21 are indexed in DESIGN.md; measured\n\
      vs paper-claimed results are recorded in EXPERIMENTS.md.";
   e1 ();
   e2 ();
@@ -1253,5 +1462,6 @@ let () =
   e18 ();
   e19 ();
   e20 ();
+  e21 ();
   run_bechamel ();
   print_endline "\nDone.  All series regenerated."

@@ -20,7 +20,8 @@
      mc         - bounded model checking with symmetry reduction
      check-trace - run the canonical DRIP and verify every model invariant
      faults     - execute an election under a deterministic fault plan
-     resilience - sweep crash intensity and emit the degradation curve *)
+     resilience - sweep crash intensity and emit the degradation curve
+     churn      - supervise re-election across link/node flaps (epochs) *)
 
 module C = Radio_config.Config
 module CIo = Radio_config.Config_io
@@ -1176,6 +1177,99 @@ let resilience_cmd =
       $ csv_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* churn                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let churn_cmd =
+  let module FP = Radio_faults.Fault_plan in
+  let module Ch = Radio_faults.Churn in
+  let module I = Election.Incremental in
+  let plan_arg =
+    let doc =
+      "Scripted flap schedule: a fault-plan file whose topology events \
+       ('link-down <u> <v> <round>', 'link-up <u> <v> <round>', 'leave \
+       <node> <round>', 'join <node> <round> <tag>', 'retag <node> <round> \
+       <tag>') and crashes set the epoch boundaries.  Without it, a \
+       schedule is sampled from $(b,--seed) and the flap counts."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the sampled flap schedule." in
+    Arg.(value & opt int 0xC0FF & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let count name doc = Arg.(value & opt int 0 & info [ name ] ~docv:"K" ~doc) in
+  let link_flaps_arg =
+    count "link-flaps" "Paired link-down/link-up events to sample."
+  in
+  let node_flaps_arg =
+    count "node-flaps" "Paired leave/join events to sample."
+  in
+  let retags_arg = count "retags" "Alarm-moving retag events to sample." in
+  let crashes_arg = count "crashes" "Crash-stop events to sample." in
+  let horizon_arg =
+    let doc = "Supervised rounds (epoch boundaries must fall inside)." in
+    Arg.(value & opt int 200 & info [ "horizon" ] ~docv:"H" ~doc)
+  in
+  let max_attempts_arg =
+    let doc = "Election attempts per epoch before giving up." in
+    Arg.(value & opt int 5 & info [ "max-attempts" ] ~docv:"A" ~doc)
+  in
+  let max_timeout_arg =
+    let doc = "Cap on the doubling per-attempt round budget." in
+    Arg.(value & opt (some int) None & info [ "max-timeout" ] ~docv:"T" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Instead of a churn run: drive K randomized edit sequences through \
+       the incremental classifier's differential oracle (bit-for-bit \
+       against the from-scratch classifier), parallelized over \
+       $(b,--jobs).  CONFIG is ignored in this mode."
+    in
+    Arg.(value & opt (some int) None & info [ "oracle" ] ~docv:"K" ~doc)
+  in
+  let run path plan_path seed link_flaps node_flaps retags crashes horizon
+      max_attempts max_timeout oracle jobs =
+    match oracle with
+    | Some sequences ->
+        let report =
+          with_jobs_pool jobs (fun pool ->
+              I.Oracle.run ~pool ~sequences ~seed ())
+        in
+        Format.printf "%a@." I.Oracle.pp report;
+        if I.Oracle.ok report then 0 else 2
+    | None -> (
+        let config = load_config path in
+        let plan =
+          match plan_path with
+          | Some p -> FP.read_file p
+          | None ->
+              FP.sample ~seed ~crashes ~link_flaps ~node_flaps ~retags
+                ~horizon config
+        in
+        Format.printf "schedule (%d events):@.@[<v>%a@]@." (List.length plan)
+          FP.pp plan;
+        match Ch.run ~max_attempts ?max_timeout ~plan ~horizon config with
+        | exception Invalid_argument msg ->
+            Format.eprintf "anorad churn: %s@." msg;
+            2
+        | r ->
+            Format.printf "%a@?" Ch.pp r;
+            if r.Ch.final_leader <> None then 0 else 1)
+  in
+  let doc =
+    "supervise a deployment across topology churn: incremental \
+     re-classification at every epoch boundary, tag repair when \
+     feasibility is lost, and bounded-backoff re-election \
+     (availability, rounds-to-re-elect, re-classification cost)"
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const run $ config_arg $ plan_arg $ seed_arg $ link_flaps_arg
+      $ node_flaps_arg $ retags_arg $ crashes_arg $ horizon_arg
+      $ max_attempts_arg $ max_timeout_arg $ oracle_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "deterministic leader election in anonymous radio networks" in
@@ -1204,4 +1298,5 @@ let () =
             check_trace_cmd;
             faults_cmd;
             resilience_cmd;
+            churn_cmd;
           ]))

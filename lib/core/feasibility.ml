@@ -25,6 +25,16 @@ let analyze ?(impl = `Fast) config =
     election_local_rounds = Canonical.local_termination_round plan;
   }
 
+let analyze_run run =
+  let plan = Canonical.plan_of_run run in
+  {
+    run;
+    plan;
+    feasible = Classifier.is_feasible run;
+    leader = Classifier.canonical_leader run;
+    election_local_rounds = Canonical.local_termination_round plan;
+  }
+
 let is_feasible ?impl config = (analyze ?impl config).feasible
 
 let dedicated_election a =

@@ -22,6 +22,12 @@ val analyze : ?impl:impl -> Radio_config.Config.t -> analysis
 (** Default implementation: [`Fast] (provably equivalent; see the property
     tests). *)
 
+val analyze_run : Classifier.run -> analysis
+(** The same analysis from an already-computed classifier run — the churn
+    supervisor feeds {!Incremental.run} results here so re-election after a
+    topology edit reuses the memoized refinement instead of reclassifying
+    from scratch. *)
+
 val is_feasible : ?impl:impl -> Radio_config.Config.t -> bool
 
 val dedicated_election : analysis -> Radio_sim.Runner.election option

@@ -1,0 +1,161 @@
+(** Incremental re-classification under graph edits.
+
+    The classifier's refinement trajectory is a pure function of the
+    configuration, but a single local edit (an edge flap, a retagged node)
+    leaves most per-iteration labels unchanged.  This module memoizes the
+    whole trajectory — every iteration's labels, class assignment and
+    representatives — and, after an edit, replays the {e same} iteration
+    loop recomputing labels only inside the edit's "dirty ball":
+
+    - {e structurally dirty} nodes (the edit's endpoints; a retagged node
+      and its neighbours) stay dirty at every iteration — their label
+      inputs changed directly;
+    - {e class-dirty} nodes are those whose class, or a neighbour's class,
+      differs at iteration [k-1] from the memoized run — dirtiness
+      propagates outward one hop per iteration, exactly as fast as the
+      refinement itself can diverge.
+
+    Clean nodes reuse the memoized label; refinement itself reuses
+    {!Fast_classifier.refine_with_table} verbatim, so class numbering is
+    identical.  The resulting run is {e bit-for-bit} the run
+    [Fast_classifier.classify] would produce on the edited configuration —
+    by construction, and checked by {!Oracle} on randomized edit sequences.
+
+    Note that restarting refinement from the {e previous stable partition}
+    would be unsound: refinement never merges classes, so an edit that makes
+    two previously-distinguished nodes symmetric again would leave them
+    over-split and could turn an infeasible configuration "feasible".  The
+    dirty-ball replay starts from the trivial partition like any run and is
+    immune to this.
+
+    Membership edits ({!Leave}, {!Join}) change the induced index space and
+    fall back to a from-scratch classification (reported honestly in
+    {!stats} as [full_rebuilds]); so does an edit that changes the induced
+    span [σ], which appears in every label slot. *)
+
+type edit =
+  | Add_edge of int * int  (** add edge [{u, v}] to the universe graph *)
+  | Remove_edge of int * int  (** remove edge [{u, v}] *)
+  | Set_tag of int * int  (** [Set_tag (v, t)]: set [v]'s raw wake-up tag *)
+  | Leave of int  (** node leaves: excluded from the induced configuration *)
+  | Join of int * int  (** [Join (v, t)]: an absent node returns with tag [t] *)
+
+val pp_edit : Format.formatter -> edit -> unit
+
+type delta = {
+  labels_computed : int;  (** labels recomputed by the last edit *)
+  labels_reused : int;  (** memoized labels reused by the last edit *)
+  rebuilt : bool;  (** the last edit fell back to a full classification *)
+}
+
+type stats = {
+  edits : int;  (** edits applied since {!init} *)
+  computed : int;  (** cumulative labels computed *)
+  reused : int;  (** cumulative labels reused *)
+  full_rebuilds : int;  (** edits that fell back to from-scratch *)
+}
+
+type state
+(** Immutable: {!apply} returns a new state, the argument stays valid. *)
+
+val init : Radio_config.Config.t -> state
+(** Classifies the configuration from scratch and memoizes the trajectory.
+    All nodes start present; the initial classification is not counted in
+    {!stats}. *)
+
+val apply : state -> edit -> state
+(** Applies one edit and re-classifies incrementally.  Raises
+    [Invalid_argument] on an invalid edit: out-of-range node, self-loop,
+    adding an existing edge, removing a missing one, a negative tag,
+    [Leave] of an absent node or [Join] of a present one. *)
+
+val apply_all : state -> edit list -> state
+
+val live : state -> int
+(** Number of present nodes. *)
+
+val present : state -> int -> bool
+
+val tag : state -> int -> int
+(** Raw (universe) wake-up tag of a node — meaningful for absent nodes
+    too.  The induced configuration of {!current} normalizes these, so
+    [Config.tag (current st) i] and [tag st (node_of_current st i)] differ
+    by the normalization shift. *)
+
+val current : state -> Radio_config.Config.t option
+(** The induced (normalized) configuration on present nodes; [None] when
+    every node has left. *)
+
+val node_of_current : state -> int -> int
+(** Maps an induced index (as used by {!run}'s class arrays) back to the
+    universe node id. *)
+
+val current_of_node : state -> int -> int option
+(** Universe node id to induced index; [None] if absent. *)
+
+val run : state -> Classifier.run option
+(** The memoized run — equal, bit for bit, to
+    [Fast_classifier.classify (current state)]. *)
+
+val feasible : state -> bool
+(** [false] when empty. *)
+
+val leader : state -> int option
+(** Canonical leader as a {e universe} node id, when feasible. *)
+
+val stats : state -> stats
+
+val last : state -> delta
+(** Cost of the most recent {!apply} ({!init} reports a zero delta). *)
+
+val runs_equal : Classifier.run -> Classifier.run -> bool
+(** Structural equality of two classifier runs: same verdict and, per
+    iteration, same class arrays, labels, class counts and representatives.
+    Used by {!Oracle} and the test suite. *)
+
+(** Differential oracle: random edit sequences, each step checked
+    bit-for-bit against [Fast_classifier.classify] of the edited
+    configuration.  Sequences are independent tasks and parallelize over
+    {!Radio_exec.Pool} under the byte-identical-at-every-jobs contract. *)
+module Oracle : sig
+  type mismatch = {
+    family : string;
+    sequence : int;
+    step : int;
+    edit : edit;
+  }
+
+  type report = {
+    sequences : int;  (** edit sequences run *)
+    edits : int;  (** total edits applied and checked *)
+    mismatches : mismatch list;  (** empty iff the oracle agrees *)
+    verdict_flips : int;  (** steps where feasibility changed *)
+    flips_to_feasible : int;
+    flips_to_infeasible : int;
+    computed : int;  (** labels recomputed across all sequences *)
+    reused : int;  (** labels reused across all sequences *)
+    full_rebuilds : int;
+  }
+
+  val run :
+    ?pool:Radio_exec.Pool.t ->
+    ?progress:(done_:int -> total:int -> unit) ->
+    ?sequences:int ->
+    ?edits_per_sequence:int ->
+    ?max_size:int ->
+    seed:int ->
+    unit ->
+    report
+  (** [run ~seed ()] drives [sequences] (default 24) independent edit
+      sequences of [edits_per_sequence] (default 60) edits each, rotating
+      the starting configuration over path / cycle / clique / double-path
+      families of sizes up to [max_size] (default 16, min 4).  Every step
+      compares the incremental run against a from-scratch
+      [Fast_classifier.classify].  Determinism: the report depends only on
+      the parameters, never on [pool] size.  [progress] is called on the
+      caller's domain after each sequence commits. *)
+
+  val ok : report -> bool
+
+  val pp : Format.formatter -> report -> unit
+end

@@ -1,23 +1,25 @@
 module Config = Radio_config.Config
 module G = Radio_graph.Graph
 
-let compute_labels config ~class_of =
+let compute_label config ~class_of v =
   let g = Config.graph config in
+  let sigma = Config.span config in
+  let tv = Config.tag config v in
+  let cv = class_of.(v) in
+  let slots =
+    G.fold_neighbours g v ~init:[] ~f:(fun acc w ->
+        let tw = Config.tag config w in
+        let cw = class_of.(w) in
+        if cw = cv && tw = tv then acc
+        else (cw, sigma + 1 + tw - tv) :: acc)
+  in
+  Label.of_neighbour_slots slots
+
+let compute_labels config ~class_of =
   let n = Config.size config in
   if Array.length class_of <> n then
     invalid_arg "Partition.compute_labels: class array length mismatch";
-  let sigma = Config.span config in
-  Array.init n (fun v ->
-      let tv = Config.tag config v in
-      let cv = class_of.(v) in
-      let slots =
-        G.fold_neighbours g v ~init:[] ~f:(fun acc w ->
-            let tw = Config.tag config w in
-            let cw = class_of.(w) in
-            if cw = cv && tw = tv then acc
-            else (cw, sigma + 1 + tw - tv) :: acc)
-      in
-      Label.of_neighbour_slots slots)
+  Array.init n (compute_label config ~class_of)
 
 let class_sizes ~num_classes class_of =
   let sizes = Array.make num_classes 0 in

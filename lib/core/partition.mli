@@ -7,6 +7,13 @@
     (classes survive refinement keeping their number, new classes are
     appended). *)
 
+val compute_label :
+  Radio_config.Config.t -> class_of:int array -> int -> Label.t
+(** [compute_label config ~class_of v] is the label node [v] acquires during
+    the current phase — the per-node body of {!compute_labels}, exposed so
+    that the incremental classifier ({!Incremental}) can recompute labels for
+    dirty nodes only. *)
+
 val compute_labels :
   Radio_config.Config.t -> class_of:int array -> Label.t array
 (** [compute_labels config ~class_of] is the label each node acquires during

@@ -17,6 +17,7 @@ type outcome = {
   original : Config.t;
   plan : Fault_plan.t;
   crashed_at : int array;
+  departed_at : int array;
   ledger : fired list;
 }
 
@@ -30,21 +31,36 @@ type node_state = {
   hist : History.Vec.t;
 }
 
+let fresh_node () =
+  {
+    instance = None;
+    awake_at = -1;
+    was_forced = false;
+    finished_at = -1;
+    hist = History.Vec.create ();
+  }
+
 (* Per-round fault tables compiled from the plan: lookups must not cost
    anything when the plan schedules nothing for the round. *)
 type tables = {
   crash_at : int array;  (* earliest crash round per node; -1 = never *)
   drops : (int, (int * int) list) Hashtbl.t;  (* round -> (src, dst) *)
   noise : (int, int list) Hashtbl.t;  (* round -> nodes *)
+  topo : (int, Fault_plan.fault list) Hashtbl.t;
+      (* round -> topology events, in application order *)
   any_crash : bool;
   any_drop : bool;
   any_noise : bool;
+  any_topo : bool;
 }
 
 let compile plan n =
   let crash_at = Array.make n (-1) in
   let drops = Hashtbl.create 8 in
   let noise = Hashtbl.create 8 in
+  let topo = Hashtbl.create 8 in
+  (* Iterating the normalized plan in reverse and prepending leaves every
+     per-round bucket in normalized (= application) order. *)
   List.iter
     (fun f ->
       match f with
@@ -58,15 +74,24 @@ let compile plan n =
       | Fault_plan.Noise { node; round } ->
           let prev = Option.value ~default:[] (Hashtbl.find_opt noise round) in
           Hashtbl.replace noise round (node :: prev)
-      | Fault_plan.Jitter _ -> ())
-    (Fault_plan.normalize plan);
+      | Fault_plan.Jitter _ -> ()
+      | Fault_plan.Link_down { round; _ }
+      | Fault_plan.Link_up { round; _ }
+      | Fault_plan.Leave { round; _ }
+      | Fault_plan.Join { round; _ }
+      | Fault_plan.Retag { round; _ } ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt topo round) in
+          Hashtbl.replace topo round (f :: prev))
+    (List.rev (Fault_plan.normalize plan));
   {
     crash_at;
     drops;
     noise;
+    topo;
     any_crash = Array.exists (fun c -> c >= 0) crash_at;
     any_drop = Hashtbl.length drops > 0;
     any_noise = Hashtbl.length noise > 0;
+    any_topo = Hashtbl.length topo > 0;
   }
 
 let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
@@ -85,18 +110,27 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
       Option.value ~default:[] (Hashtbl.find_opt tables.noise r)
     else []
   in
+  (* Dynamic topology state.  Without topology events the static graph is
+     consulted directly and every presence test short-circuits on
+     [any_topo] — the empty-plan identity law keeps its fast path. *)
+  let adj =
+    if not tables.any_topo then None
+    else begin
+      let m = Array.make_matrix n n false in
+      List.iter
+        (fun (u, v) ->
+          m.(u).(v) <- true;
+          m.(v).(u) <- true)
+        (G.edges g);
+      Some m
+    end
+  in
+  let absent = Array.make n false in
+  let departed_at = Array.make n (-1) in
+  let wake_tag = Array.init n (Config.tag config) in
   let metrics = Metrics.Acc.create () in
   let trace = Trace.Acc.create ~enabled:record_trace in
-  let nodes =
-    Array.init n (fun _ ->
-        {
-          instance = None;
-          awake_at = -1;
-          was_forced = false;
-          finished_at = -1;
-          hist = History.Vec.create ();
-        })
-  in
+  let nodes = Array.init n (fun _ -> fresh_node ()) in
   let dead = Array.make n false in
   let crashed_at = Array.make n (-1) in
   let ledger = ref [] in
@@ -115,6 +149,10 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
   let first_tx = ref None in
   let tx_by_node = Array.make n 0 in
   let tx_msg : string option array = Array.make n None in
+  let live v = not (dead.(v) || absent.(v)) in
+  let mem_link u v =
+    match adj with None -> G.mem_edge g u v | Some m -> m.(u).(v)
+  in
   let wake st v ~round entry ~is_forced =
     let inst = proto.Protocol.spawn () in
     st.instance <- Some inst;
@@ -135,28 +173,111 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
     end
   in
   (* Number of transmitting neighbours of v this round that v actually
-     receives: scheduled drops towards v are removed from the air. *)
+     receives: scheduled drops towards v are removed from the air.
+     Transmitters are live by construction (phase A guards), so absent
+     nodes never appear in [tx_msg]. *)
   let audible_count drops_r v =
     let count = ref 0 and heard = ref "" in
-    G.iter_neighbours g v ~f:(fun w ->
-        match tx_msg.(w) with
-        | Some m ->
-            if not (List.mem (w, v) drops_r) then begin
-              incr count;
-              heard := m
-            end
-        | None -> ());
+    let hear w =
+      match tx_msg.(w) with
+      | Some m ->
+          if not (List.mem (w, v) drops_r) then begin
+            incr count;
+            heard := m
+          end
+      | None -> ()
+    in
+    (match adj with
+    | None -> G.iter_neighbours g v ~f:hear
+    | Some m ->
+        let row = m.(v) in
+        for w = 0 to n - 1 do
+          if row.(w) then hear w
+        done);
     (!count, !heard)
+  in
+  (* Topology events take effect at the top of their round, in normalized
+     order.  An event fires iff it changed the network state: flapping a
+     link to the state it is already in, a leave/retag of a crashed or
+     absent node, or a join of a present (or crashed — crashes are forever)
+     node are inert and stay out of the ledger. *)
+  let apply_topology r =
+    match Hashtbl.find_opt tables.topo r with
+    | None -> ()
+    | Some events ->
+        List.iter
+          (fun f ->
+            match f with
+            | Fault_plan.Link_down { u; v; _ } -> (
+                match adj with
+                | None -> ()
+                | Some m ->
+                    if m.(u).(v) then begin
+                      m.(u).(v) <- false;
+                      m.(v).(u) <- false;
+                      fire ~round:r f []
+                    end)
+            | Fault_plan.Link_up { u; v; _ } -> (
+                match adj with
+                | None -> ()
+                | Some m ->
+                    if u <> v && not m.(u).(v) then begin
+                      m.(u).(v) <- true;
+                      m.(v).(u) <- true;
+                      fire ~round:r f []
+                    end)
+            | Fault_plan.Leave { node; _ } ->
+                if node >= 0 && node < n && not (dead.(node) || absent.(node))
+                then begin
+                  let st = nodes.(node) in
+                  absent.(node) <- true;
+                  departed_at.(node) <- r;
+                  let running = st.finished_at < 0 in
+                  if running then decr remaining;
+                  fire ~round:r f (if running then [ node ] else [])
+                end
+            | Fault_plan.Join { node; tag; _ } ->
+                if node >= 0 && node < n && absent.(node) && not dead.(node)
+                then begin
+                  (* A fresh incarnation: new instance-to-be, empty history,
+                     alarm at [max tag r] (a past alarm fires immediately). *)
+                  absent.(node) <- false;
+                  departed_at.(node) <- -1;
+                  nodes.(node) <- fresh_node ();
+                  wake_tag.(node) <- max tag r;
+                  incr remaining;
+                  fire ~round:r f [ node ]
+                end
+            | Fault_plan.Retag { node; tag; _ } ->
+                if
+                  node >= 0 && node < n
+                  && (not (dead.(node) || absent.(node)))
+                  && nodes.(node).instance = None
+                then begin
+                  let alarm = max tag r in
+                  if alarm <> wake_tag.(node) then begin
+                    wake_tag.(node) <- alarm;
+                    fire ~round:r f [ node ]
+                  end
+                end
+            | Fault_plan.Crash _ | Fault_plan.Drop _ | Fault_plan.Noise _
+            | Fault_plan.Jitter _ ->
+                ())
+          events
   in
   let round = ref 0 in
   let rounds_done = ref 0 in
   while !remaining > 0 && !round < max_rounds do
     let r = !round in
+    (* Phase T: topology events scheduled for this round reshape the
+       network before anyone acts. *)
+    if tables.any_topo then apply_topology r;
     (* Phase 0: crash-stops scheduled for this round take effect before
-       anyone acts.  Crashes of already-terminated nodes are no-ops. *)
+       anyone acts.  Crashes of already-terminated or absent nodes are
+       no-ops. *)
     if tables.any_crash then
       for v = 0 to n - 1 do
-        if tables.crash_at.(v) = r && not dead.(v) then begin
+        if tables.crash_at.(v) = r && not dead.(v) && not absent.(v) then begin
           let st = nodes.(v) in
           if st.finished_at < 0 then begin
             dead.(v) <- true;
@@ -172,8 +293,7 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
     for v = 0 to n - 1 do
       let st = nodes.(v) in
       match st.instance with
-      | Some inst when st.finished_at < 0 && st.awake_at < r && not dead.(v)
-        -> (
+      | Some inst when st.finished_at < 0 && st.awake_at < r && live v -> (
           let local = r - st.awake_at in
           match inst.Protocol.decide () with
           | Protocol.Terminate ->
@@ -197,8 +317,7 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
     for v = 0 to n - 1 do
       let st = nodes.(v) in
       match st.instance with
-      | Some inst when st.finished_at < 0 && st.awake_at < r && not dead.(v)
-        ->
+      | Some inst when st.finished_at < 0 && st.awake_at < r && live v ->
           let entry =
             match tx_msg.(v) with
             | Some _ -> History.Silence (* transmitters hear nothing *)
@@ -221,11 +340,11 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
        detection, so a noisy sleeping node cannot be force-woken. *)
     for v = 0 to n - 1 do
       let st = nodes.(v) in
-      if st.instance = None && not dead.(v) then begin
+      if st.instance = None && live v then begin
         let count, heard = audible_count drops_r v in
         if count = 1 && not (List.mem v noise_r) then
           wake st v ~round:r (History.Message heard) ~is_forced:true
-        else if Config.tag config v = r then
+        else if wake_tag.(v) = r then
           wake st v ~round:r History.Silence ~is_forced:false
       end
     done;
@@ -237,8 +356,8 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
           if
             tx_msg.(src) <> None
             && dst >= 0 && dst < n
-            && G.mem_edge g src dst
-            && (not dead.(dst))
+            && mem_link src dst
+            && live dst
             && tx_msg.(dst) = None
           then begin
             let st = nodes.(dst) in
@@ -261,7 +380,7 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
                   (* would have been force-woken; with the drop it either
                      stayed asleep or woke spontaneously on its tag *)
                   fire ~round:r fault
-                    (if Config.tag config dst = r then [ dst ] else [])
+                    (if wake_tag.(dst) = r then [ dst ] else [])
                 else if count = 1 then
                   (* the drop un-hid a lone transmitter: dst was woken where
                      two transmitters would have cancelled out *)
@@ -272,7 +391,7 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
     if noise_r <> [] then
       List.iter
         (fun v ->
-          if v >= 0 && v < n && (not dead.(v)) && tx_msg.(v) = None then begin
+          if v >= 0 && v < n && live v && tx_msg.(v) = None then begin
             let st = nodes.(v) in
             let count, _ = audible_count drops_r v in
             let fault = Fault_plan.Noise { node = v; round = r } in
@@ -307,7 +426,7 @@ let run ?(max_rounds = 100_000) ?(record_trace = false) plan proto config =
       trace = Trace.Acc.freeze trace;
     }
   in
-  { base; original; plan; crashed_at; ledger = List.rev !ledger }
+  { base; original; plan; crashed_at; departed_at; ledger = List.rev !ledger }
 
 let surviving_winners decision o =
   let n = Array.length o.base.Engine.done_local in

@@ -22,11 +22,32 @@
       woken this round (collisions do not wake; its tag may still wake it
       spontaneously).
 
+    {b Topology events} ({!Fault_plan.has_topology}) precede even the
+    crashes of their round, applied in normalized order:
+
+    - [Link_down]/[Link_up] toggle an undirected link in the air; a toggle
+      to the state the link is already in is inert.  Links may come up
+      that the base graph never had.
+    - [Leave] removes a present, non-crashed node: its history stops, its
+      [done_local] stays [-1] unless it had already terminated, and
+      [departed_at] records the round.
+    - [Join] revives an absent (left, never crashed) node as a {e fresh}
+      protocol instance with an {e empty history} — the incarnation before
+      departure is discarded from [base.histories].  The new alarm is
+      global round [max tag r].  Joins scheduled after every other node
+      terminated never execute: the run ends when no running node remains.
+    - [Retag] moves a still-sleeping node's alarm to [max tag r]; awake,
+      terminated, crashed or absent nodes are unaffected.
+
+    When the plan has no topology events the engine keeps the static-graph
+    fast path, preserving the identity law byte-for-byte.
+
     The {b ledger} records every fault that actually fired — changed some
-    node's execution — with the global round and the nodes that perceived a
-    difference.  Faults that were scheduled but changed nothing (a drop on
-    a silent round, noise at a terminated node, a crash after termination)
-    do not fire and are absent from the ledger. *)
+    node's execution or the network state — with the global round and the
+    nodes that perceived a difference.  Faults that were scheduled but
+    changed nothing (a drop on a silent round, noise at a terminated node,
+    a crash after termination, a link flap to the current state, a retag
+    of an awake node) do not fire and are absent from the ledger. *)
 
 type fired = {
   round : int;  (** global round in which the fault took effect *)
@@ -48,6 +69,9 @@ type outcome = {
   crashed_at : int array;
       (** per node: the global round it crash-stopped, [-1] if it never
           crashed (including crashes scheduled after termination) *)
+  departed_at : int array;
+      (** per node: the global round of its last un-rejoined [Leave],
+          [-1] if present at the end of the run *)
   ledger : fired list;  (** chronological *)
 }
 

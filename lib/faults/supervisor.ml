@@ -15,6 +15,7 @@ type attempt = {
   timeout : int;
   rounds : int;
   faults_fired : int;
+  ledger : Faulty_engine.fired list;
   detection : detection;
 }
 
@@ -46,8 +47,8 @@ let reseed ~seed ~attempt original =
   in
   Fault_plan.apply_jitter jitter original
 
-let supervise ?(seed = 0xFA17) ?(max_attempts = 5) ?base_timeout ~plan config
-    =
+let supervise ?(seed = 0xFA17) ?(max_attempts = 5) ?base_timeout ?max_timeout
+    ~plan config =
   let max_attempts = max 1 max_attempts in
   let original = config in
   let base_timeout = ref base_timeout in
@@ -69,12 +70,15 @@ let supervise ?(seed = 0xFA17) ?(max_attempts = 5) ?base_timeout ~plan config
           base_timeout := Some b;
           b
     in
-    let timeout = base * (1 lsl min !k 16) in
-    let rounds, fired, detection =
+    let timeout =
+      let t = base * (1 lsl min !k 16) in
+      match max_timeout with Some m -> min t (max 1 m) | None -> t
+    in
+    let rounds, ledger, detection =
       match Fe.dedicated_election analysis with
       | None ->
           (* Unrepairable: nothing to run, record the dead attempt. *)
-          (0, 0, No_unique_winner [])
+          (0, [], No_unique_winner [])
       | Some election ->
           let o =
             Faulty_engine.run ~max_rounds:timeout plan
@@ -91,7 +95,7 @@ let supervise ?(seed = 0xFA17) ?(max_attempts = 5) ?base_timeout ~plan config
                 else Timed_out
           in
           ( o.Faulty_engine.base.Engine.rounds,
-            List.length o.Faulty_engine.ledger,
+            o.Faulty_engine.ledger,
             detection )
     in
     attempts :=
@@ -101,7 +105,8 @@ let supervise ?(seed = 0xFA17) ?(max_attempts = 5) ?base_timeout ~plan config
         repaired;
         timeout;
         rounds;
-        faults_fired = fired;
+        faults_fired = List.length ledger;
+        ledger;
         detection;
       }
       :: !attempts;
@@ -149,4 +154,13 @@ let pp ppf r =
       Format.fprintf ppf "supervisor: gave up after %d attempt(s)"
         (List.length r.attempts));
   Format.fprintf ppf ", %d total rounds, %d reseed(s)@." r.total_rounds
-    r.reseeds
+    r.reseeds;
+  (* The winning attempt's fired-fault ledger: what the elected leader
+     actually survived. *)
+  match
+    (r.leader, List.filter (fun a -> match a.detection with Elected _ -> true | _ -> false) r.attempts)
+  with
+  | Some _, [ a ] when a.ledger <> [] ->
+      Format.fprintf ppf "faults survived by the elected attempt:@.  @[<v>%a@]@."
+        Faulty_engine.pp_ledger a.ledger
+  | _ -> ()

@@ -33,6 +33,9 @@ type attempt = {
   timeout : int;  (** round budget of this attempt *)
   rounds : int;  (** global rounds actually consumed *)
   faults_fired : int;  (** ledger length of the faulty run *)
+  ledger : Faulty_engine.fired list;
+      (** the attempt's fired-fault ledger, chronological; {!pp} prints the
+          elected attempt's ledger so a survived election is auditable *)
   detection : detection;
 }
 
@@ -47,14 +50,17 @@ val supervise :
   ?seed:int ->
   ?max_attempts:int ->
   ?base_timeout:int ->
+  ?max_timeout:int ->
   plan:Fault_plan.t ->
   Radio_config.Config.t ->
   report
 (** [supervise ~plan config] retries up to [max_attempts] (default 5)
     times.  [base_timeout] defaults to twice the dedicated schedule length
     of the first attempt plus the span — ample for a fault-free run — and
-    doubles on every retry.  [seed] (default [0xFA17]) drives the jitter
-    re-seeding only; with an empty plan and a feasible configuration the
-    first attempt elects and no randomness is consulted. *)
+    doubles on every retry; [max_timeout] (default unbounded) caps the
+    doubled value, so long supervision under churn cannot run away.
+    [seed] (default [0xFA17]) drives the jitter re-seeding only; with an
+    empty plan and a feasible configuration the first attempt elects and
+    no randomness is consulted. *)
 
 val pp : Format.formatter -> report -> unit

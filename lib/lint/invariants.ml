@@ -431,6 +431,10 @@ let ledger_consistency (fo : Faulty.outcome) =
     rep.Report.f ~check:"shape" "crashed_at has length %d, expected n = %d"
       (Array.length fo.Faulty.crashed_at)
       n
+  else if Array.length fo.Faulty.departed_at <> n then
+    rep.Report.f ~check:"shape" "departed_at has length %d, expected n = %d"
+      (Array.length fo.Faulty.departed_at)
+      n
   else begin
     List.iter
       (fun (ev : Faulty.fired) ->
@@ -468,8 +472,50 @@ let ledger_consistency (fo : Faulty.outcome) =
             then
               rep.Report.f ~node ~round ~check:"fault-ledger"
                 "ledger crashes the node here but crashed_at disagrees"
+        | Fault_plan.Link_down { round; _ } | Fault_plan.Link_up { round; _ }
+          ->
+            if obs <> [] then
+              rep.Report.f ~round:ev.Faulty.round ~check:"fault-ledger"
+                "a link event is never directly observed but observed_by is \
+                 non-empty";
+            if ev.Faulty.round <> round then
+              rep.Report.f ~round:ev.Faulty.round ~check:"fault-ledger"
+                "link event scheduled for round %d fired at round %d" round
+                ev.Faulty.round
+        | Fault_plan.Leave { node; round } ->
+            if ev.Faulty.round <> round then
+              rep.Report.f ~node ~round:ev.Faulty.round ~check:"fault-ledger"
+                "leave scheduled for round %d fired at round %d" round
+                ev.Faulty.round;
+            if obs <> [] && obs <> [ node ] then
+              rep.Report.f ~node ~round ~check:"fault-ledger"
+                "a leave is observed by at most the departing node itself"
+        | Fault_plan.Join { node; round; _ }
+        | Fault_plan.Retag { node; round; _ } ->
+            if ev.Faulty.round <> round then
+              rep.Report.f ~node ~round:ev.Faulty.round ~check:"fault-ledger"
+                "join/retag scheduled for round %d fired at round %d" round
+                ev.Faulty.round;
+            if obs <> [ node ] then
+              rep.Report.f ~node ~round ~check:"fault-ledger"
+                "a join/retag is observed by exactly the affected node"
         | Fault_plan.Drop _ | Fault_plan.Noise _ | Fault_plan.Jitter _ -> ())
       fo.Faulty.ledger;
+    Array.iteri
+      (fun v r ->
+        if
+          r >= 0
+          && not
+               (List.exists
+                  (fun f ->
+                    match f with
+                    | Fault_plan.Leave { node; _ } -> node = v
+                    | _ -> false)
+                  plan)
+        then
+          rep.Report.f ~node:v ~round:r ~check:"fault-ledger"
+            "departed_at records a departure the plan never schedules")
+      fo.Faulty.departed_at;
     Array.iteri
       (fun v r ->
         if r >= 0 then begin
@@ -632,6 +678,11 @@ let faulty_trace (fo : Faulty.outcome) =
 let validate_faulty ?protocol (fo : Faulty.outcome) =
   if Fault_plan.is_empty fo.Faulty.plan && fo.Faulty.ledger = [] then
     validate ?protocol fo.Faulty.base
+  else if Fault_plan.has_topology fo.Faulty.plan then
+    (* Every other check recomputes semantics against the static graph and
+       the original tags; under topology events only the ledger's internal
+       consistency is checkable without re-simulating the churn. *)
+    ledger_consistency fo
   else
     ledger_consistency fo
     @ structural_with ~crashed:fo.Faulty.crashed_at fo.Faulty.base

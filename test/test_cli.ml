@@ -244,6 +244,54 @@ let test_resilience_cli () =
       let code, _ = anorad ("resilience " ^ Filename.quote cfg) in
       check_int "infeasible exit 1" 1 code)
 
+let test_churn_cli () =
+  with_family "h" 2 (fun cfg ->
+      (* Scripted flaps: the leader leaves and rejoins; the supervisor
+         re-elects and the whole report replays byte-for-byte. *)
+      with_plan
+        "faults\nlink-down 0 1 6\nlink-up 0 1 10\nleave 0 20\njoin 0 26 1\n"
+        (fun plan ->
+          let run () =
+            anorad
+              (Printf.sprintf "churn %s --plan %s --horizon 48"
+                 (Filename.quote cfg) (Filename.quote plan))
+          in
+          let code, out = run () in
+          check_int "re-elects exit 0" 0 code;
+          check "schedule echoed" true (contains out "schedule (4 events)");
+          check "epoch lines" true (contains out "epoch 4 @ round 26");
+          check "summary" true (contains out "final leader 0");
+          let code2, out2 = run () in
+          check_int "replay exit" 0 code2;
+          check "byte-identical replay" true (String.equal out out2));
+      (* Seeded schedules are a pure function of the seed. *)
+      let seeded () =
+        anorad
+          (Printf.sprintf
+             "churn %s --horizon 60 --link-flaps 1 --node-flaps 1 --seed 7"
+             (Filename.quote cfg))
+      in
+      let code, out = seeded () in
+      check_int "seeded exit" 0 code;
+      let _, out2 = seeded () in
+      check "seeded deterministic" true (String.equal out out2);
+      (* The differential oracle through the pool: byte-identical at any
+         jobs level. *)
+      let oracle jobs =
+        anorad
+          (Printf.sprintf "churn %s --oracle 3 --jobs %d" (Filename.quote cfg)
+             jobs)
+      in
+      let code1, o1 = oracle 1 in
+      let code2, o2 = oracle 2 in
+      check_int "oracle jobs 1 exit" 0 code1;
+      check_int "oracle jobs 2 exit" 0 code2;
+      check "oracle agrees" true (contains o1 "0 mismatches");
+      check "oracle parallel = sequential" true (String.equal o1 o2);
+      (* Degenerate horizon is a usage error, not a crash. *)
+      let code, _ = anorad (Printf.sprintf "churn %s --horizon 0" (Filename.quote cfg)) in
+      check_int "bad horizon exit 2" 2 code)
+
 let test_check_trace_plan_cli () =
   with_family "h" 2 (fun cfg ->
       (* Without faults the pristine invariants hold... *)
@@ -592,6 +640,7 @@ let () =
           Alcotest.test_case "faults --supervise" `Quick
             test_faults_supervise_cli;
           Alcotest.test_case "resilience" `Quick test_resilience_cli;
+          Alcotest.test_case "churn" `Quick test_churn_cli;
           Alcotest.test_case "check-trace --plan" `Quick
             test_check_trace_plan_cli;
         ] );

@@ -1,0 +1,210 @@
+(* Tests for the incremental classifier (lib/core/incremental.ml): the
+   differential oracle against Fast_classifier over randomized edit
+   sequences, byte-equality of oracle reports at jobs 1/2/4, feasibility
+   flips in both directions, and the label-reuse economics. *)
+
+module G = Radio_graph.Graph
+module Config = Radio_config.Config
+module I = Election.Incremental
+module FC = Election.Fast_classifier
+module Pool = Radio_exec.Pool
+
+let path_config n tags = Config.create (G.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))) tags
+
+let check_against_scratch st =
+  match (I.current st, I.run st) with
+  | None, None -> true
+  | Some c, Some r -> I.runs_equal r (FC.classify c)
+  | _ -> false
+
+(* --- single edits ------------------------------------------------- *)
+
+let test_add_edge_matches_scratch () =
+  (* P4 with tags 0 1 0 1: add a chord, verdicts must track scratch. *)
+  let st = I.init (path_config 4 [| 0; 1; 0; 1 |]) in
+  let st = I.apply st (I.Add_edge (0, 3)) in
+  Alcotest.(check bool) "agrees with scratch" true (check_against_scratch st);
+  let st = I.apply st (I.Remove_edge (1, 2)) in
+  Alcotest.(check bool) "agrees after removal" true (check_against_scratch st)
+
+let test_set_tag_matches_scratch () =
+  let st = I.init (path_config 5 [| 0; 0; 0; 0; 0 |]) in
+  let st = I.apply st (I.Set_tag (2, 3)) in
+  Alcotest.(check bool) "agrees with scratch" true (check_against_scratch st);
+  (* span change: every label recomputed, still bit-identical *)
+  let st = I.apply st (I.Set_tag (4, 9)) in
+  Alcotest.(check bool) "agrees after span change" true (check_against_scratch st)
+
+let test_feasibility_flips_both_ways () =
+  (* Uniform-tag path of even length is infeasible (fully symmetric);
+     retagging one endpoint breaks the symmetry, and restoring the tag
+     restores infeasibility.  The incremental run must flip with it —
+     the refinement restart is what makes the merge direction sound. *)
+  let st = I.init (path_config 4 [| 0; 0; 0; 0 |]) in
+  Alcotest.(check bool) "symmetric start infeasible" false (I.feasible st);
+  let st = I.apply st (I.Set_tag (0, 1)) in
+  Alcotest.(check bool) "tag break feasible" true (I.feasible st);
+  Alcotest.(check bool) "matches scratch (to feasible)" true
+    (check_against_scratch st);
+  let st = I.apply st (I.Set_tag (0, 0)) in
+  Alcotest.(check bool) "symmetry restored infeasible" false (I.feasible st);
+  Alcotest.(check bool) "matches scratch (to infeasible)" true
+    (check_against_scratch st)
+
+let test_edge_flip_both_ways () =
+  (* C4 with alternating tags is infeasible; removing one edge makes a
+     tagged path that is feasible; adding it back must merge the split
+     classes again. *)
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let st = I.init (Config.create g [| 0; 1; 0; 1 |]) in
+  let before = I.feasible st in
+  let st' = I.apply st (I.Remove_edge (3, 0)) in
+  Alcotest.(check bool) "removal matches scratch" true
+    (check_against_scratch st');
+  let st'' = I.apply st' (I.Add_edge (3, 0)) in
+  Alcotest.(check bool) "re-adding matches scratch" true
+    (check_against_scratch st'');
+  Alcotest.(check bool) "verdict restored" before (I.feasible st'');
+  Alcotest.(check bool) "removal changed verdict" true
+    (I.feasible st' <> before)
+
+let test_leave_join_roundtrip () =
+  let st = I.init (path_config 5 [| 0; 2; 1; 0; 3 |]) in
+  let st = I.apply st (I.Leave 2) in
+  Alcotest.(check int) "live count" 4 (I.live st);
+  Alcotest.(check bool) "agrees after leave" true (check_against_scratch st);
+  Alcotest.(check bool) "leave is a rebuild" true (I.last st).I.rebuilt;
+  let st = I.apply st (I.Join (2, 7)) in
+  Alcotest.(check int) "live count restored" 5 (I.live st);
+  Alcotest.(check bool) "agrees after join" true (check_against_scratch st)
+
+let test_absent_node_edits_are_noops () =
+  let st = I.init (path_config 4 [| 0; 1; 2; 3 |]) in
+  let st = I.apply st (I.Leave 3) in
+  let r_before = I.run st in
+  let st = I.apply st (I.Set_tag (3, 9)) in
+  let st = I.apply st (I.Remove_edge (2, 3)) in
+  Alcotest.(check bool) "induced run untouched" true
+    (match (r_before, I.run st) with
+    | Some a, Some b -> I.runs_equal a b
+    | _ -> false);
+  Alcotest.(check int) "no labels computed" 0 (I.last st).I.labels_computed;
+  (* the edits still took effect on the universe: rejoining sees them *)
+  let st = I.apply st (I.Join (3, 9)) in
+  Alcotest.(check bool) "agrees after rejoin" true (check_against_scratch st)
+
+let test_invalid_edits_rejected () =
+  let st = I.init (path_config 4 [| 0; 1; 0; 1 |]) in
+  let rejects e =
+    match I.apply st e with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "existing edge" true (rejects (I.Add_edge (0, 1)));
+  Alcotest.(check bool) "self loop" true (rejects (I.Add_edge (2, 2)));
+  Alcotest.(check bool) "missing edge" true (rejects (I.Remove_edge (0, 2)));
+  Alcotest.(check bool) "negative tag" true (rejects (I.Set_tag (1, -1)));
+  Alcotest.(check bool) "out of range" true (rejects (I.Leave 9));
+  Alcotest.(check bool) "join present" true (rejects (I.Join (1, 0)))
+
+(* --- label reuse -------------------------------------------------- *)
+
+let test_single_edit_reuses_labels () =
+  (* A local edit on a 64-node path must reuse far more labels than it
+     recomputes: this is the deterministic counter behind the speedup
+     column in BENCH_churn.json. *)
+  let n = 64 in
+  let tags = Array.init n (fun i -> i * 31 mod 17) in
+  let st = I.init (path_config n tags) in
+  (* span-preserving retag: the span σ appears in every label slot, so a
+     span-changing edit legitimately recomputes everything *)
+  let st = I.apply st (I.Set_tag (n / 2, 3)) in
+  let d = I.last st in
+  Alcotest.(check bool) "not a rebuild" false d.I.rebuilt;
+  Alcotest.(check bool) "reuses majority of labels" true
+    (d.I.labels_reused > 4 * d.I.labels_computed);
+  Alcotest.(check bool) "still agrees with scratch" true
+    (check_against_scratch st)
+
+let test_leader_in_universe_ids () =
+  let st = I.init (path_config 4 [| 2; 0; 0; 3 |]) in
+  let scratch = FC.classify (path_config 4 [| 2; 0; 0; 3 |]) in
+  let expected = Election.Classifier.canonical_leader scratch in
+  Alcotest.(check (option int)) "leader matches scratch" expected (I.leader st);
+  (* after node 0 leaves, leaders are reported as universe ids *)
+  let st = I.apply st (I.Leave 0) in
+  match I.leader st with
+  | None -> ()
+  | Some l ->
+      Alcotest.(check bool) "leader is a present universe node" true
+        (I.present st l)
+
+(* --- the differential oracle -------------------------------------- *)
+
+let report_to_string r = Format.asprintf "%a" I.Oracle.pp r
+
+let test_oracle_10k_edits () =
+  (* >= 10k randomized edits across the four start families. *)
+  let r = I.Oracle.run ~sequences:64 ~edits_per_sequence:160 ~seed:0x1CE () in
+  Alcotest.(check int) "edits run" (64 * 160) r.I.Oracle.edits;
+  Alcotest.(check bool) "at least 10k edits" true (r.I.Oracle.edits >= 10_000);
+  Alcotest.(check int) "no mismatches" 0 (List.length r.I.Oracle.mismatches);
+  Alcotest.(check bool) "flips to feasible exercised" true
+    (r.I.Oracle.flips_to_feasible > 0);
+  Alcotest.(check bool) "flips to infeasible exercised" true
+    (r.I.Oracle.flips_to_infeasible > 0);
+  Alcotest.(check bool) "labels reused" true (r.I.Oracle.reused > 0)
+
+let test_oracle_jobs_byte_equal () =
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        I.Oracle.run ~pool ~sequences:24 ~edits_per_sequence:40 ~seed:42 ())
+  in
+  let r1 = report_to_string (run 1) in
+  let r2 = report_to_string (run 2) in
+  let r4 = report_to_string (run 4) in
+  Alcotest.(check string) "jobs 1 = jobs 2" r1 r2;
+  Alcotest.(check string) "jobs 1 = jobs 4" r1 r4
+
+let test_oracle_deterministic () =
+  let r1 = report_to_string (I.Oracle.run ~sequences:8 ~edits_per_sequence:30 ~seed:7 ()) in
+  let r2 = report_to_string (I.Oracle.run ~sequences:8 ~edits_per_sequence:30 ~seed:7 ()) in
+  Alcotest.(check string) "same seed, same report" r1 r2
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "edits",
+        [
+          Alcotest.test_case "add/remove edge matches scratch" `Quick
+            test_add_edge_matches_scratch;
+          Alcotest.test_case "set-tag matches scratch" `Quick
+            test_set_tag_matches_scratch;
+          Alcotest.test_case "feasibility flips both ways (tags)" `Quick
+            test_feasibility_flips_both_ways;
+          Alcotest.test_case "feasibility flips both ways (edges)" `Quick
+            test_edge_flip_both_ways;
+          Alcotest.test_case "leave/join roundtrip" `Quick
+            test_leave_join_roundtrip;
+          Alcotest.test_case "absent-node edits are no-ops" `Quick
+            test_absent_node_edits_are_noops;
+          Alcotest.test_case "invalid edits rejected" `Quick
+            test_invalid_edits_rejected;
+        ] );
+      ( "economics",
+        [
+          Alcotest.test_case "single edit reuses labels at n=64" `Quick
+            test_single_edit_reuses_labels;
+          Alcotest.test_case "leader reported in universe ids" `Quick
+            test_leader_in_universe_ids;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "10k+ randomized edits vs fast_classifier" `Slow
+            test_oracle_10k_edits;
+          Alcotest.test_case "byte-equal reports at jobs 1/2/4" `Quick
+            test_oracle_jobs_byte_equal;
+          Alcotest.test_case "report deterministic" `Quick
+            test_oracle_deterministic;
+        ] );
+    ]

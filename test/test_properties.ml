@@ -559,6 +559,89 @@ let prop_faulty_outcomes_validate =
       Radio_lint.Report.ok
         (Radio_lint.Invariants.validate_faulty ~protocol:proto fo))
 
+(* P28 (text-format hardening): every nested crash schedule prefix,
+   combined with sampled topology events, survives serialization exactly —
+   and re-feeding the text with any line duplicated is a positioned parse
+   error, not a silent dedup. *)
+let prop_nested_topology_roundtrip =
+  QCheck.Test.make ~name:"nested crash + topology plans roundtrip" ~count:100
+    gen_config (fun params ->
+      let _, _, _, seed = params in
+      let config = build params in
+      let n = C.size config in
+      QCheck.assume (n >= 2);
+      let horizon = (3 * (n + C.span config)) + 5 in
+      let sched = FP.crash_schedule ~seed ~horizon config in
+      let topo =
+        FP.sample ~seed:(seed + 13) ~link_flaps:2 ~node_flaps:1 ~retags:2
+          ~horizon config
+      in
+      List.for_all
+        (fun k ->
+          let crashes =
+            List.filteri (fun i _ -> i < k) sched
+            |> List.map (fun (node, round) -> FP.Crash { node; round })
+          in
+          let plan = FP.normalize (crashes @ topo) in
+          let s = FP.to_string plan in
+          let roundtrips = FP.of_string s = plan in
+          let duplicate_rejected =
+            (* re-append the last fault line: must be a positioned error *)
+            match
+              List.filter
+                (fun l -> String.trim l <> "" && String.trim l <> "faults")
+                (String.split_on_char '\n' s)
+            with
+            | [] -> true
+            | lines -> (
+                let last = List.nth lines (List.length lines - 1) in
+                match FP.of_string (s ^ last ^ "\n") with
+                | exception Failure msg ->
+                    (* names the offending 1-based line *)
+                    let expected =
+                      Printf.sprintf "line %d" (List.length lines + 2)
+                    in
+                    let rec mem i =
+                      i + String.length expected <= String.length msg
+                      && (String.sub msg i (String.length expected) = expected
+                         || mem (i + 1))
+                    in
+                    mem 0
+                | _ -> false)
+          in
+          roundtrips && duplicate_rejected)
+        (List.init (n + 1) Fun.id))
+
+(* P29: runs under topology churn (link flaps, leaves/joins, retags mixed
+   with crashes and drops) replay deterministically, and their outcomes
+   satisfy the reduced perturbed-model invariants. *)
+let prop_churn_replay_deterministic =
+  QCheck.Test.make ~name:"topology-churn runs replay deterministically"
+    ~count:100 gen_config (fun params ->
+      let _, _, _, seed = params in
+      let config = build params in
+      let n = C.size config in
+      QCheck.assume (n >= 2);
+      let horizon = (3 * (n + C.span config)) + 5 in
+      let plan =
+        FP.normalize
+          (FP.sample ~seed:(seed + 3) ~crashes:1 ~drops:2 ~link_flaps:2
+             ~node_flaps:1 ~retags:1 ~horizon config)
+      in
+      let cplan = Can.plan_of_run (Cl.classify config) in
+      let proto = Can.protocol cplan in
+      let go () =
+        FE.run ~max_rounds:3_000_000 ~record_trace:true plan proto config
+      in
+      let o1 = go () in
+      let o2 = go () in
+      FE.outcome_equal o1.FE.base o2.FE.base
+      && o1.FE.ledger = o2.FE.ledger
+      && o1.FE.crashed_at = o2.FE.crashed_at
+      && o1.FE.departed_at = o2.FE.departed_at
+      && Radio_lint.Report.ok
+           (Radio_lint.Invariants.validate_faulty ~protocol:proto o1))
+
 let () =
   Alcotest.run "properties"
     [
@@ -600,5 +683,7 @@ let () =
             prop_empty_plan_identity;
             prop_faulty_replay_deterministic;
             prop_faulty_outcomes_validate;
+            prop_nested_topology_roundtrip;
+            prop_churn_replay_deterministic;
           ] );
     ]
