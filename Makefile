@@ -70,6 +70,17 @@ mc-smoke:
 	    --protocol mutant-greedy-decision > /dev/null; \
 	  [ $$? -eq 1 ] || status=1; \
 	fi; \
+	if [ $$status -eq 0 ]; then \
+	  par=$$(mktemp); \
+	  $(DUNE) exec bin/anorad.exe -- mc $$tmp \
+	    --explore --faults 1 --depth 6 --jobs 1 > $$sarif && \
+	  $(DUNE) exec bin/anorad.exe -- mc $$tmp \
+	    --explore --faults 1 --depth 6 --jobs 2 > $$par && \
+	  cmp -s $$sarif $$par || { \
+	    echo "mc-smoke: parallel explore differs from sequential"; \
+	    status=1; }; \
+	  rm -f $$par; \
+	fi; \
 	rm -f $$tmp $$sarif; exit $$status
 
 # Parallel determinism end to end: the same sweep at --jobs 1 and --jobs 2

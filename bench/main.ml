@@ -896,80 +896,140 @@ let e18 () =
 let e19 () =
   section "E19  Model checker: exploration throughput and symmetry reduction";
   let module Checker = Radio_mc.Checker in
-  let depth = 10 and states = 120_000 in
+  let states = 2_000_000 in
   let table =
     Table.create
       ~title:
         (Printf.sprintf
-           "Universal-mode BFS, crash adversary k=1 (depth %d, cap %d \
-            states)"
-           depth states)
+           "Universal-mode BFS, crash adversary k=1 (cap %d packed states)"
+           states)
       ~columns:
         [
           "config";
           "n";
+          "depth";
           "group";
           "states";
           "peak frontier";
           "states/s";
+          "visited MB";
           "full states";
           "saved";
         ]
   in
   let json_rows = ref [] in
+  let emit_row ~name ~n ~depth ~jobs ~t (s : Checker.stats) ~full_states
+      ~saved ~conclusive =
+    let rate = float_of_int s.Checker.states_explored /. Float.max t 1e-9 in
+    json_rows :=
+      Printf.sprintf
+        "    {\"name\": %S, \"n\": %d, \"faults\": 1, \"depth\": %d, \
+         \"state_cap\": %d, \"jobs\": %d, \"automorphisms\": %d, \
+         \"states_explored\": %d, \"states_raw\": %d, \"peak_frontier\": \
+         %d, \"canonicalizations\": %d, \"peak_visited_bytes\": %d, \
+         \"conclusive\": %b, \"seconds\": %.6f, \"states_per_sec\": %.1f, \
+         \"states_no_reduction\": %d, \"reduction_saving\": %.4f}"
+        name n depth states jobs s.Checker.automorphisms
+        s.Checker.states_explored s.Checker.states_raw
+        s.Checker.peak_frontier s.Checker.canonicalizations
+        s.Checker.visited_bytes conclusive t rate full_states saved
+      :: !json_rows;
+    rate
+  in
   List.iter
-    (fun (name, config) ->
-      let run ~reduction =
-        Checker.explore ~depth ~states ~reduction ~faults:1 config
+    (fun (name, depth, config) ->
+      let run ?pool ~reduction () =
+        Checker.explore ~depth ~states ~reduction ~faults:1 ?pool config
       in
-      let reduced = run ~reduction:true in
-      let t = Sweep.repeat_timed 3 (fun () -> ignore (run ~reduction:true)) in
-      let full = run ~reduction:false in
+      let reduced = run ~reduction:true () in
+      let t =
+        Sweep.repeat_timed 3 (fun () -> ignore (run ~reduction:true ()))
+      in
+      let full = run ~reduction:false () in
       let s = reduced.Checker.stats in
       let sf = full.Checker.stats in
-      let rate =
-        float_of_int s.Checker.states_explored /. Float.max t 1e-9
+      let conclusive =
+        match reduced.Checker.exhausted with
+        | Some `States -> false
+        | None | Some `Depth -> true
       in
+      (* The hot-path contract: the single-probe visited set canonicalizes
+         each raw successor exactly once (plus the initial state) — the
+         old path canonicalized on every dedup probe too. *)
+      if conclusive then
+        assert (s.Checker.canonicalizations = s.Checker.states_raw + 1);
       let saved =
         1.0
         -. float_of_int s.Checker.states_explored
            /. float_of_int (max sf.Checker.states_explored 1)
       in
+      let rate =
+        emit_row ~name ~n:(C.size config) ~depth ~jobs:1 ~t s
+          ~full_states:sf.Checker.states_explored ~saved ~conclusive
+      in
       Table.add_row table
         [
           name;
           string_of_int (C.size config);
+          string_of_int depth;
           string_of_int s.Checker.automorphisms;
           string_of_int s.Checker.states_explored;
           string_of_int s.Checker.peak_frontier;
           Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.1f"
+            (float_of_int s.Checker.visited_bytes /. 1048576.0);
           string_of_int sf.Checker.states_explored;
           Printf.sprintf "%.1f%%" (100.0 *. saved);
         ];
-      json_rows :=
-        Printf.sprintf
-          "    {\"name\": %S, \"n\": %d, \"faults\": 1, \"depth\": %d, \
-           \"state_cap\": %d, \"automorphisms\": %d, \"states_explored\": \
-           %d, \"states_raw\": %d, \"peak_frontier\": %d, \"seconds\": \
-           %.6f, \"states_per_sec\": %.1f, \"states_no_reduction\": %d, \
-           \"reduction_saving\": %.4f}"
-          name (C.size config) depth states s.Checker.automorphisms
-          s.Checker.states_explored s.Checker.states_raw
-          s.Checker.peak_frontier t rate sf.Checker.states_explored saved
-        :: !json_rows)
+      (* Parallel frontier expansion on the big rows: identical stats at
+         every job count (the wave-determinism contract), throughput per
+         pool size recorded alongside.  On a single-core host the extra
+         domains only add scheduling overhead — host_cores in the JSON
+         says which regime a row was measured in. *)
+      if s.Checker.states_explored >= 100_000 then
+        List.iter
+          (fun jobs ->
+            Radio_exec.Pool.with_pool ~jobs (fun pool ->
+                let e = run ~pool ~reduction:true () in
+                let tp =
+                  Sweep.repeat_timed 3 (fun () ->
+                      ignore (run ~pool ~reduction:true ()))
+                in
+                let sp = e.Checker.stats in
+                assert (
+                  sp.Checker.states_explored = s.Checker.states_explored
+                  && sp.Checker.states_raw = s.Checker.states_raw
+                  && sp.Checker.peak_frontier = s.Checker.peak_frontier
+                  && sp.Checker.canonicalizations
+                     = s.Checker.canonicalizations
+                  && sp.Checker.visited_bytes = s.Checker.visited_bytes);
+                ignore
+                  (emit_row ~name ~n:(C.size config) ~depth ~jobs ~t:tp sp
+                     ~full_states:sf.Checker.states_explored ~saved
+                     ~conclusive)))
+          [ 2; 4 ])
     [
-      ("cycle4", C.uniform (Radio_graph.Gen.cycle 4) 0);
-      ("cycle5", C.uniform (Radio_graph.Gen.cycle 5) 0);
-      ("cycle6", C.uniform (Radio_graph.Gen.cycle 6) 0);
-      (* Feasible, staggered tags: the frontier genuinely explodes here, so
-         this row is the honest throughput measurement (it runs into the
-         state cap by design). *)
-      ("H_2", F.h_family 2);
+      ("cycle4", 10, C.uniform (Radio_graph.Gen.cycle 4) 0);
+      ("cycle5", 10, C.uniform (Radio_graph.Gen.cycle 5) 0);
+      ("cycle6", 10, C.uniform (Radio_graph.Gen.cycle 6) 0);
+      (* Feasible, staggered tags: the frontier genuinely explodes here.
+         Under the old 120k cap this row always tripped; the packed
+         visited set runs it to conclusion (~850k states at depth 8). *)
+      ("H_2", 8, F.h_family 2);
+      (* n = 6 feasible ring (one tag flipped): conclusive at ~420k
+         states — the scale the boxed hashtable path could not reach. *)
+      ("ring6_broken", 6, C.create (Radio_graph.Gen.cycle 6)
+         [| 0; 1; 0; 1; 1; 1 |]);
     ];
   Table.print table;
   let json =
-    "{\n  \"experiment\": \"E19\",\n  \"kernel\": \
-     \"Radio_mc.Checker.explore\",\n  \"workloads\": [\n"
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E19\",\n\
+      \  \"kernel\": \"Radio_mc.Checker.explore\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"workloads\": [\n"
+      (Domain.recommended_domain_count ())
     ^ String.concat ",\n" (List.rev !json_rows)
     ^ "\n  ]\n}\n"
   in
@@ -979,7 +1039,9 @@ let e19 () =
     "wrote BENCH_mc.json\n\
      On uniform cycles every tag-preserving rotation/reflection survives,\n\
      so the quotient collapses the crash adversary's choice of victim -\n\
-     the reduction column is the visited-set saving it buys.\n"
+     the reduction column is the visited-set saving it buys.  Conclusive\n\
+     rows verified canonicalizations = states_raw + 1 (one quotient map\n\
+     per successor); parallel rows verified bit-identical to jobs 1.\n"
 
 (* ------------------------------------------------------------------ *)
 (* E20 - lib/exec: domain-pool sweeps, sequential vs parallel          *)

@@ -730,10 +730,14 @@ let mc_cmd =
     Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"N" ~doc)
   in
   let states_arg =
-    let doc = "State budget (default 200000): interned history keys in \
-               protocol mode, visited canonical states in $(b,--explore) \
-               mode." in
-    Arg.(value & opt (some int) None & info [ "states" ] ~docv:"N" ~doc)
+    let doc = "State budget: interned history keys in protocol mode \
+               (default 200000), visited canonical states in \
+               $(b,--explore) mode (default 2000000 — states live \
+               bit-packed in an unboxed arena, so millions are cheap)." in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "states"; "state-cap" ] ~docv:"N" ~doc)
   in
   let protocol_arg =
     let doc =
@@ -793,7 +797,10 @@ let mc_cmd =
       "states: %d explored (%d raw), peak frontier %d, depth reached %d, %d \
        history keys, automorphism group %d"
       s.Checker.states_explored s.Checker.states_raw s.Checker.peak_frontier
-      s.Checker.depth_reached s.Checker.distinct_keys s.Checker.automorphisms
+      s.Checker.depth_reached s.Checker.distinct_keys s.Checker.automorphisms;
+    if s.Checker.visited_bytes > 0 then
+      Format.fprintf ppf ", %d canonicalizations, visited set %d bytes"
+        s.Checker.canonicalizations s.Checker.visited_bytes
   in
   let write_sarif sarif results =
     match sarif with
@@ -834,10 +841,34 @@ let mc_cmd =
     write_sarif sarif results;
     if Oracle.consistent report then 0 else 1
   in
-  let run_explore config depth states faults reduction =
-    let exploration =
-      Checker.explore ?depth ?states ~reduction ~faults config
+  let run_explore config depth states faults reduction jobs =
+    (* Liveness and timing on stderr only: stdout must stay
+       byte-comparable across runs and across --jobs levels
+       (make mc-smoke diffs it). *)
+    let t0 = Unix.gettimeofday () in
+    let ticked = ref false in
+    let progress ~round ~frontier ~explored ~bytes =
+      ticked := true;
+      Printf.eprintf
+        "\rmc explore: round %d, frontier %d, visited %d (%.1f MB)   %!"
+        round frontier explored
+        (float_of_int bytes /. 1_048_576.)
     in
+    let exploration =
+      with_jobs_pool jobs (fun pool ->
+          Checker.explore ?depth ?states ~reduction ~faults ~pool ~progress
+            config)
+    in
+    if !ticked then prerr_newline ();
+    let st = exploration.Checker.stats in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.eprintf
+      "mc explore: %d states (%d raw) in %.3f s — %.0f states/s, visited \
+       set peak %.1f MB\n\
+       %!"
+      st.Checker.states_explored st.Checker.states_raw dt
+      (float_of_int st.Checker.states_raw /. Float.max dt 1e-9)
+      (float_of_int st.Checker.visited_bytes /. 1_048_576.);
     (match exploration.Checker.separated_at with
     | Some r ->
         Format.printf
@@ -849,11 +880,6 @@ let mc_cmd =
           "no separation: no explored state distinguishes any node (the \
            symmetric core of infeasibility)@.");
     Format.printf "%a@." pp_stats exploration.Checker.stats;
-    (match exploration.Checker.exhausted with
-    | None -> ()
-    | Some b ->
-        Format.printf "budget exhausted: %s@."
-          (match b with `Depth -> "depth" | `States -> "states"));
     (* A found separation answers the universal question affirmatively no
        matter which budget stopped the search.  Reaching the depth bound
        is the normal end of a bounded exploration (histories grow every
@@ -865,8 +891,16 @@ let mc_cmd =
       (exploration.Checker.separated_at, exploration.Checker.exhausted)
     with
     | Some _, _ -> 0
-    | None, Some `States -> 2
-    | None, (None | Some `Depth) -> 0
+    | None, Some `States ->
+        Format.printf
+          "inconclusive: state cap (%d states) hit before depth was \
+           exhausted — raise --state-cap@."
+          (match states with Some s -> s | None -> 2_000_000);
+        2
+    | None, (None | Some `Depth) ->
+        Format.printf "conclusive at depth %d: no separation is reachable@."
+          (st.Checker.depth_reached + 1);
+        0
   in
   let run_check config path machine depth states replay sarif =
     let res = Checker.verify ?depth ?states ~machine config in
@@ -922,7 +956,7 @@ let mc_cmd =
         | Some path -> (
             let config = load_config path in
             if explore then
-              run_explore config depth states faults (not no_reduction)
+              run_explore config depth states faults (not no_reduction) jobs
             else
               match Radio_mc.Machine.of_name config protocol with
               | Some machine ->
@@ -960,10 +994,11 @@ let mc_cmd =
            printed (and the finding written to --sarif).";
       Cmd.Exit.info 2
         ~doc:
-          "usage error, or a budget exhausted before a verdict (for \
-           $(b,--explore) a fully explored depth bound without separation \
-           is a conclusive exit 0; only the state cap tripping first is \
-           inconclusive).";
+          "usage error, or a budget exhausted before a verdict.  \
+           $(b,--explore) distinguishes the two budgets: a fully explored \
+           depth bound without separation prints 'conclusive at depth d' \
+           and exits 0; the state cap tripping first prints \
+           'inconclusive: state cap' and exits 2.";
     ]
   in
   let man =

@@ -7,6 +7,8 @@ module Classifier = Election.Classifier
 module Fast_classifier = Election.Fast_classifier
 module Canonical = Election.Canonical
 module Symmetry = Election.Symmetry
+module Pool = Radio_exec.Pool
+module Interner = Radio_exec.Intern
 
 type budget =
   [ `Depth
@@ -20,6 +22,8 @@ type stats = {
   depth_reached : int;
   distinct_keys : int;
   automorphisms : int;
+  canonicalizations : int;
+  visited_bytes : int;
 }
 
 type violation =
@@ -187,6 +191,8 @@ let check ?depth ?(states = 200_000) ~machine config =
         depth_reached = !rounds;
         distinct_keys = State.Intern.size intern;
         automorphisms = 1;
+        canonicalizations = 0;
+        visited_bytes = 0;
       };
   }
 
@@ -299,133 +305,256 @@ let separated (s : State.t) =
   let rec outer v = v < n && (unique v || outer (v + 1)) in
   outer 0
 
-let explore ?(depth = 24) ?(states = 200_000) ?(reduction = true) ?(faults = 0)
-    config =
+(* Int-coded receive events for the universal explorer.  The boxed
+   {!State.event} carries its message as a string — an allocation per
+   reception.  Universal-mode messages are always the sender's class key,
+   so an int payload suffices; the constructor map to
+   [E_silence]/[E_message]/[E_collision] is a bijection, so the interned
+   key space (and with it every state count) is unchanged. *)
+type uevent =
+  | Uev_silence
+  | Uev_msg of int
+  | Uev_noise
+
+(* A successor as generated on a worker.  Slot ids come straight from the
+   interner view — non-negative global ids or negative provisional ones —
+   so the terminated/crashed sign convention of {!State.t} cannot be
+   applied yet: a provisional id's own sign would be ambiguous.  The sign
+   bit travels out-of-band in the [udead] mask and is applied at commit,
+   after ids resolve. *)
+type usucc = {
+  uslots : int array;  (* unsigned interner ids; 0 = asleep *)
+  udead : int;  (* bitmask: node terminated or crashed *)
+  uspent : int;  (* crash budget spent *)
+}
+
+(* Frontier waves: each BFS level is expanded in slices of this many
+   entries — generate the whole slice (in parallel when a pool is given),
+   then commit it in submission order.  The size is a constant, never
+   derived from the worker count, so wave boundaries — and with them
+   interning order, cap trips and every stat — are identical at every
+   [--jobs] level.  Sized so one wave's generated successors stay within
+   the workers' minor heaps: a generated wave is held alive until its
+   commit, so an over-sized wave would promote every successor record to
+   the major heap and hand the parallel path a GC bill the sequential
+   path never pays. *)
+let wave_entries = 2_048
+
+let explore ?(depth = 24) ?(states = 2_000_000) ?(reduction = true)
+    ?(faults = 0) ?pool ?progress config =
   let config = normalize config in
   let g = C.graph config in
   let n = C.size config in
   if n = 0 then invalid_arg "Checker.explore: empty configuration";
+  if n > 62 then invalid_arg "Checker.explore: crash mask supports n <= 62";
   let autos = if reduction then Symmetry.automorphisms config else [] in
   let max_tag = Array.fold_left (fun a t -> if t > a then t else a) 0 (C.tags config) in
   (* Spontaneous wake-ups are spent after [max_tag]: beyond it the
      transition relation is round-invariant and states may be merged
      across rounds. *)
   let round_class r = if r > max_tag then max_tag + 1 else r in
-  let intern = State.Intern.create () in
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
-  let explored = ref 0 in
+  let intern : (int * uevent) Interner.t = Interner.create ~first:1 () in
+  let visited = Visited.create ~slots:n () in
   let raw = ref 0 in
+  let canonicalizations = ref 0 in
   let peak = ref 0 in
   let depth_seen = ref 0 in
   let separated_at = ref None in
   let exhausted = ref None in
-  let step cur ~round ~transmitting =
-    let is_tx v = cur.(v) > 0 && List.mem cur.(v) transmitting in
-    let tx = Array.init n (fun v -> if is_tx v then Some (string_of_int cur.(v)) else None) in
-    Array.init n (fun v ->
-        if cur.(v) > 0 then begin
-          let event =
-            if is_tx v then State.E_silence
-            else
-              match senders_of g tx v with
-              | [] -> State.E_silence
-              | [ m ] -> State.E_message m
-              | _ -> State.E_collision
-          in
-          State.Intern.get intern cur.(v) event
-        end
-        else if cur.(v) < 0 then cur.(v) (* crashed: frozen *)
-        else
-          match senders_of g tx v with
-          | [ m ] -> State.Intern.get intern 0 (State.E_message m)
-          | _ ->
-              if C.tag config v = round then
-                State.Intern.get intern 0 State.E_silence
-              else 0)
+  (* All successors of one frontier entry, in deterministic order: per
+     transmitting subset the base successor, then (with crash budget
+     left) one crash variant per awake node, ascending.  [geti] is the
+     interner — the global table on the sequential path, a task-local
+     view on workers.  Crash variants share the base slot array: they
+     differ only in the mask, and slots are never mutated after
+     generation. *)
+  let expand_entry geti round (cur : State.t) spent =
+    let acc = ref [] in
+    List.iter
+      (fun transmitting ->
+        let tx =
+          Array.init n (fun v ->
+              if cur.(v) > 0 && List.mem cur.(v) transmitting then
+                Some cur.(v)
+              else None)
+        in
+        let slots = Array.make n 0 in
+        let dead = ref 0 in
+        for v = 0 to n - 1 do
+          let k = cur.(v) in
+          if k > 0 then begin
+            let event =
+              match tx.(v) with
+              | Some _ -> Uev_silence (* transmitters hear nothing *)
+              | None -> (
+                  match senders_of g tx v with
+                  | [] -> Uev_silence
+                  | [ m ] -> Uev_msg m
+                  | _ -> Uev_noise)
+            in
+            slots.(v) <- geti (k, event)
+          end
+          else if k < 0 then begin
+            slots.(v) <- -k;
+            (* crashed: frozen *)
+            dead := !dead lor (1 lsl v)
+          end
+          else
+            match senders_of g tx v with
+            | [ m ] -> slots.(v) <- geti (0, Uev_msg m)
+            | _ ->
+                if C.tag config v = round then
+                  slots.(v) <- geti (0, Uev_silence)
+        done;
+        acc := { uslots = slots; udead = !dead; uspent = spent } :: !acc;
+        (* Crash adversary: after the round's exchanges, any single awake
+           node may die (key frozen, negated).  Crashing automorphic
+           twins yields automorphic sibling states — the case the
+           symmetry quotient collapses. *)
+        if spent < faults then
+          for v = 0 to n - 1 do
+            if slots.(v) <> 0 && !dead land (1 lsl v) = 0 then
+              acc :=
+                {
+                  uslots = slots;
+                  udead = !dead lor (1 lsl v);
+                  uspent = spent + 1;
+                }
+                :: !acc
+          done)
+      (subsets (distinct_awake_keys cur));
+    Array.of_list (List.rev !acc)
   in
-  (* Frontier entries carry the crash budget already spent: two states that
-     agree node-wise but differ in remaining faults have different
-     futures. *)
+  let next = ref [] in
+  (* Frontier entries carry the crash budget already spent: two states
+     that agree node-wise but differ in remaining faults have different
+     futures.  One canonicalization and one visited-set probe per
+     successor: [Visited.add] packs, probes and inserts in a single pass
+     (the old path canonicalized, built an encoding string, then probed
+     twice — mem, then replace). *)
   let visit ~round ~spent s =
-    if !explored >= states then begin
+    if Visited.size visited >= states then
       (* Enforced per insertion, not per BFS level: one wide level could
          otherwise overshoot the budget by orders of magnitude. *)
-      exhausted := Some `States;
-      None
-    end
+      exhausted := Some `States
     else begin
       let canon = State.canonicalize autos s in
-      let enc =
-        string_of_int spent ^ ":"
-        ^ State.encode ~round_class:(round_class round) canon
-      in
-      if Hashtbl.mem visited enc then None
-      else begin
-        Hashtbl.replace visited enc ();
-        incr explored;
-        Some canon
-      end
+      incr canonicalizations;
+      if Visited.add visited ~round_class:(round_class round) ~spent canon
+      then next := (canon, spent) :: !next
     end
   in
-  let rec bfs round frontier =
-    match frontier with
-    | [] -> ()
-    | _ when round >= depth -> exhausted := Some `Depth
-    | _ when !explored > states -> exhausted := Some `States
-    | frontier ->
-        depth_seen := round;
-        if List.length frontier > !peak then peak := List.length frontier;
-        let next = ref [] in
-        let push ~spent s =
+  (* Commit one entry's generated successors on the orchestrating domain:
+     resolve slot ids, apply the sign mask, then run the exact sequential
+     bookkeeping — raw count, separation check at the current round,
+     visited insertion at the next. *)
+  let commit_entry resolve round succs =
+    if Visited.size visited >= states then exhausted := Some `States
+    else
+      Array.iter
+        (fun { uslots; udead; uspent } ->
+          let s = Array.make n 0 in
+          for v = 0 to n - 1 do
+            let id = resolve uslots.(v) in
+            s.(v) <- (if udead land (1 lsl v) <> 0 then -id else id)
+          done;
           incr raw;
           if separated s && Option.is_none !separated_at then
             separated_at := Some round;
-          match visit ~round:(round + 1) ~spent s with
-          | Some canon -> next := (canon, spent) :: !next
-          | None -> ()
-        in
-        List.iter
-          (fun (cur, spent) ->
-            if !explored >= states then exhausted := Some `States
-            else
-            List.iter
-              (fun transmitting ->
-                let s = step cur ~round ~transmitting in
-                push ~spent s;
-                (* Crash adversary: after the round's exchanges, any single
-                   awake node may die (key frozen, negated).  Crashing
-                   automorphic twins yields automorphic sibling states —
-                   the case the symmetry quotient collapses. *)
-                if spent < faults then
-                  for v = 0 to n - 1 do
-                    if s.(v) > 0 then begin
-                      let s' = Array.copy s in
-                      s'.(v) <- -s'.(v);
-                      push ~spent:(spent + 1) s'
-                    end
-                  done)
-              (subsets (distinct_awake_keys cur)))
-          frontier;
-        bfs (round + 1) !next
+          visit ~round:(round + 1) ~spent:uspent s)
+        succs
   in
-  let initial = State.initial n in
-  (match visit ~round:0 ~spent:0 initial with
-  | Some canon -> bfs 0 [ (canon, 0) ]
-  (* radiolint: allow assert-false — the visited set starts empty, so the
-     initial state is always fresh. *)
-  | None -> assert false);
+  let seq_wave round entries =
+    Array.iter
+      (fun (cur, spent) ->
+        commit_entry
+          (fun id -> id)
+          round
+          (expand_entry (Interner.get intern) round cur spent))
+      entries
+  in
+  (* Parallel generation: one contiguous chunk per worker, one interner
+     view per chunk.  Keys are [(parent, event)] pairs over the frontier's
+     final ids, so no provisional id is ever embedded in a key and the
+     commit remap is the identity — only successor slots need resolving.
+     Chunk logs replay in submission order, so ids (and everything
+     downstream of them) are bit-identical to the sequential path. *)
+  let par_wave p round entries =
+    let chunks =
+      Pool.map_chunked p
+        ~f:(fun part ->
+          let view = Interner.local intern in
+          let geti k = Interner.get_local view k in
+          ( view,
+            Array.map (fun (cur, spent) -> expand_entry geti round cur spent)
+              part ))
+        entries
+    in
+    Array.iter
+      (fun (view, per_entry) ->
+        let resolve = Interner.commit intern ~remap:(fun _ k -> k) view in
+        Array.iter (fun succs -> commit_entry resolve round succs) per_entry)
+      chunks
+  in
+  let report round flen =
+    match progress with
+    | None -> ()
+    | Some f ->
+        f ~round ~frontier:flen ~explored:(Visited.size visited)
+          ~bytes:(Visited.memory_bytes visited)
+  in
+  let rec level round frontier =
+    let flen = Array.length frontier in
+    if flen = 0 then ()
+    else if round >= depth then exhausted := Some `Depth
+    else begin
+      depth_seen := round;
+      if flen > !peak then peak := flen;
+      next := [];
+      let pos = ref 0 in
+      while !pos < flen do
+        if Visited.size visited >= states then begin
+          (* Every remaining entry would be skipped by the per-entry cap
+             check; record the trip without generating their
+             successors. *)
+          exhausted := Some `States;
+          pos := flen
+        end
+        else begin
+          let wlen = Int.min wave_entries (flen - !pos) in
+          let entries = Array.sub frontier !pos wlen in
+          (match pool with
+          | Some p when Pool.jobs p > 1 && wlen >= Pool.min_parallel_batch ->
+              par_wave p round entries
+          | _ -> seq_wave round entries);
+          pos := !pos + wlen;
+          report round flen
+        end
+      done;
+      let nf = Array.of_list (List.rev !next) in
+      next := [];
+      level (round + 1) nf
+    end
+  in
+  next := [];
+  visit ~round:0 ~spent:0 (State.initial n);
+  let f0 = Array.of_list (List.rev !next) in
+  next := [];
+  level 0 f0;
   {
     config;
     separated_at = !separated_at;
     exhausted = !exhausted;
     stats =
       {
-        states_explored = !explored;
+        states_explored = Visited.size visited;
         states_raw = !raw;
         peak_frontier = !peak;
         depth_reached = !depth_seen;
-        distinct_keys = State.Intern.size intern;
+        distinct_keys = Interner.size intern;
         automorphisms = (match autos with [] -> 1 | l -> List.length l);
+        canonicalizations = !canonicalizations;
+        visited_bytes = Visited.memory_bytes visited;
       };
   }
 

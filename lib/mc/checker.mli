@@ -35,6 +35,15 @@ type stats = {
   depth_reached : int;  (** last round expanded *)
   distinct_keys : int;  (** interned history keys *)
   automorphisms : int;  (** group size used for the quotient (1 = none) *)
+  canonicalizations : int;
+      (** [State.canonicalize] calls — exactly [states_raw + 1] (one per
+          raw successor plus the initial state) on runs that do not trip
+          the state cap: the single-probe visited set never canonicalizes
+          a state twice (protocol mode: 0) *)
+  visited_bytes : int;
+      (** visited-set footprint, offset table plus packed-code arena; the
+          structure only grows, so the final value is the peak
+          (protocol mode: 0) *)
 }
 
 type violation =
@@ -125,10 +134,22 @@ val explore :
   ?states:int ->
   ?reduction:bool ->
   ?faults:int ->
+  ?pool:Radio_exec.Pool.t ->
+  ?progress:(round:int -> frontier:int -> explored:int -> bytes:int -> unit) ->
   Radio_config.Config.t ->
   exploration
 (** Universal-mode frontier BFS ([depth] default [24], [states] default
-    [200_000], [reduction] default on, [faults] default [0]).
+    [2_000_000], [reduction] default on, [faults] default [0]).
+
+    States live bit-packed ({!State.Packed}) in an open-addressing
+    {!Visited} set — the GC never traces them — so the default cap is
+    millions, not the old [200_000].  Passing [pool] parallelizes frontier
+    expansion: each level is cut into constant-size waves, a wave is
+    generated across the pool's workers (one {!Radio_exec.Intern} view per
+    chunk) and committed in submission order, so [separated_at],
+    [exhausted] and every [stats] field are bit-identical at every job
+    count — including [jobs = 1] and no pool at all.  [progress] is
+    called on the orchestrating domain after each committed wave.
 
     With [faults = 0] the quotient is provably the identity: nodes with
     equal histories act in lockstep, so every reachable state is invariant

@@ -137,6 +137,71 @@ let canonicalize autos (s : t) : t =
           if compare_states cand best < 0 then cand else best)
         s autos
 
+(* Bit-packed state codes.  The explorer's visited set stores millions of
+   states, so the per-state key must be compact and allocation-free on the
+   hot path: a code is a run of LEB128 varints — round class, crash budget
+   spent, then one zigzag-mapped varint per node slot — written straight
+   into a caller-supplied byte buffer (the visited set's arena).  Small
+   keys (the common case: slot magnitudes follow the interner's dense
+   first-seen ids) pack to one byte per node. *)
+module Packed = struct
+  let zigzag k = (k lsl 1) lxor (k asr (Sys.int_size - 1))
+  let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+  let max_bytes ~n = 10 * (n + 2)
+
+  let write_varint buf pos u =
+    let pos = ref pos in
+    let u = ref u in
+    while !u land lnot 0x7f <> 0 do
+      Bytes.unsafe_set buf !pos (Char.unsafe_chr (0x80 lor (!u land 0x7f)));
+      incr pos;
+      u := !u lsr 7
+    done;
+    Bytes.unsafe_set buf !pos (Char.unsafe_chr !u);
+    !pos + 1
+
+  let read_varint buf pos =
+    let pos = ref pos in
+    let shift = ref 0 in
+    let u = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let b = Char.code (Bytes.unsafe_get buf !pos) in
+      incr pos;
+      u := !u lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      continue := b land 0x80 <> 0
+    done;
+    (!u, !pos)
+
+  let write buf ~pos ~round_class ~spent (s : t) =
+    let pos = write_varint buf pos round_class in
+    let pos = write_varint buf pos spent in
+    let pos = ref pos in
+    for v = 0 to Array.length s - 1 do
+      pos := write_varint buf !pos (zigzag (Array.unsafe_get s v))
+    done;
+    !pos
+
+  let pack ~round_class ~spent (s : t) =
+    let buf = Bytes.create (max_bytes ~n:(Array.length s)) in
+    let len = write buf ~pos:0 ~round_class ~spent s in
+    Bytes.sub buf 0 len
+
+  let unpack ~n code =
+    let round_class, pos = read_varint code 0 in
+    let spent, pos = read_varint code pos in
+    let s = Array.make n 0 in
+    let pos = ref pos in
+    for v = 0 to n - 1 do
+      let u, pos' = read_varint code !pos in
+      s.(v) <- unzigzag u;
+      pos := pos'
+    done;
+    (round_class, spent, s)
+end
+
 let classes (s : t) =
   let n = Array.length s in
   let seen = Array.make n false in

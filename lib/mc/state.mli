@@ -96,6 +96,35 @@ val canonicalize : int array list -> t -> t
     tag-preserving automorphisms ({!Symmetry.automorphisms}).  Keys need no
     renaming because they are content-pure. *)
 
+(** Bit-packed state codes: the compact key format of the explorer's
+    visited set ({!Visited}).  A code is a run of LEB128 varints — round
+    class, crash budget spent, then one zigzag-mapped varint per slot — so
+    two states pack to equal codes exactly when [round_class], [spent] and
+    every slot agree, the same separation the legacy {!encode} string
+    drew.  [write] emits straight into a caller-supplied buffer, making
+    the visited set's hot path allocation-free. *)
+module Packed : sig
+  val max_bytes : n:int -> int
+  (** Upper bound on the code length of any [n]-slot state. *)
+
+  val write : Bytes.t -> pos:int -> round_class:int -> spent:int -> t -> int
+  (** [write buf ~pos ~round_class ~spent s] writes the code at [pos] and
+      returns the end position.  The buffer must have at least
+      [max_bytes ~n] bytes of room after [pos]. *)
+
+  val pack : round_class:int -> spent:int -> t -> Bytes.t
+  (** Fresh exactly-sized code (the allocating convenience form). *)
+
+  val unpack : n:int -> Bytes.t -> int * int * t
+  (** [(round_class, spent, state)] back out of a code produced for an
+      [n]-slot state: the roundtrip inverse of {!pack}. *)
+
+  val zigzag : int -> int
+  val unzigzag : int -> int
+  (** The slot mapping ([0, -1, 1, -2, ...] to [0, 1, 2, 3, ...]): signed
+      slots (terminated nodes are negative) to small unsigned varints. *)
+end
+
 val classes : t -> int list list
 (** Partition of nodes by equal slot value (asleep nodes together, awake or
     terminated nodes by history key), classes ordered by smallest member,

@@ -115,6 +115,18 @@ let test_jobs_cli () =
   check_int "oracle jobs 1 exit" 0 code_seq;
   check_int "oracle jobs 2 exit" 0 code_par;
   check "oracle parallel = sequential" true (String.equal out_seq out_par);
+  with_family "h" 2 (fun path ->
+      let explore jobs =
+        anorad
+          (Printf.sprintf "mc %s --explore --faults 1 --depth 6 --jobs %d"
+             (Filename.quote path) jobs)
+      in
+      let code_seq, out_seq = explore 1 in
+      let code_par, out_par = explore 2 in
+      check_int "explore jobs 1 exit" 0 code_seq;
+      check_int "explore jobs 2 exit" 0 code_par;
+      check "explore parallel = sequential" true
+        (String.equal out_seq out_par));
   let code, out = anorad "census --help=plain" in
   check_int "census help exit" 0 code;
   check "census documents --jobs" true (contains out "--jobs");
@@ -598,7 +610,19 @@ let test_mc_explore_and_oracle () =
         anorad ("mc " ^ Filename.quote path ^ " --explore --depth 8")
       in
       check_int "explore exit" 0 code;
-      check "no separation on infeasible" true (contains out "no separation"));
+      check "no separation on infeasible" true (contains out "no separation");
+      check "depth exhaustion is conclusive" true
+        (contains out "conclusive at depth 8");
+      check "footprint reported" true (contains out "visited set");
+      (* A tripped state cap is a different, non-conclusive verdict. *)
+      let code, out =
+        anorad
+          ("mc " ^ Filename.quote path
+         ^ " --explore --depth 8 --state-cap 20")
+      in
+      check_int "cap trip exit 2" 2 code;
+      check "cap trip named" true (contains out "inconclusive: state cap");
+      check "remedy suggested" true (contains out "raise --state-cap"));
   with_family "h" 1 (fun path ->
       let code, out =
         anorad ("mc " ^ Filename.quote path ^ " --explore --depth 12")

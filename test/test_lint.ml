@@ -923,6 +923,54 @@ let effect_escape_tests =
             ]
         in
         Alcotest.(check int) "no findings" 0 (List.length findings));
+    Alcotest.test_case "map_chunked is a submit site" `Quick (fun () ->
+        (* The explorer's parallel frontier expands waves through
+           [Pool.map_chunked]; a wave closure leaking into module state
+           must be caught like any other task. *)
+        let findings =
+          effect_escapes
+            [
+              ( "lib/mc/foo.ml",
+                "let tally = Hashtbl.create 16\n\
+                 let go pool waves =\n\
+                \  Radio_exec.Pool.map_chunked pool\n\
+                \    ~f:(fun part -> Hashtbl.replace tally part part; part)\n\
+                \    waves\n" );
+            ]
+        in
+        match find_escape "Foo.go" findings with
+        | None -> Alcotest.fail "Foo.go should be reported"
+        | Some f ->
+            Alcotest.(check string)
+              "class" "SharedMut"
+              (Effects.cls_name f.Effects.cls);
+            Alcotest.(check string) "source" "Foo.tally" f.Effects.source;
+            Alcotest.(check int) "submit line" 3 f.Effects.submit_line);
+    Alcotest.test_case "frontier wave over intern views stays clean" `Quick
+      (fun () ->
+        (* The shape checker.ml actually submits: each chunk builds a
+           local Intern view, interns successor keys into it and hands the
+           view back for the caller's in-order commit — LocalMut only. *)
+        let findings =
+          effect_escapes
+            [
+              ( "lib/exec/intern.ml",
+                "let table = Hashtbl.create 16\n\
+                 let local t = Hashtbl.copy t\n\
+                 let get_local v k = Hashtbl.replace v k k; k\n\
+                 let commit t v = Hashtbl.length v\n" );
+              ( "lib/mc/wave.ml",
+                "let expand geti x = Array.init 4 (fun i -> geti (x + i))\n\
+                 let go pool intern waves =\n\
+                \  Radio_exec.Pool.map_chunked pool\n\
+                \    ~f:(fun part ->\n\
+                \      let view = Intern.local intern in\n\
+                \      (view, Array.map (expand (Intern.get_local view)) \
+                 part))\n\
+                \    waves\n" );
+            ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length findings));
     Alcotest.test_case "worst class wins across task references" `Quick
       (fun () ->
         let findings =

@@ -218,7 +218,151 @@ let mutant_tests =
              (Lint.validate ~protocol:healthy rp.Checker.outcome)));
   ]
 
+(* --- Packed codes and the compact visited set ------------------------ *)
+
+module Visited = Radio_mc.Visited
+module Pool = Radio_exec.Pool
+
+(* The oracle's exhaustive universe, rebuilt: every connected graph on
+   [n <= 4] nodes (up to isomorphism) crossed with every tag census of
+   span [<= 2]. *)
+let small_configs () =
+  List.concat_map
+    (fun n ->
+      let tagss = Election.Census.tag_assignments ~n ~max_span:2 in
+      List.concat_map
+        (fun g -> List.map (fun tags -> C.create g (Array.copy tags)) tagss)
+        (Radio_graph.Enumerate.connected_up_to_iso n))
+    [ 1; 2; 3; 4 ]
+
+(* Deterministic slot material covering every sign/magnitude shape a
+   reachable state can hold (asleep, small running keys, terminated
+   negatives, multi-byte varint keys). *)
+let slot_pool = [| 0; 1; 2; -1; -2; 5; -7; 300; -300; 40_000 |]
+
+let synth_state ~n i =
+  Array.init n (fun v -> slot_pool.((i * 7 + v * 3 + (i / 11)) mod 10))
+
+let packed_tests =
+  [
+    Alcotest.test_case "zigzag is the standard bijection" `Quick (fun () ->
+        let open State.Packed in
+        List.iter
+          (fun (signed, unsigned) ->
+            check_int "zigzag" unsigned (zigzag signed);
+            check_int "unzigzag" signed (unzigzag unsigned))
+          [ (0, 0); (-1, 1); (1, 2); (-2, 3); (2, 4); (123456, 246912) ];
+        List.iter
+          (fun k -> check_int "roundtrip" k (unzigzag (zigzag k)))
+          [ 0; 1; -1; 17; -17; 40_000; -40_000; max_int; min_int + 1 ]);
+    Alcotest.test_case "pack/unpack roundtrip" `Quick (fun () ->
+        for n = 1 to 6 do
+          for i = 0 to 199 do
+            let s = synth_state ~n i in
+            let round_class = i mod 3 and spent = i mod 2 in
+            let code = State.Packed.pack ~round_class ~spent s in
+            check "code within bound" true
+              (Bytes.length code <= State.Packed.max_bytes ~n);
+            let rc', spent', s' = State.Packed.unpack ~n code in
+            check_int "round class survives" round_class rc';
+            check_int "spent survives" spent spent';
+            check "slots survive" true (State.equal s s')
+          done
+        done);
+    Alcotest.test_case "write agrees with pack at any offset" `Quick
+      (fun () ->
+        let s = [| 3; 0; -5; 40_000 |] in
+        let code = State.Packed.pack ~round_class:2 ~spent:1 s in
+        let buf = Bytes.make (16 + State.Packed.max_bytes ~n:4) '\xff' in
+        let stop = State.Packed.write buf ~pos:16 ~round_class:2 ~spent:1 s in
+        check_int "length" (Bytes.length code) (stop - 16);
+        check "bytes equal" true
+          (Bytes.equal code (Bytes.sub buf 16 (Bytes.length code))));
+    Alcotest.test_case "visited set agrees with the legacy boxed path"
+      `Quick
+      (fun () ->
+        (* Differential test over the full n <= 4 configuration universe:
+           the packed open-addressing set must draw exactly the separations
+           the old [State.encode]-keyed hashtable drew, on canonicalized
+           states (pack after canonicalize = the legacy boxed key). *)
+        let configs = small_configs () in
+        check "universe rebuilt" true (List.length configs = 434);
+        List.iter
+          (fun config ->
+            let n = C.size config in
+            let autos = Sym.automorphisms config in
+            let visited = Visited.create ~bits:4 ~slots:n () in
+            let legacy = Hashtbl.create 64 in
+            for i = 0 to 99 do
+              let round_class = i mod 3 and spent = i mod 2 in
+              let canon = State.canonicalize autos (synth_state ~n i) in
+              let key =
+                Printf.sprintf "%d|%d|%s" round_class spent
+                  (State.encode ~round_class canon)
+              in
+              check "mem agrees before insert"
+                (Hashtbl.mem legacy key)
+                (Visited.mem visited ~round_class ~spent canon);
+              let fresh = Visited.add visited ~round_class ~spent canon in
+              check "add reports freshness" (not (Hashtbl.mem legacy key))
+                fresh;
+              Hashtbl.replace legacy key ();
+              check "mem sees the insert" true
+                (Visited.mem visited ~round_class ~spent canon)
+            done;
+            check_int "same cardinality" (Hashtbl.length legacy)
+              (Visited.size visited))
+          configs);
+    Alcotest.test_case "iter recovers every packed entry" `Quick (fun () ->
+        (* Push the set through several table doublings and arena growths,
+           then unpack everything back out. *)
+        let n = 3 in
+        let visited = Visited.create ~bits:4 ~slots:n () in
+        let reference = Hashtbl.create 64 in
+        for i = 0 to 9_999 do
+          let s = [| i - 5_000; (i * 17) - 80_000; i mod 7 |] in
+          let round_class = i mod 5 and spent = i mod 3 in
+          check "all fresh" true (Visited.add visited ~round_class ~spent s);
+          Hashtbl.replace reference
+            (Printf.sprintf "%d|%d|%s" round_class spent
+               (State.encode ~round_class s))
+            ()
+        done;
+        check_int "all held" 10_000 (Visited.size visited);
+        check "footprint reported" true (Visited.memory_bytes visited > 0);
+        let seen = ref 0 in
+        Visited.iter visited ~slots:n ~f:(fun ~round_class ~spent s ->
+            incr seen;
+            check "entry known" true
+              (Hashtbl.mem reference
+                 (Printf.sprintf "%d|%d|%s" round_class spent
+                    (State.encode ~round_class s))));
+        check_int "iter visits everything" 10_000 !seen);
+  ]
+
 (* --- Universal mode and the symmetry quotient ------------------------ *)
+
+let stats_equal (a : Checker.stats) (b : Checker.stats) =
+  a.Checker.states_explored = b.Checker.states_explored
+  && a.Checker.states_raw = b.Checker.states_raw
+  && a.Checker.peak_frontier = b.Checker.peak_frontier
+  && a.Checker.depth_reached = b.Checker.depth_reached
+  && a.Checker.distinct_keys = b.Checker.distinct_keys
+  && a.Checker.automorphisms = b.Checker.automorphisms
+  && a.Checker.canonicalizations = b.Checker.canonicalizations
+  && a.Checker.visited_bytes = b.Checker.visited_bytes
+
+let exploration_equal (a : Checker.exploration) (b : Checker.exploration) =
+  stats_equal a.Checker.stats b.Checker.stats
+  && (match (a.Checker.separated_at, b.Checker.separated_at) with
+     | None, None -> true
+     | Some x, Some y -> x = y
+     | _ -> false)
+  &&
+  match (a.Checker.exhausted, b.Checker.exhausted) with
+  | None, None | Some `Depth, Some `Depth | Some `States, Some `States ->
+      true
+  | _ -> false
 
 let explore_tests =
   [
@@ -267,6 +411,64 @@ let explore_tests =
           (match e.Checker.exhausted with
           | Some `States -> true
           | _ -> false));
+    Alcotest.test_case "parallel explore is bit-identical at any job count"
+      `Quick
+      (fun () ->
+        (* The determinism contract: constant-size waves, per-chunk intern
+           views committed in submission order — every stats field, the
+           separation round and the budget verdict must coincide between
+           the sequential path and every pool size. *)
+        let config = F.h_family 2 in
+        let base = Checker.explore ~depth:6 ~faults:1 config in
+        check "reference run separates" true
+          (Option.is_some base.Checker.separated_at);
+        check "reference run is parallel-sized" true
+          (base.Checker.stats.Checker.peak_frontier
+          >= Pool.min_parallel_batch);
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun pool ->
+                let e = Checker.explore ~depth:6 ~faults:1 ~pool config in
+                check
+                  (Printf.sprintf "identical exploration at jobs %d" jobs)
+                  true
+                  (exploration_equal base e)))
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "cap trip is bit-identical at any job count" `Quick
+      (fun () ->
+        (* The cap can trip mid-wave; wave boundaries are jobs-independent,
+           so where it trips (and every counter at that point) must not
+           depend on the pool. *)
+        let config = F.h_family 2 in
+        let base = Checker.explore ~depth:8 ~faults:1 ~states:5_000 config in
+        check "cap tripped" true
+          (match base.Checker.exhausted with
+          | Some `States -> true
+          | _ -> false);
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun pool ->
+                let e =
+                  Checker.explore ~depth:8 ~faults:1 ~states:5_000 ~pool
+                    config
+                in
+                check
+                  (Printf.sprintf "identical cap trip at jobs %d" jobs)
+                  true
+                  (exploration_equal base e)))
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "every raw successor canonicalizes exactly once"
+      `Quick
+      (fun () ->
+        (* The hot-path fix: one canonicalization per successor (plus the
+           initial state), with the single-probe visited set replacing the
+           old canonicalize -> encode -> mem -> add chain. *)
+        let e = Checker.explore ~depth:6 ~faults:1 (F.h_family 2) in
+        check_int "canonicalizations = raw + 1"
+          (e.Checker.stats.Checker.states_raw + 1)
+          e.Checker.stats.Checker.canonicalizations;
+        check "footprint recorded" true
+          (e.Checker.stats.Checker.visited_bytes > 0));
   ]
 
 (* --- Differential oracle --------------------------------------------- *)
@@ -294,6 +496,7 @@ let () =
       ("symmetry", symmetry_tests);
       ("verify", verify_tests);
       ("mutants", mutant_tests);
+      ("packed", packed_tests);
       ("explore", explore_tests);
       ("oracle", oracle_tests);
     ]

@@ -79,7 +79,10 @@ let pool_submit comps =
   match List.rev comps with
   | fn :: "Pool" :: _ ->
       List.mem fn
-        [ "run_batch"; "map"; "map_array"; "map_reduce"; "iter_batches" ]
+        [
+          "run_batch"; "map"; "map_array"; "map_reduce"; "iter_batches";
+          "map_chunked";
+        ]
   | _ -> false
 
 (* Every variable a binding pattern introduces, with its line. *)
