@@ -5,12 +5,12 @@
 
 DUNE ?= dune
 
-.PHONY: check build test lint lint-deep lint-effects lint-sarif fmt \
-  resilience-smoke mc-smoke par-smoke churn-smoke bench-churn \
-  bench-parallel clean
+.PHONY: check build test lint lint-deep lint-effects lint-ranges \
+  lint-partiality lint-sarif fmt resilience-smoke mc-smoke par-smoke \
+  churn-smoke bench-churn bench-parallel clean
 
-check: build test lint lint-deep lint-effects fmt resilience-smoke mc-smoke \
-  par-smoke churn-smoke
+check: build test lint lint-deep lint-effects lint-ranges lint-partiality \
+  fmt resilience-smoke mc-smoke par-smoke churn-smoke
 
 build:
 	$(DUNE) build
@@ -25,7 +25,7 @@ lint:
 # fails on any finding not grandfathered in .radiolint-baseline.
 lint-deep:
 	$(DUNE) exec tools/lint/radiolint.exe -- --deep \
-	  --baseline .radiolint-baseline lib
+	  --baseline .radiolint-baseline lib bin
 
 # Interprocedural effect-and-escape analysis on its own (lint-deep already
 # implies it): every Pool task closure must stay <= LocalMut on the effect
@@ -34,10 +34,24 @@ lint-effects:
 	$(DUNE) exec tools/lint/radiolint.exe -- --effects \
 	  --baseline .radiolint-baseline lib
 
+# Value-range abstract interpretation on its own (lint-deep already
+# implies it): overflow in shift/multiply chains, lossy truncations and
+# unguarded unsafe_get/unsafe_set indexes on the packed-state hot paths.
+lint-ranges:
+	$(DUNE) exec tools/lint/radiolint.exe -- --ranges \
+	  --baseline .radiolint-baseline lib
+
+# Exception-escape analysis on its own (lint-deep already implies it):
+# which exceptions reach each CLI entry in bin/ and each Pool task
+# closure unhandled.
+lint-partiality:
+	$(DUNE) exec tools/lint/radiolint.exe -- --partiality \
+	  --baseline .radiolint-baseline lib bin
+
 # SARIF 2.1.0 report for CI annotation viewers.
 lint-sarif:
 	$(DUNE) exec tools/lint/radiolint.exe -- --deep \
-	  --baseline .radiolint-baseline --sarif radiolint.sarif lib
+	  --baseline .radiolint-baseline --sarif radiolint.sarif lib bin
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

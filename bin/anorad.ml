@@ -497,6 +497,25 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "effects" ] ~doc)
   in
+  let ranges_arg =
+    let doc =
+      "Also run the value-range analysis: interval abstract interpretation \
+       over the packed-state hot paths (lib/mc/, lib/exec/) flagging \
+       possible overflow in shift/multiply chains, lossy truncation before \
+       a byte store, and unsafe indexing not dominated by a bounds guard, \
+       with interprocedural argument-range propagation.  Implied by \
+       $(b,--deep)."
+    in
+    Arg.(value & flag & info [ "ranges" ] ~doc)
+  in
+  let partiality_arg =
+    let doc =
+      "Also run the exception-escape analysis: compute which exceptions \
+       can escape each function and report them at CLI subcommand entries \
+       and Pool task closures.  Implied by $(b,--deep)."
+    in
+    Arg.(value & flag & info [ "partiality" ] ~doc)
+  in
   let sarif_arg =
     let doc = "Write a SARIF 2.1.0 report to $(docv) ('-' for stdout)." in
     Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
@@ -510,7 +529,7 @@ let lint_cmd =
     Arg.(
       value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
   in
-  let run paths deep effects sarif baseline =
+  let run paths deep effects ranges partiality sarif baseline =
     List.iter
       (fun root ->
         if not (Sys.file_exists root) then begin
@@ -518,7 +537,7 @@ let lint_cmd =
           exit 2
         end)
       paths;
-    let scan = D.scan ~deep ~effects paths in
+    let scan = D.scan ~deep ~effects ~ranges ~partiality paths in
     let scan, suppressed =
       match baseline with
       | None -> (scan, 0)
@@ -532,7 +551,8 @@ let lint_cmd =
             (Format.eprintf
                "anorad lint: warning: stale baseline entry (no matching \
                 finding): %s@.")
-            (D.stale_baseline ~deep ~effects ~baseline scan);
+            (D.stale_baseline ~deep ~effects ~ranges ~partiality ~baseline
+               scan);
           D.apply_baseline ~baseline scan
     in
     (match sarif with
@@ -564,7 +584,8 @@ let lint_cmd =
      Hashtbl iteration, physical equality, Obj.magic, toplevel mutable \
      state, catch-all handlers, assert false, missing .mli) with a textual \
      fallback for unparseable files, plus interprocedural effect escapes \
-     with $(b,--effects) and taint paths with $(b,--deep)"
+     with $(b,--effects), value ranges with $(b,--ranges), exception \
+     escapes with $(b,--partiality) and taint paths with $(b,--deep)"
   in
   let exits =
     [
@@ -591,8 +612,8 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc ~exits ~man)
     Term.(
-      const run $ paths_arg $ deep_arg $ effects_arg $ sarif_arg
-      $ baseline_arg)
+      const run $ paths_arg $ deep_arg $ effects_arg $ ranges_arg
+      $ partiality_arg $ sarif_arg $ baseline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* effects                                                             *)
@@ -835,6 +856,7 @@ let mc_cmd =
             line = 1;
             fingerprint = Format.asprintf "mc-oracle:%s" d.Oracle.detail;
             properties = [];
+            related = [];
           })
         report.Oracle.disagreements
     in
@@ -934,6 +956,7 @@ let mc_cmd =
               fingerprint =
                 Printf.sprintf "%s:%s" (Checker.violation_id v) path;
               properties = [];
+              related = [];
             };
           ];
         1

@@ -72,6 +72,9 @@ let run ?pool ?(max_n = 4) ?(max_span = 2) () =
        the report is byte-identical whatever the jobs level. *)
     match pool with
     | None -> List.map audit
+    (* radiolint: allow partiality -- audit only sees configurations the
+       enumerator itself produced, so the constructor preconditions hold;
+       a raise here is a census bug worth a loud crash *)
     | Some pool -> fun configs -> Radio_exec.Pool.map pool ~f:audit configs
   in
   let cells = ref [] in

@@ -215,6 +215,8 @@ let run_parallel pool ~chunk ~f ~commit xs =
   let chunk_done = Array.make nchunks false (* guarded by pool.mu *) in
   let task_of_chunk k : task =
    fun wid ->
+    (* radiolint: allow range-overflow -- k < nchunks, so the products
+       stay below n + chunk_len *)
     let lo = k * chunk_len and hi = min n ((k + 1) * chunk_len) in
     let t0 = now () in
     for i = lo to hi - 1 do
@@ -233,6 +235,8 @@ let run_parallel pool ~chunk ~f ~commit xs =
      first, so the in-order commit cursor starts moving immediately. *)
   let per = (nchunks + pool.njobs - 1) / pool.njobs in
   for w = 0 to pool.njobs - 1 do
+    (* radiolint: allow range-overflow -- w < njobs and per is the
+       per-worker chunk share, so the products stay below nchunks + per *)
     let lo = w * per and hi = min nchunks ((w + 1) * per) in
     let count = max 0 (hi - lo) in
     let d = pool.deques.(w) in
@@ -252,6 +256,8 @@ let run_parallel pool ~chunk ~f ~commit xs =
   let cursor = ref 0 (* next chunk to commit *) in
   let first_err = ref None in
   let commit_chunk k =
+    (* radiolint: allow range-overflow -- k < nchunks, the same bound as
+       task_of_chunk *)
     let lo = k * chunk_len and hi = min n ((k + 1) * chunk_len) in
     for i = lo to hi - 1 do
       match slots.(i) with

@@ -397,6 +397,8 @@ let explore ?(depth = 24) ?(states = 2_000_000) ?(reduction = true)
           else if k < 0 then begin
             slots.(v) <- -k;
             (* crashed: frozen *)
+            (* radiolint: allow range-overflow -- v < n and explore
+               rejects n > 62 up front, so the bit fits *)
             dead := !dead lor (1 lsl v)
           end
           else
@@ -413,10 +415,14 @@ let explore ?(depth = 24) ?(states = 2_000_000) ?(reduction = true)
            symmetry quotient collapses. *)
         if spent < faults then
           for v = 0 to n - 1 do
+            (* radiolint: allow range-overflow -- v < n <= 62 (guarded at
+               the top of explore), so the crash-mask bit fits *)
             if slots.(v) <> 0 && !dead land (1 lsl v) = 0 then
               acc :=
                 {
                   uslots = slots;
+                  (* radiolint: allow range-overflow -- same v < n <= 62
+                     bound as the test above *)
                   udead = !dead lor (1 lsl v);
                   uspent = spent + 1;
                 }
@@ -456,6 +462,8 @@ let explore ?(depth = 24) ?(states = 2_000_000) ?(reduction = true)
           let s = Array.make n 0 in
           for v = 0 to n - 1 do
             let id = resolve uslots.(v) in
+            (* radiolint: allow range-overflow -- v < n <= 62, the
+               explore-entry crash-mask bound *)
             s.(v) <- (if udead land (1 lsl v) <> 0 then -id else id)
           done;
           incr raw;

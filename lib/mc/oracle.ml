@@ -118,6 +118,9 @@ let run ?pool ?progress ?(max_n = 5) ?(max_span = 2) ?(replay = false) () =
   (match pool with
   | None -> List.iter (fun config -> commit (examine ~replay config)) configs
   | Some pool ->
+      (* radiolint: allow partiality -- examine replays configurations the
+         sweep already validated; an escape at the batch join signals a
+         replay-divergence bug that must abort the oracle run *)
       Radio_exec.Pool.run_batch pool
         ~f:(fun _ config -> examine ~replay config)
         ~commit:(fun _ one -> commit one)

@@ -145,20 +145,28 @@ let canonicalize autos (s : t) : t =
    keys (the common case: slot magnitudes follow the interner's dense
    first-seen ids) pack to one byte per node. *)
 module Packed = struct
+  (* radiolint: allow range-overflow -- zigzag wraps the top bit by
+     design; unzigzag inverts it exactly *)
   let zigzag k = (k lsl 1) lxor (k asr (Sys.int_size - 1))
   let unzigzag u = (u lsr 1) lxor (-(u land 1))
 
+  (* radiolint: allow range-overflow -- n is the node-slot count, tens at
+     most; the product cannot approach an int *)
   let max_bytes ~n = 10 * (n + 2)
 
   let write_varint buf pos u =
     let pos = ref pos in
     let u = ref u in
     while !u land lnot 0x7f <> 0 do
+      (* radiolint: allow range-index -- pos advances at most 10 bytes per
+         varint and callers size the buffer with max_bytes *)
       Bytes.unsafe_set buf !pos (Char.unsafe_chr (0x80 lor (!u land 0x7f)));
       incr pos;
       u := !u lsr 7
     done;
-    Bytes.unsafe_set buf !pos (Char.unsafe_chr !u);
+    (* radiolint: allow range-index -- terminator byte of the same bound;
+       the loop exit proves u <= 0x7f, so the mask is the identity *)
+    Bytes.unsafe_set buf !pos (Char.unsafe_chr (!u land 0x7f));
     !pos + 1
 
   let read_varint buf pos =
@@ -167,8 +175,13 @@ module Packed = struct
     let u = ref 0 in
     let continue = ref true in
     while !continue do
+      (* radiolint: allow range-index -- pos stays within the code: every
+         byte but the last has bit 7 set and codes end with a terminator
+         by construction *)
       let b = Char.code (Bytes.unsafe_get buf !pos) in
       incr pos;
+      (* radiolint: allow range-overflow -- shift grows by 7 up to 63 for
+         the at-most-10-byte varints write_varint emits *)
       u := !u lor ((b land 0x7f) lsl !shift);
       shift := !shift + 7;
       continue := b land 0x80 <> 0

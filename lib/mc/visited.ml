@@ -36,15 +36,21 @@ type t = {
 let entry_header = 2 (* little-endian code length *)
 
 let create ?(bits = 12) ~slots () =
-  let bits = if bits < 3 then 3 else bits in
+  let bits = if bits < 3 then 3 else if bits > 48 then 48 else bits in
   let capacity = 1 lsl bits in
+  let max_code = State.Packed.max_bytes ~n:slots in
+  (* The entry header stores the code length in two little-endian bytes;
+     reject state widths whose worst-case code could not round-trip
+     through it (cold path: once per explorer run). *)
+  if max_code > 0xffff then
+    invalid_arg "Visited.create: state width overflows the 2-byte entry header";
   {
     table = Array.make capacity 0;
     mask = capacity - 1;
     count = 0;
     arena = Bytes.create 4096;
     len = 0;
-    max_code = State.Packed.max_bytes ~n:slots;
+    max_code;
   }
 
 let size t = t.count
@@ -57,17 +63,26 @@ let memory_bytes t =
 let hash_range buf pos len =
   let h = ref 0x3bf29ce484222325 in
   for i = pos to pos + len - 1 do
+    (* radiolint: allow range-index range-overflow -- i spans the entry
+       the caller just wrote inside the arena, and the FNV prime multiply
+       wraps by design *)
     h := (!h lxor Char.code (Bytes.unsafe_get buf i)) * 0x100000001b3
   done;
   !h land max_int
 
 let code_len t off =
-  Char.code (Bytes.unsafe_get t.arena off)
-  lor (Char.code (Bytes.unsafe_get t.arena (off + 1)) lsl 8)
+  (* radiolint: allow range-index -- off is a published entry offset, so
+     entry_header + code bytes lie within the arena *)
+  let b0 = Char.code (Bytes.unsafe_get t.arena off) in
+  (* radiolint: allow range-index -- second header byte of the same entry *)
+  let b1 = Char.code (Bytes.unsafe_get t.arena (off + 1)) in
+  b0 lor (b1 lsl 8)
 
 let equal_range buf apos bpos len =
   let rec go i =
     i = len
+    (* radiolint: allow range-index -- i < len and both ranges were sized
+       by their writers inside the arena *)
     || Bytes.unsafe_get buf (apos + i) = Bytes.unsafe_get buf (bpos + i)
        && go (i + 1)
   in
@@ -83,6 +98,8 @@ let place table mask off hash =
   table.(!i) <- off + 1
 
 let grow_table t =
+  (* radiolint: allow range-overflow -- table doubling; capacity is at
+     most twice the entry count, far below an int *)
   let capacity = 2 * (t.mask + 1) in
   let table = Array.make capacity 0 in
   let mask = capacity - 1 in
@@ -99,6 +116,8 @@ let ensure_arena t need =
   if t.len + need > Bytes.length t.arena then begin
     let cap = ref (2 * Bytes.length t.arena) in
     while t.len + need > !cap do
+      (* radiolint: allow range-overflow -- arena doubling, bounded by
+         allocatable memory *)
       cap := 2 * !cap
     done;
     let arena = Bytes.create !cap in
@@ -131,7 +150,11 @@ let add t ~round_class ~spent s =
   done;
   if not !fresh then false (* duplicate: arena rolls back *)
   else begin
+    (* radiolint: allow range-index -- ensure_arena reserved
+       entry_header + max_code bytes past len *)
     Bytes.unsafe_set t.arena t.len (Char.unsafe_chr (len land 0xff));
+    (* radiolint: allow range-index range-truncation -- create rejects
+       widths whose max_bytes exceed 0xffff, so the high byte fits *)
     Bytes.unsafe_set t.arena (t.len + 1) (Char.unsafe_chr (len lsr 8));
     t.table.(!i) <- t.len + 1;
     t.len <- stop;

@@ -14,6 +14,8 @@ module Ast_lint = Radiolint_core.Ast_lint
 module Callgraph = Radiolint_core.Callgraph
 module Taint = Radiolint_core.Taint
 module Effects = Radiolint_core.Effects
+module Ranges = Radiolint_core.Ranges
+module Partiality = Radiolint_core.Partiality
 module Driver = Radiolint_core.Driver
 module G = Radio_graph.Graph
 module C = Radio_config.Config
@@ -992,6 +994,569 @@ let effect_escape_tests =
               (Effects.cls_name f.Effects.cls));
   ]
 
+
+(* ------------------------------------------------------------------ *)
+(* Value-range analysis (Ranges)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let asts_of sources =
+  List.filter_map
+    (fun (path, text) ->
+      match Ast_lint.parse ~path text with
+      | Ok ast -> Some (Rules.normalize path, ast)
+      | Error _ -> None)
+    sources
+
+let ranges_of sources =
+  Ranges.analyze (Callgraph.of_sources sources) ~asts:(asts_of sources)
+
+let range_rules sources =
+  List.map (fun f -> f.Ranges.rule_id) (ranges_of sources)
+
+let ranges_tests =
+  [
+    Alcotest.test_case "unbounded shift flags range-overflow" `Quick
+      (fun () ->
+        Alcotest.(check (list string))
+          "flagged" [ "range-overflow" ]
+          (range_rules [ ("lib/mc/fix.ml", "let mask v = 1 lsl v\n") ]));
+    Alcotest.test_case "caller narrowing silences the same shift" `Quick
+      (fun () ->
+        (* Interprocedural: every call site hands [mask] a small argument,
+           so the joined parameter interval proves the shift safe. *)
+        Alcotest.(check (list string))
+          "clean" []
+          (range_rules
+             [
+               ( "lib/mc/fix.ml",
+                 "let mask v = 1 lsl v\n\
+                  let use () = mask 3\n\
+                  let narrow v = mask (v land 0x7)\n" );
+             ]));
+    Alcotest.test_case "Char.chr of an unbounded value flags truncation"
+      `Quick (fun () ->
+        Alcotest.(check (list string))
+          "flagged" [ "range-truncation" ]
+          (range_rules [ ("lib/mc/fix.ml", "let b v = Char.chr v\n") ]));
+    Alcotest.test_case "masked Char.chr argument is clean" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "clean" []
+          (range_rules
+             [ ("lib/mc/fix.ml", "let b v = Char.chr (v land 0xff)\n") ]));
+    Alcotest.test_case "unguarded unsafe_get flags range-index" `Quick
+      (fun () ->
+        Alcotest.(check (list string))
+          "flagged" [ "range-index" ]
+          (range_rules
+             [ ("lib/mc/fix.ml", "let g b i = Bytes.unsafe_get b i\n") ]));
+    Alcotest.test_case "a dominating bounds guard silences unsafe_get"
+      `Quick (fun () ->
+        Alcotest.(check (list string))
+          "clean" []
+          (range_rules
+             [
+               ( "lib/mc/fix.ml",
+                 "let g b i =\n\
+                  \  if i >= 0 && i < Bytes.length b then\n\
+                  \    Some (Bytes.unsafe_get b i)\n\
+                  \  else None\n" );
+             ]));
+    Alcotest.test_case "for-loop bounds guard unsafe indexing" `Quick
+      (fun () ->
+        Alcotest.(check (list string))
+          "clean" []
+          (range_rules
+             [
+               ( "lib/mc/fix.ml",
+                 "let sum a =\n\
+                  \  let t = ref 0 in\n\
+                  \  for i = 0 to Array.length a - 1 do\n\
+                  \    t := !t + Array.unsafe_get a i\n\
+                  \  done;\n\
+                  \  !t\n" );
+             ]));
+    Alcotest.test_case "allow annotation is a barrier" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "suppressed" []
+          (range_rules
+             [
+               ( "lib/mc/fix.ml",
+                 "(* radiolint: allow range-overflow -- wraps by design *)\n\
+                  let mask v = 1 lsl v\n" );
+             ]));
+    Alcotest.test_case "files outside the hot paths are not checked" `Quick
+      (fun () ->
+        Alcotest.(check (list string))
+          "clean" []
+          (range_rules [ ("lib/core/fix.ml", "let mask v = 1 lsl v\n") ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exception-escape analysis (Partiality)                              *)
+(* ------------------------------------------------------------------ *)
+
+let partiality_of sources =
+  let cg = Callgraph.of_sources sources in
+  Partiality.findings (Partiality.analyze cg ~asts:(asts_of sources))
+
+let partiality_tests =
+  [
+    Alcotest.test_case "failwith escapes a CLI entry" `Quick (fun () ->
+        match
+          partiality_of
+            [
+              ( "bin/foo.ml",
+                "let boom () = failwith \"boom\"\n\
+                 let run_cmd () = boom ()\n" );
+            ]
+        with
+        | [ f ] ->
+            Alcotest.(check (list string))
+              "Failure reported" [ "Failure" ] f.Partiality.exns;
+            Alcotest.(check bool)
+              "anchored at the entry" true
+              (f.Partiality.func = "Foo.run_cmd")
+        | fs ->
+            Alcotest.failf "expected exactly one finding, got %d"
+              (List.length fs));
+    Alcotest.test_case "a try/with handler subtracts the exception" `Quick
+      (fun () ->
+        Alcotest.(check int)
+          "clean" 0
+          (List.length
+             (partiality_of
+                [
+                  ( "bin/foo.ml",
+                    "let boom () = failwith \"boom\"\n\
+                     let run_cmd () = try boom () with Failure _ -> ()\n" );
+                ])));
+    Alcotest.test_case "partial stdlib lookups are sources" `Quick (fun () ->
+        match
+          partiality_of
+            [ ("bin/foo.ml", "let find_cmd tbl = Hashtbl.find tbl 3\n") ]
+        with
+        | [ f ] ->
+            Alcotest.(check (list string))
+              "Not_found reported" [ "Not_found" ] f.Partiality.exns
+        | fs ->
+            Alcotest.failf "expected exactly one finding, got %d"
+              (List.length fs));
+    Alcotest.test_case "an exception reaching a Pool task closure is a \
+                        finding at the submit site" `Quick (fun () ->
+        match
+          partiality_of
+            [
+              ( "lib/exec/work.ml",
+                "let risky x = List.hd x\n\
+                 let run pool xs = Radio_exec.Pool.map pool ~f:risky xs\n" );
+            ]
+        with
+        | [ f ] ->
+            Alcotest.(check (list string))
+              "Failure reported" [ "Failure" ] f.Partiality.exns;
+            Alcotest.(check bool)
+              "task finding" true
+              (f.Partiality.kind = `Task);
+            Alcotest.(check int) "anchored at submit" 2 f.Partiality.line
+        | fs ->
+            Alcotest.failf "expected exactly one finding, got %d"
+              (List.length fs));
+    Alcotest.test_case "allow on the submit line suppresses the task \
+                        finding" `Quick (fun () ->
+        Alcotest.(check int)
+          "suppressed" 0
+          (List.length
+             (partiality_of
+                [
+                  ( "lib/exec/work.ml",
+                    "let risky x = List.hd x\n\
+                     (* radiolint: allow partiality -- crash wanted *)\n\
+                     let run pool xs = Radio_exec.Pool.map pool ~f:risky \
+                     xs\n" );
+                ])));
+    Alcotest.test_case "non-entry lib functions are not reported" `Quick
+      (fun () ->
+        Alcotest.(check int)
+          "clean" 0
+          (List.length
+             (partiality_of
+                [ ("lib/core/foo.ml", "let boom () = failwith \"x\"\n") ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: frozen pre-refactor cores vs the dataflow framework   *)
+(* ------------------------------------------------------------------ *)
+
+(* The taint and effect analyses were re-expressed as instances of the
+   generic dataflow framework (tools/lint/dataflow.ml).  The refactor
+   must be behavior-preserving, so these tests freeze the original
+   reverse-edge worklist cores — copied verbatim from the pre-refactor
+   taint.ml/effects.ml, reduced to string serialization — and assert
+   both engines produce identical findings (sinks, classes and full
+   witness chains) on fixtures and on the real lib/ tree. *)
+
+module Frozen = struct
+  let hop_repr name path line = Printf.sprintf "%s@%s:%d" name path line
+
+  type tcause = Prim of string * int | Tcall of string * int
+
+  let taint ?(checked = Rules.deterministic_boundary)
+      ?(exempt = Rules.random_allowed) cg =
+    let barrier (d : Callgraph.def) =
+      exempt d.Callgraph.def_path
+      || Callgraph.allowed cg ~path:d.Callgraph.def_path
+           ~line:d.Callgraph.def_line ~rule:Taint.rule
+    in
+    let tainted : (string, tcause) Hashtbl.t = Hashtbl.create 32 in
+    let callers : (string, Callgraph.def * int) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let queue = Queue.create () in
+    List.iter
+      (fun (d : Callgraph.def) ->
+        if not (barrier d) then begin
+          let top = Callgraph.module_name_of_path d.Callgraph.def_path in
+          List.iter
+            (fun { Callgraph.target; ref_line } ->
+              (match Taint.primitive target with
+              | Some p when not (Hashtbl.mem tainted d.Callgraph.key) ->
+                  Hashtbl.replace tainted d.Callgraph.key (Prim (p, ref_line));
+                  Queue.add d.Callgraph.key queue
+              | _ -> ());
+              match Taint.resolve cg ~top target with
+              | Some callee when callee <> d.Callgraph.key ->
+                  Hashtbl.add callers callee (d, ref_line)
+              | _ -> ())
+            d.Callgraph.refs
+        end)
+      (Callgraph.defs cg);
+    while not (Queue.is_empty queue) do
+      let callee = Queue.pop queue in
+      List.iter
+        (fun ((d : Callgraph.def), line) ->
+          if not (Hashtbl.mem tainted d.Callgraph.key) then begin
+            Hashtbl.replace tainted d.Callgraph.key (Tcall (callee, line));
+            Queue.add d.Callgraph.key queue
+          end)
+        (Hashtbl.find_all callers callee)
+    done;
+    let chain_of (d : Callgraph.def) =
+      let rec go (d : Callgraph.def) acc =
+        let hop =
+          hop_repr d.Callgraph.display d.Callgraph.def_path
+            d.Callgraph.def_line
+        in
+        match Hashtbl.find_opt tainted d.Callgraph.key with
+        | Some (Prim (p, line)) ->
+            ( List.rev
+                (hop_repr p d.Callgraph.def_path line :: hop :: acc),
+              p )
+        | Some (Tcall (callee, _)) -> (
+            match Callgraph.find cg callee with
+            | Some next -> go next (hop :: acc)
+            | None -> (List.rev (hop :: acc), "?"))
+        | None -> (List.rev (hop :: acc), "?")
+      in
+      go d []
+    in
+    Callgraph.defs cg
+    |> List.filter (fun (d : Callgraph.def) ->
+           checked d.Callgraph.def_path
+           && Hashtbl.mem tainted d.Callgraph.key)
+    |> List.map (fun (d : Callgraph.def) ->
+           let chain, sink = chain_of d in
+           Printf.sprintf "%s <- %s via %s" d.Callgraph.display sink
+             (String.concat " -> " chain))
+    |> List.sort compare
+
+  type ecause = Edirect of string * int | Ecall of string * int
+
+  let effects ?(exempt = Effects.intern_exempt) cg =
+    let barrier (d : Callgraph.def) =
+      exempt d.Callgraph.def_path
+      || Callgraph.allowed cg ~path:d.Callgraph.def_path
+           ~line:d.Callgraph.def_line ~rule:Effects.rule
+    in
+    let table : (string, Effects.cls * ecause) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let cls_of key =
+      match Hashtbl.find_opt table key with
+      | Some (c, _) -> c
+      | None -> Effects.Pure
+    in
+    let direct_of ~top (r : Callgraph.reference) =
+      if Effects.shared_primitive r.Callgraph.target then
+        Some
+          ( Effects.Shared_mut,
+            String.concat "." r.Callgraph.target,
+            r.Callgraph.ref_line )
+      else if Effects.io_primitive r.Callgraph.target then
+        Some
+          ( Effects.Io,
+            String.concat "." r.Callgraph.target,
+            r.Callgraph.ref_line )
+      else
+        match Taint.resolve cg ~top r.Callgraph.target with
+        | Some key when Callgraph.is_mutable cg key ->
+            let name =
+              match Callgraph.find cg key with
+              | Some d -> d.Callgraph.display
+              | None -> key
+            in
+            Some (Effects.Shared_mut, name, r.Callgraph.ref_line)
+        | _ ->
+            if Effects.mutation r.Callgraph.target then
+              Some
+                ( Effects.Local_mut,
+                  String.concat "." r.Callgraph.target,
+                  r.Callgraph.ref_line )
+            else None
+    in
+    let callers : (string, Callgraph.def * int) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let queue = Queue.create () in
+    let raise_to key c cause =
+      if Effects.rank c > Effects.rank (cls_of key) then begin
+        Hashtbl.replace table key (c, cause);
+        Queue.add key queue
+      end
+    in
+    List.iter
+      (fun (d : Callgraph.def) ->
+        if not (barrier d) then begin
+          let top = Callgraph.module_name_of_path d.Callgraph.def_path in
+          List.iter
+            (fun (r : Callgraph.reference) ->
+              (match direct_of ~top r with
+              | Some (c, name, line) ->
+                  raise_to d.Callgraph.key c (Edirect (name, line))
+              | None -> ());
+              match Taint.resolve cg ~top r.Callgraph.target with
+              | Some callee when callee <> d.Callgraph.key ->
+                  Hashtbl.add callers callee (d, r.Callgraph.ref_line)
+              | _ -> ())
+            d.Callgraph.refs;
+          List.iter
+            (fun line ->
+              raise_to d.Callgraph.key Effects.Local_mut
+                (Edirect ("<- (record field)", line)))
+            d.Callgraph.setfield_lines
+        end)
+      (Callgraph.defs cg);
+    while not (Queue.is_empty queue) do
+      let callee = Queue.pop queue in
+      let c = cls_of callee in
+      List.iter
+        (fun ((d : Callgraph.def), line) ->
+          raise_to d.Callgraph.key c (Ecall (callee, line)))
+        (Hashtbl.find_all callers callee)
+    done;
+    let chain_of (d : Callgraph.def) =
+      let rec go (d : Callgraph.def) acc seen =
+        let hop =
+          hop_repr d.Callgraph.display d.Callgraph.def_path
+            d.Callgraph.def_line
+        in
+        match Hashtbl.find_opt table d.Callgraph.key with
+        | Some (_, Edirect (name, line)) ->
+            ( List.rev
+                (hop_repr name d.Callgraph.def_path line :: hop :: acc),
+              name )
+        | Some (_, Ecall (callee, _)) when not (List.mem callee seen) -> (
+            match Callgraph.find cg callee with
+            | Some next -> go next (hop :: acc) (callee :: seen)
+            | None -> (List.rev (hop :: acc), "?"))
+        | _ -> (List.rev (hop :: acc), "?")
+      in
+      go d [] [ d.Callgraph.key ]
+    in
+    let classify_repr =
+      Callgraph.defs cg
+      |> List.map (fun (d : Callgraph.def) ->
+             let cls = cls_of d.Callgraph.key in
+             let chain =
+               if cls = Effects.Pure then []
+               else fst (chain_of d)
+             in
+             Printf.sprintf "%s@%s:%d=%s via %s" d.Callgraph.display
+               d.Callgraph.def_path d.Callgraph.def_line
+               (Effects.cls_name cls)
+               (String.concat " -> " chain))
+      |> List.sort compare
+    in
+    let escapes_repr =
+      Callgraph.defs cg
+      |> List.filter_map (fun (d : Callgraph.def) ->
+             if d.Callgraph.tasks = [] || barrier d then None
+             else
+               List.fold_left
+                 (fun worst (t : Callgraph.task) ->
+                   let top =
+                     Callgraph.module_name_of_path d.Callgraph.def_path
+                   in
+                   let submit_hop =
+                     hop_repr d.Callgraph.display d.Callgraph.def_path
+                       t.Callgraph.submit_line
+                   in
+                   let offence =
+                     List.fold_left
+                       (fun worst (r : Callgraph.reference) ->
+                         let candidate =
+                           match direct_of ~top r with
+                           | Some (c, name, line)
+                             when not (Effects.le c Effects.Local_mut) ->
+                               Some
+                                 ( c,
+                                   [
+                                     submit_hop;
+                                     hop_repr name d.Callgraph.def_path line;
+                                   ],
+                                   name )
+                           | _ -> (
+                               match
+                                 Taint.resolve cg ~top r.Callgraph.target
+                               with
+                               | Some callee
+                                 when callee <> d.Callgraph.key
+                                      && not
+                                           (Effects.le (cls_of callee)
+                                              Effects.Local_mut) -> (
+                                   match Callgraph.find cg callee with
+                                   | Some cd ->
+                                       let chain, source = chain_of cd in
+                                       Some
+                                         ( cls_of callee,
+                                           submit_hop :: chain,
+                                           source )
+                                   | None -> None)
+                               | _ -> None)
+                         in
+                         match (worst, candidate) with
+                         | None, c -> c
+                         | Some _, None -> worst
+                         | Some (wc, _, _), Some (cc, _, _) ->
+                             if Effects.rank cc > Effects.rank wc then
+                               candidate
+                             else worst)
+                       None t.Callgraph.task_refs
+                   in
+                   match offence with
+                   | None -> worst
+                   | Some (c, chain, source) -> (
+                       match worst with
+                       | None ->
+                           Some (t.Callgraph.submit_line, c, chain, source)
+                       | Some (_, wc, _, _) ->
+                           if Effects.rank c > Effects.rank wc then
+                             Some
+                               (t.Callgraph.submit_line, c, chain, source)
+                           else worst))
+                 None d.Callgraph.tasks
+               |> Option.map (fun (sl, c, chain, source) ->
+                      Printf.sprintf "%s:%d %s %s via %s"
+                        d.Callgraph.display sl (Effects.cls_name c) source
+                        (String.concat " -> " chain)))
+      |> List.sort compare
+    in
+    (classify_repr, escapes_repr)
+end
+
+let live_hop (h : Taint.hop) =
+  Frozen.hop_repr h.Taint.name h.Taint.hop_path h.Taint.hop_line
+
+let live_taint ?checked cg =
+  Taint.analyze ?checked cg
+  |> List.map (fun (f : Taint.finding) ->
+         Printf.sprintf "%s <- %s via %s" f.Taint.func.Callgraph.display
+           f.Taint.sink
+           (String.concat " -> " (List.map live_hop f.Taint.chain)))
+  |> List.sort compare
+
+let live_effects cg =
+  let classify_repr =
+    Effects.classify cg
+    |> List.map (fun (i : Effects.info) ->
+           Printf.sprintf "%s@%s:%d=%s via %s" i.Effects.def.Callgraph.display
+             i.Effects.def.Callgraph.def_path
+             i.Effects.def.Callgraph.def_line
+             (Effects.cls_name i.Effects.cls)
+             (String.concat " -> " (List.map live_hop i.Effects.chain)))
+    |> List.sort compare
+  in
+  let escapes_repr =
+    Effects.escapes cg
+    |> List.map (fun (f : Effects.finding) ->
+           Printf.sprintf "%s:%d %s %s via %s"
+             f.Effects.func.Callgraph.display f.Effects.submit_line
+             (Effects.cls_name f.Effects.cls) f.Effects.source
+             (String.concat " -> " (List.map live_hop f.Effects.chain)))
+    |> List.sort compare
+  in
+  (classify_repr, escapes_repr)
+
+let differential_sources =
+  [
+    ( "lib/util/util.ml",
+      "let shuffle arr =\n\
+       \  Array.iteri (fun i _ -> ignore (Random.int (i + 1))) arr\n\
+       let tick () = Unix.gettimeofday ()\n" );
+    ("lib/drip/drip.ml", "let step order = Util.shuffle order; order\n");
+    ( "lib/core/census.ml",
+      "let cache = Hashtbl.create 16\n\
+       let note k = Hashtbl.replace cache k ()\n\
+       let audit c = Util.tick () +. float_of_int c\n\
+       let run pool xs = Radio_exec.Pool.map pool ~f:audit xs\n\
+       let local xs = Radio_exec.Pool.map pool ~f:(fun x -> x + 1) xs\n" );
+  ]
+
+let real_lib_cg () =
+  (* Tests run from _build/default/test; the copied source tree sits one
+     level up.  Skip (rather than fail) when it is not materialized. *)
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
+    let cg = Callgraph.create () in
+    Callgraph.add_tree cg "../lib";
+    Some cg
+  end
+  else None
+
+let differential_tests =
+  [
+    Alcotest.test_case "taint: framework matches the frozen core on \
+                        fixtures" `Quick (fun () ->
+        let cg = Callgraph.of_sources differential_sources in
+        Alcotest.(check (list string))
+          "identical findings"
+          (Frozen.taint cg) (live_taint cg));
+    Alcotest.test_case "effects: framework matches the frozen core on \
+                        fixtures" `Quick (fun () ->
+        let cg = Callgraph.of_sources differential_sources in
+        let fc, fe = Frozen.effects cg in
+        let lc, le = live_effects cg in
+        Alcotest.(check (list string)) "identical classes" fc lc;
+        Alcotest.(check (list string)) "identical escapes" fe le);
+    Alcotest.test_case "taint: framework matches the frozen core on the \
+                        real lib tree" `Quick (fun () ->
+        match real_lib_cg () with
+        | None -> ()
+        | Some cg ->
+            let checked _ = true in
+            Alcotest.(check (list string))
+              "identical findings"
+              (Frozen.taint ~checked cg)
+              (live_taint ~checked cg));
+    Alcotest.test_case "effects: framework matches the frozen core on \
+                        the real lib tree" `Quick (fun () ->
+        match real_lib_cg () with
+        | None -> ()
+        | Some cg ->
+            let fc, fe = Frozen.effects cg in
+            let lc, le = live_effects cg in
+            Alcotest.(check (list string)) "identical classes" fc lc;
+            Alcotest.(check (list string)) "identical escapes" fe le);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* SARIF + baseline (Driver)                                           *)
 (* ------------------------------------------------------------------ *)
@@ -1004,6 +1569,7 @@ let sample_findings =
       line = 3;
       message = "a \"quoted\" diagnostic";
       fingerprint = "random:lib/core/foo.ml:3";
+      related = [];
     };
     {
       Driver.rule = "taint";
@@ -1011,6 +1577,7 @@ let sample_findings =
       line = 1;
       message = "Drip.step → Util.shuffle → Random.int";
       fingerprint = "taint:lib/drip/drip.ml:Drip.step:Random.int";
+      related = [];
     };
   ]
 
@@ -1045,6 +1612,7 @@ let sarif_tests =
                 line = 4;
                 message = "Pool task reaches SharedMut state Foo.cache";
                 fingerprint = "effect:lib/analysis/foo.ml:Foo.go:SharedMut";
+                related = [];
               };
             ]
         in
@@ -1057,6 +1625,35 @@ let sarif_tests =
         Alcotest.(check bool)
           "absent elsewhere" false
           (contains ~needle:"\"properties\"" plain));
+    Alcotest.test_case "witness chains become relatedLocations" `Quick
+      (fun () ->
+        let doc =
+          Driver.to_sarif
+            [
+              {
+                Driver.rule = "taint";
+                path = "lib/drip/drip.ml";
+                line = 1;
+                message = "Drip.step → Util.shuffle → Random.int";
+                fingerprint = "taint:lib/drip/drip.ml:Drip.step:Random.int";
+                related =
+                  [
+                    ("lib/drip/drip.ml", 1, "Drip.step");
+                    ("lib/util/util.ml", 2, "Random.int");
+                  ];
+              };
+            ]
+        in
+        let has n = Alcotest.(check bool) n true (contains ~needle:n doc) in
+        has "\"relatedLocations\":[";
+        has "\"artifactLocation\":{\"uri\":\"lib/util/util.ml\"}";
+        has "\"region\":{\"startLine\":2}";
+        has "\"message\":{\"text\":\"Random.int\"}";
+        (* Chainless findings carry no relatedLocations at all. *)
+        Alcotest.(check bool)
+          "absent elsewhere" false
+          (contains ~needle:"relatedLocations"
+             (Driver.to_sarif sample_findings)));
     Alcotest.test_case "empty finding set is still a complete document"
       `Quick (fun () ->
         let doc = Driver.to_sarif [] in
@@ -1384,6 +1981,9 @@ let () =
       ("taint", taint_tests);
       ("effect-classes", effect_class_tests);
       ("effect-escapes", effect_escape_tests);
+      ("ranges", ranges_tests);
+      ("partiality", partiality_tests);
+      ("dataflow-differential", differential_tests);
       ("sarif", sarif_tests);
       ("baseline", baseline_tests);
       ("invariants-clean", clean_tests);

@@ -340,6 +340,86 @@ let packed_tests =
         check_int "iter visits everything" 10_000 !seen);
   ]
 
+
+(* --- Arena growth boundaries and varint width thresholds ------------- *)
+
+let visited_edge_tests =
+  [
+    Alcotest.test_case "duplicate rollback across arena growth boundaries"
+      `Quick (fun () ->
+        (* [add] packs speculatively past [len] before probing, so a
+           duplicate attempt can itself trigger an arena reallocation and
+           must then roll back — leaving len, count and every published
+           entry intact.  Walk enough distinct states to cross several
+           doublings, re-adding an old state before every insert, and
+           demand that at least one of those duplicate probes landed
+           exactly on a growth boundary (memory grew while add returned
+           false). *)
+        let n = 3 in
+        let visited = Visited.create ~bits:4 ~slots:n () in
+        let state i = [| i - 700; (i * 17) - 9_000; (i mod 7) - 3 |] in
+        let dup_growths = ref 0 in
+        for i = 0 to 1_499 do
+          if i > 0 then begin
+            let before = Visited.memory_bytes visited in
+            let s = state (i / 2) in
+            check "duplicate rejected" false
+              (Visited.add visited ~round_class:0 ~spent:0 s);
+            if Visited.memory_bytes visited > before then
+              incr dup_growths;
+            check "duplicate still member" true
+              (Visited.mem visited ~round_class:0 ~spent:0 s)
+          end;
+          check "fresh state accepted" true
+            (Visited.add visited ~round_class:0 ~spent:0 (state i));
+          check_int "count tracks inserts" (i + 1) (Visited.size visited)
+        done;
+        check "a duplicate probe grew the arena" true (!dup_growths > 0);
+        (* Nothing was corrupted by the speculative writes: every entry
+           unpacks back out exactly once. *)
+        let seen = Hashtbl.create 64 in
+        Visited.iter visited ~slots:n ~f:(fun ~round_class ~spent s ->
+            check_int "round class" 0 round_class;
+            check_int "spent" 0 spent;
+            Hashtbl.replace seen (State.encode ~round_class s) ());
+        check_int "iter recovers every entry" 1_500 (Hashtbl.length seen);
+        for i = 0 to 1_499 do
+          check "entry survives growth" true
+            (Hashtbl.mem seen (State.encode ~round_class:0 (state i)))
+        done);
+    Alcotest.test_case "slot codes change width exactly at the varint \
+                        thresholds" `Quick (fun () ->
+        (* zigzag maps k to 2|k| - (k < 0): the 1->2 byte boundary sits at
+           zigzag = 0x7f/0x80, i.e. k = -64 vs 64, and the 2->3 byte
+           boundary at k = -8192 vs 8192. *)
+        let code_len k =
+          Bytes.length (State.Packed.pack ~round_class:0 ~spent:0 [| k |])
+        in
+        let base = code_len 0 in
+        List.iter
+          (fun (k, extra) -> check_int "code width" (base + extra)
+            (code_len k))
+          [
+            (63, 0); (-64, 0); (64, 1); (-65, 1);
+            (8_191, 1); (-8_192, 1); (8_192, 2); (-8_193, 2);
+          ];
+        (* States straddling a threshold stay distinct in the set. *)
+        let visited = Visited.create ~bits:3 ~slots:1 () in
+        List.iter
+          (fun k ->
+            check "fresh across the boundary" true
+              (Visited.add visited ~round_class:0 ~spent:0 [| k |]))
+          [ -64; 64; -65; 63; -8_192; 8_192 ];
+        check_int "all six held" 6 (Visited.size visited));
+    Alcotest.test_case "create rejects widths the entry header cannot \
+                        hold" `Quick (fun () ->
+        check "reasonable width accepted" true
+          (Visited.size (Visited.create ~slots:6_551 ()) = 0);
+        match Visited.create ~slots:7_000 () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "7000-slot width must be rejected");
+  ]
+
 (* --- Universal mode and the symmetry quotient ------------------------ *)
 
 let stats_equal (a : Checker.stats) (b : Checker.stats) =
@@ -497,6 +577,7 @@ let () =
       ("verify", verify_tests);
       ("mutants", mutant_tests);
       ("packed", packed_tests);
+      ("visited-edges", visited_edge_tests);
       ("explore", explore_tests);
       ("oracle", oracle_tests);
     ]

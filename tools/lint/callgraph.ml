@@ -344,9 +344,11 @@ and collect_let_modules t ~top ~subpath ~path ~opens e =
 (* Building                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let add_source t ~path source =
+(* Index one file from an already-parsed AST (the driver's parse-once
+   cache feeds every deep pass from the same [Parsetree]). *)
+let add_parsed t ~path ~source parsed =
   let path = Rules.normalize path in
-  match Ast_lint.parse ~path source with
+  match parsed with
   | Error e -> t.skipped <- (path, e) :: t.skipped
   | Ok ast ->
       let top = module_name_of_path path in
@@ -356,6 +358,9 @@ let add_source t ~path source =
       Hashtbl.replace t.allow path
         (Rules.allowances ~raw_lines ~stripped_lines);
       collect_items t ~top ~subpath:[] ~path ~opens:[] ast
+
+let add_source t ~path source =
+  add_parsed t ~path ~source (Ast_lint.parse ~path source)
 
 let of_sources sources =
   let t = create () in
@@ -374,3 +379,25 @@ let allowed t ~path ~line ~rule =
   match Hashtbl.find_opt t.allow path with
   | Some f -> f ~line ~rule
   | None -> false
+
+(* Resolve a flattened reference made inside [top] to a call-graph key.
+   [f] alone resolves within the same top module; [...; M; ...; f]
+   resolves through the first component naming a scanned module, which
+   handles both direct ([Engine.run]) and library-wrapped
+   ([Radio_sim.Engine.run]) paths.  Shared by every dataflow client. *)
+let resolve t ~top comps =
+  match comps with
+  | [ f ] ->
+      let key = top ^ "." ^ f in
+      if find t key <> None then Some key else None
+  | _ :: _ -> (
+      let f = List.nth comps (List.length comps - 1) in
+      let modules = List.filteri (fun i _ -> i < List.length comps - 1) comps in
+      match List.find_opt (has_module t) modules with
+      | Some m ->
+          let key = m ^ "." ^ f in
+          if find t key <> None then Some key else None
+      | None -> None)
+  | [] -> None
+
+let flatten lid = flat lid

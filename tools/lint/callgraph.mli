@@ -42,6 +42,16 @@ type t
 
 val create : unit -> t
 val add_source : t -> path:string -> string -> unit
+
+val add_parsed :
+  t ->
+  path:string ->
+  source:string ->
+  (Parsetree.structure, string) result ->
+  unit
+(** Like {!add_source} from an already-parsed AST (the driver's
+    parse-once cache); [Error] diagnostics land in {!skipped}. *)
+
 val of_sources : (string * string) list -> t
 (** Build from in-memory [(path, source)] pairs (test fixtures). *)
 
@@ -66,3 +76,15 @@ val allowed : t -> path:string -> line:int -> rule:string -> bool
 
 val skipped : t -> (string * string) list
 (** Unparseable files: [(path, one-line diagnostic)]. *)
+
+val resolve : t -> top:string -> string list -> string option
+(** Resolve a flattened reference made inside top module [top] to a
+    call-graph key: [f] alone within the same module, [...; M; ...; f]
+    through the first component naming a scanned module.  The edge
+    relation every dataflow client ({!Taint}, {!Effects}, {!Ranges},
+    {!Partiality}) propagates over. *)
+
+val flatten : Longident.t -> string list
+(** Flatten a longident the way reference extraction does ([Stdlib.]
+    dropped) — clients walking their own ASTs resolve through
+    {!resolve} with the same spelling. *)

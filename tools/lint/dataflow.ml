@@ -1,0 +1,182 @@
+(* Generic monotone dataflow over the call graph.
+
+   The two original interprocedural analyses (taint.ml, effects.ml) grew
+   the same skeleton independently: a per-definition fact table, reverse
+   call edges, a worklist seeded from direct facts, a monotone update that
+   records *why* each definition's fact rose (a cause pointer), and a
+   witness-chain extractor that follows the pointers back to the primitive.
+   This module is that skeleton, once, as a functor over the fact lattice:
+
+       Make (L) : solve ~direction ~barrier ~seeds ?flow cg
+
+   - [seeds] reads the direct facts off one definition's body (the
+     transfer function's intraprocedural half) — each fact carries the
+     name and line to blame, which becomes the chain's terminal hop.
+   - [flow] transforms a fact as it crosses one call edge (the transfer
+     function's interprocedural half); the default is the identity, which
+     is what taint and effect classes want.  The partiality analysis
+     subtracts the exceptions a [try] at the call site catches; the range
+     analysis evaluates argument expressions in the caller's environment.
+   - [direction]: [Backward] propagates callee facts up to callers (taint,
+     effects, partiality — "what does calling this reach?"); [Forward]
+     propagates caller facts down to callees (ranges — "what arguments is
+     this called with?").
+   - [barrier] definitions neither originate nor relay facts: they get no
+     seeds and register no edges, exactly the semantics the analyses give
+     [radiolint: allow] annotations and exempt files.
+
+   Termination: each key's fact rises monotonically under [L.join]; after
+   [widen_limit] rises the engine switches to [L.widen], so lattices with
+   infinite ascending chains (intervals) still converge, while finite
+   lattices ([bool], the four effect classes, exception-name sets over a
+   finite program) never reach the limit and [widen = join] is fine. *)
+
+type direction = Backward | Forward
+
+type cause =
+  | Direct of string * int  (* seeded fact: blamed name, use line *)
+  | Call of string * int  (* provider key, call-site line *)
+
+type hop = { name : string; hop_path : string; hop_line : int }
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (* [widen old joined] — must be >= [joined]; called in place of the join
+     result once a key has risen [widen_limit] times.  Finite lattices use
+     [fun _ j -> j]. *)
+end
+
+let widen_limit = 8
+
+module Make (L : LATTICE) = struct
+  type result = {
+    cg : Callgraph.t;
+    table : (string, L.t * cause) Hashtbl.t;
+    barrier : Callgraph.def -> bool;
+  }
+
+  let value res key =
+    match Hashtbl.find_opt res.table key with
+    | Some (v, _) -> v
+    | None -> L.bottom
+
+  let cause res key =
+    match Hashtbl.find_opt res.table key with
+    | Some (_, c) -> Some c
+    | None -> None
+
+  let barrier res = res.barrier
+
+  let solve ?(direction = Backward) ~barrier ~seeds ?flow cg =
+    let flow =
+      match flow with
+      | Some f -> f
+      | None -> fun ~src:_ ~dst:_ ~line:_ v -> v
+    in
+    let table : (string, L.t * cause) Hashtbl.t = Hashtbl.create 64 in
+    let bumps : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let value key =
+      match Hashtbl.find_opt table key with
+      | Some (v, _) -> v
+      | None -> L.bottom
+    in
+    (* Edges indexed by provider: provider key -> (receiver def, call-site
+       line).  Backward: the callee provides, its callers receive.
+       Forward: the caller provides, its callees receive. *)
+    let receivers : (string, Callgraph.def * int) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let queue = Queue.create () in
+    let raise_to key v c =
+      let old = value key in
+      let joined = L.join old v in
+      if not (L.equal joined old) then begin
+        let n =
+          1 + match Hashtbl.find_opt bumps key with Some n -> n | None -> 0
+        in
+        Hashtbl.replace bumps key n;
+        let v = if n > widen_limit then L.widen old joined else joined in
+        Hashtbl.replace table key (v, c);
+        Queue.add key queue
+      end
+    in
+    List.iter
+      (fun (d : Callgraph.def) ->
+        if not (barrier d) then begin
+          let top = Callgraph.module_name_of_path d.Callgraph.def_path in
+          List.iter
+            (fun (v, name, line) ->
+              raise_to d.Callgraph.key v (Direct (name, line)))
+            (seeds ~top d);
+          List.iter
+            (fun { Callgraph.target; ref_line } ->
+              match Callgraph.resolve cg ~top target with
+              | Some other when other <> d.Callgraph.key -> (
+                  match direction with
+                  | Backward -> Hashtbl.add receivers other (d, ref_line)
+                  | Forward -> (
+                      match Callgraph.find cg other with
+                      | Some callee when not (barrier callee) ->
+                          Hashtbl.add receivers d.Callgraph.key
+                            (callee, ref_line)
+                      | _ -> ()))
+              | _ -> ())
+            d.Callgraph.refs
+        end)
+      (Callgraph.defs cg);
+    (* Forward flows can produce facts out of a bottom-valued provider (a
+       constant argument needs no caller context), so every provider
+       pushes at least once. *)
+    if direction = Forward then
+      List.iter
+        (fun (d : Callgraph.def) ->
+          if not (barrier d) then Queue.add d.Callgraph.key queue)
+        (Callgraph.defs cg);
+    while not (Queue.is_empty queue) do
+      let key = Queue.pop queue in
+      let v = value key in
+      match Callgraph.find cg key with
+      | None -> ()
+      | Some src ->
+          List.iter
+            (fun ((dst : Callgraph.def), line) ->
+              raise_to dst.Callgraph.key
+                (flow ~src ~dst ~line v)
+                (Call (key, line)))
+            (Hashtbl.find_all receivers key)
+    done;
+    { cg; table; barrier }
+
+  (* Witness chain: follow the cause pointers from a definition down to
+     the seeded fact.  The [seen] guard breaks cause cycles (possible when
+     a later rise overwrote a pointer into a call cycle); a chain that
+     dead-ends reports ["?"] as its source. *)
+  let chain res (d : Callgraph.def) =
+    let rec go (d : Callgraph.def) acc seen =
+      let hop =
+        {
+          name = d.Callgraph.display;
+          hop_path = d.Callgraph.def_path;
+          hop_line = d.Callgraph.def_line;
+        }
+      in
+      match cause res d.Callgraph.key with
+      | Some (Direct (name, line)) ->
+          let src =
+            { name; hop_path = d.Callgraph.def_path; hop_line = line }
+          in
+          (List.rev (src :: hop :: acc), name)
+      | Some (Call (key, _)) when not (List.mem key seen) -> (
+          match Callgraph.find res.cg key with
+          | Some next -> go next (hop :: acc) (key :: seen)
+          | None -> (List.rev (hop :: acc), "?"))
+      | _ -> (List.rev (hop :: acc), "?")
+    in
+    go d [] [ d.Callgraph.key ]
+end

@@ -1,0 +1,79 @@
+(** Generic monotone dataflow framework over a {!Callgraph.t}.
+
+    One functorized fixpoint engine shared by every interprocedural
+    analysis in the lint stack ({!Taint}, {!Effects}, {!Ranges},
+    {!Partiality}).  A client supplies:
+
+    - a join-semilattice of per-definition facts ({!LATTICE});
+    - [seeds], the intraprocedural transfer: the direct facts one body
+      establishes, each blamed on a name and line (the witness chain's
+      terminal hop);
+    - [flow], the interprocedural transfer: how a fact transforms as it
+      crosses one call edge (identity by default);
+    - a [direction]: [Backward] moves callee facts to callers ("what does
+      calling this reach?"), [Forward] moves caller facts to callees
+      ("what arguments is this called with?").
+
+    [barrier] definitions neither originate nor relay facts — the
+    semantics of [radiolint: allow] annotations and exempt files.  Every
+    fact carries a cause pointer; {!Make.chain} follows the pointers to
+    rebuild the full witness path down to the seeded fact. *)
+
+type direction = Backward | Forward
+
+type cause =
+  | Direct of string * int  (** seeded fact: blamed name, use line *)
+  | Call of string * int  (** provider key, call-site line *)
+
+type hop = { name : string; hop_path : string; hop_line : int }
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old joined] replaces the join result once a key has risen
+      {!widen_limit} times; must be [>= joined].  Lattices with no
+      infinite ascending chains use [fun _ j -> j]. *)
+end
+
+val widen_limit : int
+(** Number of strict rises of one key's fact before the engine switches
+    from [join] to [widen] (8). *)
+
+module Make (L : LATTICE) : sig
+  type result
+
+  val solve :
+    ?direction:direction ->
+    barrier:(Callgraph.def -> bool) ->
+    seeds:(top:string -> Callgraph.def -> (L.t * string * int) list) ->
+    ?flow:
+      (src:Callgraph.def -> dst:Callgraph.def -> line:int -> L.t -> L.t) ->
+    Callgraph.t ->
+    result
+  (** Run the fixpoint.  [seeds ~top d] lists [(fact, blamed-name, line)]
+      for definition [d] (whose top module is [top]); [flow ~src ~dst
+      ~line v] transforms provider [src]'s fact [v] as it crosses the call
+      edge at [line] into receiver [dst] (in [Backward] mode [src] is the
+      callee and [dst] the caller and [line] sits in the caller; in
+      [Forward] mode the roles swap).  Default direction [Backward],
+      default flow the identity. *)
+
+  val value : result -> string -> L.t
+  (** The solved fact for a definition key ([L.bottom] if never risen). *)
+
+  val cause : result -> string -> cause option
+  (** Why the key's fact last rose. *)
+
+  val barrier : result -> Callgraph.def -> bool
+  (** The barrier predicate the solve ran with. *)
+
+  val chain : result -> Callgraph.def -> hop list * string
+  (** Witness chain for a definition: the definition, intermediate
+      callees/callers, and the seeded fact's hop; paired with the blamed
+      name (["?"] when the pointers dead-end). *)
+end

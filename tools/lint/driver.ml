@@ -1,9 +1,9 @@
 (* Orchestration shared by the radiolint executable and `anorad lint`:
-   expand paths, run the AST rules with textual fallback on unparseable
-   files, optionally add the interprocedural layers — the taint analysis
-   (--deep) and the effect-and-escape analysis (--effects; implied by
-   --deep) — filter against a committed baseline, and render text or
-   SARIF. *)
+   expand paths, parse each file once, run the AST rules with textual
+   fallback on unparseable files, optionally add the interprocedural
+   layers — taint (--deep), effects (--effects), value ranges
+   (--ranges) and partiality (--partiality); --deep implies all — filter
+   against a committed baseline, and render text or SARIF. *)
 
 type finding = {
   rule : string;
@@ -11,9 +11,11 @@ type finding = {
   line : int;
   message : string;
   fingerprint : string;
+  related : (string * int * string) list;
+      (* witness chain as (path, line, text) — SARIF relatedLocations *)
 }
 
-let version = "2.0.0"
+let version = "2.1.0"
 
 let rule_descriptions =
   [
@@ -37,8 +39,15 @@ let rule_descriptions =
       "a Pool task closure transitively reaches shared mutable state or \
        I/O (effect class above LocalMut)" );
   ]
+  @ Ranges.rules @ Partiality.rules
 
 let rule_names = List.map fst rule_descriptions
+
+let related_of_chain chain =
+  List.map
+    (fun (h : Dataflow.hop) ->
+      (h.Dataflow.hop_path, h.Dataflow.hop_line, h.Dataflow.name))
+    chain
 
 let of_violation (v : Rules.violation) =
   {
@@ -47,6 +56,7 @@ let of_violation (v : Rules.violation) =
     line = v.Rules.line;
     message = v.Rules.message;
     fingerprint = Printf.sprintf "%s:%s:%d" v.Rules.rule v.Rules.path v.Rules.line;
+    related = [];
   }
 
 let of_taint (f : Taint.finding) =
@@ -59,6 +69,7 @@ let of_taint (f : Taint.finding) =
     fingerprint =
       Printf.sprintf "taint:%s:%s:%s" d.Callgraph.def_path
         d.Callgraph.display f.Taint.sink;
+    related = related_of_chain f.Taint.chain;
   }
 
 (* Effect escapes anchor at the Pool submit site (the actionable line);
@@ -76,6 +87,33 @@ let of_effect (f : Effects.finding) =
       Printf.sprintf "effect:%s:%s:%s" d.Callgraph.def_path
         d.Callgraph.display
         (Effects.cls_name f.Effects.cls);
+    related = related_of_chain f.Effects.chain;
+  }
+
+let of_range (f : Ranges.finding) =
+  {
+    rule = f.Ranges.rule_id;
+    path = f.Ranges.path;
+    line = f.Ranges.line;
+    message = f.Ranges.message;
+    fingerprint =
+      Printf.sprintf "%s:%s:%d" f.Ranges.rule_id f.Ranges.path f.Ranges.line;
+    related = related_of_chain f.Ranges.chain;
+  }
+
+(* Partiality fingerprints are line-free — partiality:path:Function:exn
+   set — so a baselined boundary survives unrelated edits and a new
+   escaping exception resurfaces. *)
+let of_partiality (f : Partiality.finding) =
+  {
+    rule = "partiality";
+    path = f.Partiality.path;
+    line = f.Partiality.line;
+    message = f.Partiality.message;
+    fingerprint =
+      Printf.sprintf "partiality:%s:%s:%s" f.Partiality.path f.Partiality.func
+        (String.concat "+" f.Partiality.exns);
+    related = related_of_chain f.Partiality.chain;
   }
 
 let pp_finding ppf f =
@@ -86,15 +124,26 @@ let pp_finding ppf f =
 (* ------------------------------------------------------------------ *)
 
 (* AST rules when the file parses, textual rules otherwise; missing-mli
-   either way. *)
-let lint_file path =
-  let source = Rules.read_file path in
+   either way.  Takes the parse result so a scan parses each file
+   exactly once (the shallow rules, the call graph and the AST-walking
+   analyses all share it). *)
+let lint_parsed ~path ~source parsed =
   let content =
-    match Ast_lint.lint_source ~path source with
-    | Ok vs -> vs
+    match parsed with
+    | Ok ast ->
+        let allowed =
+          Rules.allowances
+            ~raw_lines:(Rules.lines_of source)
+            ~stripped_lines:(Rules.lines_of (Rules.strip source))
+        in
+        Ast_lint.lint_structure ~path:(Rules.normalize path) ~allowed ast
     | Error _ -> Rules.lint_source ~path source
   in
   List.map of_violation (content @ Rules.missing_mli path)
+
+let lint_file path =
+  let source = Rules.read_file path in
+  lint_parsed ~path ~source (Ast_lint.parse ~path source)
 
 type scan = {
   findings : finding list;
@@ -105,23 +154,55 @@ let expand_path root =
   if Sys.is_directory root then List.rev (Rules.walk root [])
   else [ Rules.normalize root ]
 
-(* [roots] must exist (callers validate).  [deep] and [effects] build one
-   call graph over every scanned file, so cross-root calls are still
-   visible; [deep] implies [effects]. *)
-let scan ?(deep = false) ?(effects = false) roots =
-  let effects = effects || deep in
+(* [roots] must exist (callers validate).  Each file is read and parsed
+   once; the interprocedural layers build one call graph over every
+   scanned file, so cross-root calls are still visible.  [deep] implies
+   every other layer. *)
+let scan ?(deep = false) ?(effects = false) ?(ranges = false)
+    ?(partiality = false) roots =
+  let effects = effects || deep
+  and ranges = ranges || deep
+  and partiality = partiality || deep in
   let files = List.concat_map expand_path roots in
-  let shallow = List.concat_map lint_file files in
+  let parsed =
+    List.map
+      (fun path ->
+        let source = Rules.read_file path in
+        (path, source, Ast_lint.parse ~path source))
+      files
+  in
+  let shallow =
+    List.concat_map (fun (path, source, p) -> lint_parsed ~path ~source p) parsed
+  in
   let deep_findings, skipped =
-    if not (deep || effects) then ([], [])
+    if not (deep || effects || ranges || partiality) then ([], [])
     else begin
       let cg = Callgraph.create () in
-      List.iter (Callgraph.add_file cg) files;
+      List.iter
+        (fun (path, source, p) -> Callgraph.add_parsed cg ~path ~source p)
+        parsed;
+      let asts =
+        List.filter_map
+          (fun (path, _, p) ->
+            match p with
+            | Ok ast -> Some (Rules.normalize path, ast)
+            | Error _ -> None)
+          parsed
+      in
       let taint = if deep then List.map of_taint (Taint.analyze cg) else [] in
       let escape =
         if effects then List.map of_effect (Effects.escapes cg) else []
       in
-      (taint @ escape, Callgraph.skipped cg)
+      let range =
+        if ranges then List.map of_range (Ranges.analyze cg ~asts) else []
+      in
+      let partial =
+        if partiality then
+          List.map of_partiality
+            (Partiality.findings (Partiality.analyze cg ~asts))
+        else []
+      in
+      (taint @ escape @ range @ partial, Callgraph.skipped cg)
     end
   in
   let findings =
@@ -155,9 +236,13 @@ let baseline_lines findings =
 (* Baseline entries that matched nothing in [scan] (run on the raw scan,
    before [apply_baseline]).  Interprocedural fingerprints only count as
    stale when their analysis actually ran — a shallow scan can't observe
-   taint/effect findings, so their absence proves nothing. *)
-let stale_baseline ?(deep = false) ?(effects = false) ~baseline scan =
-  let effects = effects || deep in
+   taint/effect/range/partiality findings, so their absence proves
+   nothing. *)
+let stale_baseline ?(deep = false) ?(effects = false) ?(ranges = false)
+    ?(partiality = false) ~baseline scan =
+  let effects = effects || deep
+  and ranges = ranges || deep
+  and partiality = partiality || deep in
   let prefixed p s =
     String.length s >= String.length p && String.sub s 0 (String.length p) = p
   in
@@ -165,7 +250,9 @@ let stale_baseline ?(deep = false) ?(effects = false) ~baseline scan =
     (fun entry ->
       (not (List.exists (fun f -> f.fingerprint = entry) scan.findings))
       && (deep || not (prefixed "taint:" entry))
-      && (effects || not (prefixed "effect:" entry)))
+      && (effects || not (prefixed "effect:" entry))
+      && (ranges || not (prefixed "range-" entry))
+      && (partiality || not (prefixed "partiality:" entry)))
     baseline
 
 (* ------------------------------------------------------------------ *)
@@ -197,5 +284,6 @@ let to_sarif findings =
            line = f.line;
            fingerprint = f.fingerprint;
            properties = sarif_properties f;
+           related = f.related;
          })
        findings)

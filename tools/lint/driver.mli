@@ -1,11 +1,14 @@
 (** Orchestration shared by the [radiolint] executable and [anorad lint].
 
-    A scan runs the AST rules ({!Ast_lint}) on every [.ml] under the given
-    roots, falling back to the textual rules ({!Rules}) for files the
-    parser rejects, plus the [missing-mli] check; [--effects] additionally
-    builds one call graph over the whole file set and runs the
-    effect-and-escape analysis ({!Effects}); [--deep] implies [--effects]
-    and adds the interprocedural taint analysis ({!Taint}). *)
+    A scan reads and parses every [.ml] under the given roots exactly
+    once, runs the AST rules ({!Ast_lint}) on each parsed file (falling
+    back to the textual rules ({!Rules}) for files the parser rejects),
+    plus the [missing-mli] check.  The interprocedural layers share the
+    parse cache and one call graph over the whole file set:
+    [--effects] runs the effect-and-escape analysis ({!Effects}),
+    [--ranges] the value-range analysis ({!Ranges}), [--partiality] the
+    exception-escape analysis ({!Partiality}), and [--deep] implies all
+    of them plus the taint analysis ({!Taint}). *)
 
 type finding = {
   rule : string;
@@ -13,9 +16,14 @@ type finding = {
   line : int;
   message : string;
   fingerprint : string;
-      (** baseline key: [rule:path:line] for per-file rules,
-          [taint:path:Function:sink] for taint findings,
-          [effect:path:Function:class] for effect escapes *)
+      (** baseline key: [rule:path:line] for per-file rules (including
+          [range-*]), [taint:path:Function:sink] for taint,
+          [effect:path:Function:class] for effect escapes,
+          [partiality:path:Function:Exn1+Exn2] for partiality (line-free;
+          a new escaping exception resurfaces) *)
+  related : (string * int * string) list;
+      (** witness chain as [(path, line, text)] — rendered as SARIF
+          [relatedLocations]; empty for per-file rules *)
 }
 
 val version : string
@@ -30,9 +38,23 @@ type scan = {
 
 val lint_file : string -> finding list
 
-val scan : ?deep:bool -> ?effects:bool -> string list -> scan
+val lint_parsed :
+  path:string ->
+  source:string ->
+  (Ast_lint.parsed, string) result ->
+  finding list
+(** {!lint_file} from an already-parsed AST (the scan's parse-once
+    cache). *)
+
+val scan :
+  ?deep:bool ->
+  ?effects:bool ->
+  ?ranges:bool ->
+  ?partiality:bool ->
+  string list ->
+  scan
 (** Roots (directories or [.ml] files) must exist — validate first.
-    [deep] implies [effects]. *)
+    [deep] implies every other layer. *)
 
 val load_baseline : string -> string list
 (** Fingerprints from a baseline file; blank and [#] lines ignored. *)
@@ -44,11 +66,18 @@ val baseline_lines : finding list -> string list
 (** Sorted, deduplicated fingerprints — the baseline file content. *)
 
 val stale_baseline :
-  ?deep:bool -> ?effects:bool -> baseline:string list -> scan -> string list
+  ?deep:bool ->
+  ?effects:bool ->
+  ?ranges:bool ->
+  ?partiality:bool ->
+  baseline:string list ->
+  scan ->
+  string list
 (** Baseline entries that matched no finding in the (pre-[apply_baseline])
-    scan.  [taint:] entries only count as stale when [deep] ran and
-    [effect:] entries only when [effects] (or [deep]) ran — a shallower
-    scan cannot observe them, so their absence proves nothing. *)
+    scan.  Interprocedural entries ([taint:], [effect:], [range-*],
+    [partiality:]) only count as stale when their analysis actually ran —
+    a shallower scan cannot observe them, so their absence proves
+    nothing. *)
 
 val to_sarif : finding list -> string
 (** SARIF 2.1.0 document for a finding set. *)

@@ -123,14 +123,19 @@ let mutation comps =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Classification fixpoint                                             *)
+(* Classification fixpoint — a {!Dataflow} instance                    *)
 (* ------------------------------------------------------------------ *)
 
-type cause =
-  | Direct of string * int  (* primitive or mutable name, use line *)
-  | Call of string * int  (* callee key with a higher class, call line *)
+module Df = Dataflow.Make (struct
+  type t = cls
 
-type hop = { name : string; hop_path : string; hop_line : int }
+  let bottom = Pure
+  let equal a b = rank a = rank b
+  let join = join
+  let widen _ joined = joined
+end)
+
+type hop = Dataflow.hop = { name : string; hop_path : string; hop_line : int }
 
 type info = {
   def : Callgraph.def;
@@ -155,11 +160,7 @@ let intern_exempt path =
   let nl = String.length needle and pl = String.length path in
   pl >= nl && String.sub path (pl - nl) nl = needle
 
-type result = {
-  cg : Callgraph.t;
-  table : (string, cls * cause) Hashtbl.t;
-  barrier : Callgraph.def -> bool;
-}
+type result = { cg : Callgraph.t; res : Df.result }
 
 (* Direct class of one reference, with the name to blame.  Shared-state
    access is either a runtime primitive or a resolved reference to a
@@ -192,81 +193,16 @@ let analyze ?(exempt = intern_exempt) cg =
     || Callgraph.allowed cg ~path:d.Callgraph.def_path
          ~line:d.Callgraph.def_line ~rule
   in
-  let table : (string, cls * cause) Hashtbl.t = Hashtbl.create 64 in
-  let cls_of key =
-    match Hashtbl.find_opt table key with Some (c, _) -> c | None -> Pure
+  let seeds ~top (d : Callgraph.def) =
+    List.filter_map (direct_of cg ~top) d.Callgraph.refs
+    @ List.map
+        (fun line -> (Local_mut, "<- (record field)", line))
+        d.Callgraph.setfield_lines
   in
-  (* Reverse edges: callee key -> (caller def, call-site line). *)
-  let callers : (string, Callgraph.def * int) Hashtbl.t = Hashtbl.create 64 in
-  let top_of (d : Callgraph.def) =
-    Callgraph.module_name_of_path d.Callgraph.def_path
-  in
-  let queue = Queue.create () in
-  let raise_to key c cause =
-    if rank c > rank (cls_of key) then begin
-      Hashtbl.replace table key (c, cause);
-      Queue.add key queue
-    end
-  in
-  List.iter
-    (fun (d : Callgraph.def) ->
-      if not (barrier d) then begin
-        let top = top_of d in
-        List.iter
-          (fun (r : Callgraph.reference) ->
-            (match direct_of cg ~top r with
-            | Some (c, name, line) ->
-                raise_to d.Callgraph.key c (Direct (name, line))
-            | None -> ());
-            match Taint.resolve cg ~top r.Callgraph.target with
-            | Some callee when callee <> d.Callgraph.key ->
-                Hashtbl.add callers callee (d, r.Callgraph.ref_line)
-            | _ -> ())
-          d.Callgraph.refs;
-        List.iter
-          (fun line ->
-            raise_to d.Callgraph.key Local_mut
-              (Direct ("<- (record field)", line)))
-          d.Callgraph.setfield_lines
-      end)
-    (Callgraph.defs cg);
-  while not (Queue.is_empty queue) do
-    let callee = Queue.pop queue in
-    let c = cls_of callee in
-    List.iter
-      (fun ((d : Callgraph.def), line) ->
-        raise_to d.Callgraph.key c (Call (callee, line)))
-      (Hashtbl.find_all callers callee)
-  done;
-  { cg; table; barrier }
+  { cg; res = Df.solve ~barrier ~seeds cg }
 
-(* Witness chain for a classified definition: follow the cause pointers
-   down to the primitive or mutable binding. *)
-let chain_of res (d : Callgraph.def) =
-  let rec go (d : Callgraph.def) acc seen =
-    let hop =
-      {
-        name = d.Callgraph.display;
-        hop_path = d.Callgraph.def_path;
-        hop_line = d.Callgraph.def_line;
-      }
-    in
-    match Hashtbl.find_opt res.table d.Callgraph.key with
-    | Some (_, Direct (name, line)) ->
-        let src =
-          { name; hop_path = d.Callgraph.def_path; hop_line = line }
-        in
-        (List.rev (src :: hop :: acc), name)
-    | Some (_, Call (callee, _)) when not (List.mem callee seen) -> (
-        match Callgraph.find res.cg callee with
-        | Some next -> go next (hop :: acc) (callee :: seen)
-        | None -> (List.rev (hop :: acc), "?"))
-    | _ -> (List.rev (hop :: acc), "?")
-  in
-  go d [] [ d.Callgraph.key ]
-
-let class_of res key =
-  match Hashtbl.find_opt res.table key with Some (c, _) -> c | None -> Pure
+let chain_of res d = Df.chain res.res d
+let class_of res key = Df.value res.res key
 
 let infos res =
   Callgraph.defs res.cg
@@ -333,7 +269,7 @@ let escapes ?exempt cg =
   let res = analyze ?exempt cg in
   Callgraph.defs cg
   |> List.filter_map (fun (d : Callgraph.def) ->
-         if d.Callgraph.tasks = [] || res.barrier d then None
+         if d.Callgraph.tasks = [] || Df.barrier res.res d then None
          else
            (* One finding per submitting function: the worst escape over
               all its task closures (the fingerprint is per function and

@@ -54,7 +54,7 @@ val mutation : string list -> bool
 val intern_exempt : string -> bool
 (** The default barrier predicate: paths ending in [lib/exec/intern.ml]. *)
 
-type hop = { name : string; hop_path : string; hop_line : int }
+type hop = Dataflow.hop = { name : string; hop_path : string; hop_line : int }
 
 type info = {
   def : Callgraph.def;

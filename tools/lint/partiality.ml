@@ -1,0 +1,327 @@
+(* Partiality analysis — which exceptions can escape each function, a
+   Backward {!Dataflow} instance over sets of exception constructor
+   names.
+
+   An uncaught exception in a CLI subcommand surfaces as a bare OCaml
+   backtrace instead of a diagnostic exit; one escaping a [Pool] task
+   closure is re-raised at the batch join point, on a different domain
+   and far from its cause.  This pass computes, per binding, the set of
+   exceptions that may escape it, and reports the two places where
+   partiality crosses an operational boundary:
+
+   - every CLI subcommand entry in [bin/] ([*_cmd] / [main] bindings);
+   - every Pool task closure ([~f] arguments of the submit shapes the
+     call graph records as {!Callgraph.task}s).
+
+   Escape sources are deliberately narrow and named: explicit [raise] /
+   [raise_notrace] (constructor read from the AST; a dynamic exception
+   value becomes the ["unknown"] token), [failwith], [invalid_arg], and
+   the partial stdlib lookups ([List.hd]/[tl], [Option.get],
+   [Hashtbl.find], [List.find]/[assoc], [String.index]/[rindex],
+   [Queue.pop]/[take]/[peek]/[top], [Stack.pop]/[top],
+   [int_of_string]/[float_of_string], [Char.chr]).  Out-of-bounds
+   [get]/[set] are deliberately NOT partiality sources: bounds are the
+   value-range analysis' domain ({!Ranges}), and double-reporting the
+   same site under two rules would drown both.  [Match_failure] from
+   refutable patterns is likewise out of scope — the compiler's own
+   warning 8 covers it, and this repo builds with warnings as errors.
+
+   [try ... with] handlers subtract what they catch: a catch-all handler
+   clears the whole set, named handlers subtract their constructors, a
+   guarded handler subtracts nothing (the guard may decline).  The
+   subtraction is line-based — sites and call edges inside the lexical
+   extent of a [try] body are filtered — both at the seed and on every
+   propagation edge.
+
+   Suppression: [radiolint: allow partiality] on the binding's definition
+   line severs propagation (a barrier); on a [Pool] submit line it
+   suppresses that task finding. *)
+
+open Parsetree
+module SS = Set.Make (String)
+
+let rules =
+  [
+    ( "partiality",
+      "exceptions can escape a CLI entry or a Pool task closure unhandled" );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-file facts: raise sites and try regions                         *)
+(* ------------------------------------------------------------------ *)
+
+type catch = Catch_all | Catch_names of SS.t
+
+type file_facts = {
+  regions : (int * int * catch) list;
+      (* lexical extent (start line, end line) of each [try] body and
+         what its unguarded handlers catch *)
+  raise_map : (int, string) Hashtbl.t;  (* line -> exn raised there *)
+}
+
+let no_facts = { regions = []; raise_map = Hashtbl.create 1 }
+let exn_name lid = String.concat "." (Callgraph.flatten lid)
+
+(* What an unguarded handler pattern catches: a set of constructor
+   names, or None for a catch-all shape. *)
+let rec catch_of_pattern p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> Some (SS.singleton (exn_name txt))
+  | Ppat_or (a, b) -> (
+      match (catch_of_pattern a, catch_of_pattern b) with
+      | Some x, Some y -> Some (SS.union x y)
+      | _ -> None)
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catch_of_pattern p
+  | _ -> None
+
+let facts_of_ast ast =
+  let regions = ref [] in
+  let raise_map = Hashtbl.create 16 in
+  let expr_rule (it : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (Asttypes.Nolabel, arg) :: _)
+      when match Callgraph.flatten txt with
+           | [ "raise" ] | [ "raise_notrace" ] -> true
+           | _ -> false ->
+        let name =
+          match arg.pexp_desc with
+          | Pexp_construct ({ txt; _ }, _) -> exn_name txt
+          | _ -> "unknown"
+        in
+        Hashtbl.add raise_map e.pexp_loc.Location.loc_start.Lexing.pos_lnum name
+    | Pexp_try (body, cases) ->
+        let catch =
+          List.fold_left
+            (fun acc (c : case) ->
+              match (acc, c.pc_guard) with
+              | Catch_all, _ -> Catch_all
+              | _, Some _ -> acc (* a guard may decline: catches nothing *)
+              | Catch_names ns, None -> (
+                  match catch_of_pattern c.pc_lhs with
+                  | Some more -> Catch_names (SS.union ns more)
+                  | None -> Catch_all))
+            (Catch_names SS.empty) cases
+        in
+        regions :=
+          ( body.pexp_loc.Location.loc_start.Lexing.pos_lnum,
+            body.pexp_loc.Location.loc_end.Lexing.pos_lnum,
+            catch )
+          :: !regions
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_rule } in
+  it.structure it ast;
+  { regions = !regions; raise_map }
+
+(* Filter [exns] down to what survives every [try] body enclosing
+   [line]. *)
+let surviving facts ~line exns =
+  List.fold_left
+    (fun acc (s, e, catch) ->
+      if line >= s && line <= e then
+        match catch with
+        | Catch_all -> SS.empty
+        | Catch_names ns -> SS.diff acc ns
+      else acc)
+    exns facts.regions
+
+(* ------------------------------------------------------------------ *)
+(* Escape sources                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let primitive_exn = function
+  | [ "failwith" ] | [ "int_of_string" ] | [ "float_of_string" ]
+  | [ "List"; ("hd" | "tl") ] ->
+      Some "Failure"
+  | [ "invalid_arg" ] | [ "Option"; "get" ] | [ "Char"; "chr" ] ->
+      Some "Invalid_argument"
+  | [ "Hashtbl"; "find" ]
+  | [ "List"; ("find" | "assoc") ]
+  | [ "String"; ("index" | "rindex") ] ->
+      Some "Not_found"
+  | [ "Queue"; ("pop" | "take" | "peek" | "top") ] -> Some "Queue.Empty"
+  | [ "Stack"; ("pop" | "top") ] -> Some "Stack.Empty"
+  | _ -> None
+
+let is_raise = function [ "raise" ] | [ "raise_notrace" ] -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The backward fixpoint                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Df = Dataflow.Make (struct
+  type t = SS.t
+
+  let bottom = SS.empty
+  let equal = SS.equal
+  let join = SS.union
+  let widen _ joined = joined (* finite lattice: no widening needed *)
+end)
+
+type finding = {
+  path : string;
+  line : int;
+  func : string;  (* display name of the entry / submitting binding *)
+  kind : [ `Entry | `Task ];
+  exns : string list;  (* sorted *)
+  message : string;
+  chain : Dataflow.hop list;
+}
+
+type result = {
+  cg : Callgraph.t;
+  res : Df.result;
+  facts : (string, file_facts) Hashtbl.t;
+}
+
+let facts_for t path =
+  match Hashtbl.find_opt t.facts path with Some f -> f | None -> no_facts
+
+let top_of key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let analyze cg ~asts =
+  let facts = Hashtbl.create 32 in
+  List.iter
+    (fun (path, ast) ->
+      Hashtbl.replace facts (Rules.normalize path) (facts_of_ast ast))
+    asts;
+  let file path =
+    match Hashtbl.find_opt facts path with Some f -> f | None -> no_facts
+  in
+  let barrier (d : Callgraph.def) =
+    Callgraph.allowed cg ~path:d.def_path ~line:d.def_line ~rule:"partiality"
+  in
+  let seeds ~top:_ (d : Callgraph.def) =
+    List.filter_map
+      (fun (r : Callgraph.reference) ->
+        let exns =
+          if is_raise r.target then
+            match Hashtbl.find_all (file d.def_path).raise_map r.ref_line with
+            | [] -> SS.singleton "unknown" (* [raise] passed as a value *)
+            | names -> SS.of_list names
+          else
+            match primitive_exn r.target with
+            | Some e -> SS.singleton e
+            | None -> SS.empty
+        in
+        let exns = surviving (file d.def_path) ~line:r.ref_line exns in
+        if SS.is_empty exns then None
+        else
+          let blame =
+            if is_raise r.target then
+              "raise " ^ String.concat "+" (SS.elements exns)
+            else String.concat "." r.target
+          in
+          Some (exns, blame, r.ref_line))
+      d.refs
+  in
+  let flow ~src:_ ~dst:(d : Callgraph.def) ~line v =
+    surviving (file d.def_path) ~line v
+  in
+  let res = Df.solve ~barrier ~seeds ~flow cg in
+  { cg; res; facts }
+
+let escape_set t key = Df.value t.res key
+
+(* Exceptions a single reference can inject at its site (before [try]
+   filtering): a raise, a partial primitive, or a scanned callee's own
+   escape set. *)
+let ref_exns t ~top ~def_path (r : Callgraph.reference) =
+  if is_raise r.target then
+    match Hashtbl.find_all (facts_for t def_path).raise_map r.ref_line with
+    | [] -> SS.singleton "unknown"
+    | names -> SS.of_list names
+  else
+    match primitive_exn r.target with
+    | Some e -> SS.singleton e
+    | None -> (
+        match Callgraph.resolve t.cg ~top r.target with
+        | Some key -> Df.value t.res key
+        | None -> SS.empty)
+
+let default_entry (d : Callgraph.def) =
+  String.starts_with ~prefix:"bin/" d.def_path
+  && (String.ends_with ~suffix:"_cmd" d.key
+     || String.ends_with ~suffix:".main" d.key)
+
+let findings ?(entry = default_entry) t =
+  let out = ref [] in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      (* CLI entries: the binding's own escape set *)
+      (if entry d then
+         let exns = Df.value t.res d.key in
+         if not (SS.is_empty exns) then
+           let exns = SS.elements exns in
+           out :=
+             {
+               path = d.def_path;
+               line = d.def_line;
+               func = d.display;
+               kind = `Entry;
+               exns;
+               message =
+                 Printf.sprintf
+                   "CLI entry %s can raise: %s — convert to a diagnostic \
+                    exit or handle at the boundary"
+                   d.display
+                   (String.concat ", " exns);
+               chain = fst (Df.chain t.res d);
+             }
+             :: !out);
+      (* Pool task closures: what the closure's references can inject *)
+      let top = top_of d.key in
+      List.iter
+        (fun (task : Callgraph.task) ->
+          if
+            not
+              (Callgraph.allowed t.cg ~path:d.def_path ~line:task.submit_line
+                 ~rule:"partiality")
+          then
+            let witness = ref None in
+            let exns =
+              List.fold_left
+                (fun acc (r : Callgraph.reference) ->
+                  let e =
+                    surviving (facts_for t d.def_path) ~line:r.ref_line
+                      (ref_exns t ~top ~def_path:d.def_path r)
+                  in
+                  (if (not (SS.is_empty e)) && !witness = None then
+                     match Callgraph.resolve t.cg ~top r.target with
+                     | Some key -> witness := Callgraph.find t.cg key
+                     | None -> ());
+                  SS.union acc e)
+                SS.empty task.task_refs
+            in
+            if not (SS.is_empty exns) then
+              let exns = SS.elements exns in
+              out :=
+                {
+                  path = d.def_path;
+                  line = task.submit_line;
+                  func = d.display;
+                  kind = `Task;
+                  exns;
+                  message =
+                    Printf.sprintf
+                      "Pool task submitted by %s can raise: %s — an \
+                       exception escaping a worker closure surfaces at the \
+                       batch join, far from its cause"
+                      d.display
+                      (String.concat ", " exns);
+                  chain =
+                    (match !witness with
+                    | Some cd -> fst (Df.chain t.res cd)
+                    | None -> []);
+                }
+                :: !out)
+        d.tasks)
+    (Callgraph.defs t.cg);
+  List.sort
+    (fun a b -> compare (a.path, a.line, a.func) (b.path, b.line, b.func))
+    !out

@@ -1,25 +1,33 @@
 (* radiolint — three-tier determinism lint (see docs/LINTING.md).
 
-   Usage: radiolint [--deep] [--effects] [--baseline FILE] [--sarif FILE]
+   Usage: radiolint [--deep] [--effects] [--ranges] [--partiality]
+                    [--baseline FILE] [--sarif FILE]
                     [--write-baseline FILE] [PATH ...]
 
    Scans each PATH (directory or .ml file; default: lib) with the AST rule
    engine (textual fallback for unparseable files); --effects adds the
-   interprocedural effect-and-escape analysis; --deep implies --effects
-   and adds the taint analysis.  Exit codes: 0 = clean (every finding
-   baselined), 1 = findings, 2 = usage or I/O error. *)
+   interprocedural effect-and-escape analysis, --ranges the value-range
+   analysis, --partiality the exception-escape analysis; --deep implies
+   all of them plus the taint analysis.  Exit codes: 0 = clean (every
+   finding baselined), 1 = findings, 2 = usage or I/O error. *)
 
 let usage () =
   prerr_endline
-    "usage: radiolint [--deep] [--effects] [--baseline FILE] [--sarif FILE] \
-     [--write-baseline FILE] [PATH ...]";
+    "usage: radiolint [--deep] [--effects] [--ranges] [--partiality] \
+     [--baseline FILE] [--sarif FILE] [--write-baseline FILE] [PATH ...]";
   prerr_endline "  Lints .ml sources under each PATH (default: lib).";
   prerr_endline
     "  --deep            add the interprocedural taint analysis (witness \
-     chains); implies --effects";
+     chains); implies --effects, --ranges and --partiality";
   prerr_endline
     "  --effects         add the interprocedural effect-and-escape analysis \
      (pool-task domain safety)";
+  prerr_endline
+    "  --ranges          add the value-range analysis (overflow, truncation \
+     and unsafe indexing on the packed-state hot paths)";
+  prerr_endline
+    "  --partiality      add the exception-escape analysis (CLI entries and \
+     Pool task closures)";
   prerr_endline
     "  --baseline FILE   ignore findings whose fingerprint is listed in FILE";
   prerr_endline
@@ -43,6 +51,8 @@ let () =
   let module D = Radiolint_core.Driver in
   let deep = ref false in
   let effects = ref false in
+  let ranges = ref false in
+  let partiality = ref false in
   let baseline = ref None in
   let sarif = ref None in
   let write_baseline = ref None in
@@ -57,6 +67,12 @@ let () =
         parse rest
     | "--effects" :: rest ->
         effects := true;
+        parse rest
+    | "--ranges" :: rest ->
+        ranges := true;
+        parse rest
+    | "--partiality" :: rest ->
+        partiality := true;
         parse rest
     | "--baseline" :: file :: rest ->
         baseline := Some file;
@@ -84,7 +100,10 @@ let () =
         exit 2
       end)
     roots;
-  let scan = D.scan ~deep:!deep ~effects:!effects roots in
+  let scan =
+    D.scan ~deep:!deep ~effects:!effects ~ranges:!ranges
+      ~partiality:!partiality roots
+  in
   (match !write_baseline with
   | Some file ->
       let lines = D.baseline_lines scan.D.findings in
@@ -123,7 +142,8 @@ let () =
           (Printf.eprintf
              "radiolint: warning: stale baseline entry (no matching \
               finding): %s\n")
-          (D.stale_baseline ~deep:!deep ~effects:!effects ~baseline scan);
+          (D.stale_baseline ~deep:!deep ~effects:!effects ~ranges:!ranges
+             ~partiality:!partiality ~baseline scan);
         D.apply_baseline ~baseline scan
   in
   (match !sarif with

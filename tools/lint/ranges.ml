@@ -1,0 +1,745 @@
+(* Value-range analysis — interval abstract interpretation over integer
+   expressions, a Forward {!Dataflow} instance.
+
+   The model checker's packed-state layer rests on raw bit arithmetic
+   (LEB128 varints, zigzag slot maps, FNV probing into a Bytes arena) —
+   code where a silent overflow or truncation corrupts millions of packed
+   states without any test noticing.  This pass walks each binding's body
+   with an interval environment and flags, inside the packed-state hot
+   paths ({!Rules.packed_hot_path}):
+
+   - [range-overflow]: a [lsl] whose operand magnitude or shift amount is
+     not provably within the 62 value bits, or a [*] inside an arithmetic
+     chain whose product is not provably representable;
+   - [range-truncation]: a [Char.chr]/[Char.unsafe_chr] argument not
+     provably within [0, 255] — the lossy store shape ([land 0xff] before
+     the store proves the range and stays clean);
+   - [range-index]: an [unsafe_get]/[unsafe_set] index not dominated by a
+     bounds guard (provably non-negative with an upper bound).
+
+   Intraprocedurally the walker tracks [let]-bound locals, refines on
+   comparison guards ([if 0 <= i && i < len then ...]) and [for] bounds,
+   and knows the stdlib's range-bearing operations ([Char.code], [land],
+   [lsr], [length]).  Interprocedurally a Forward dataflow propagates
+   argument intervals from every observed call site to the callee's
+   parameters — so a helper only ever handed already-masked bytes checks
+   clean — with widening (the interval lattice has infinite ascending
+   chains) and call-site provenance recorded as the witness chain.
+   Parameters of bindings with no observed call remain unknown.  The
+   propagation only sees calls inside the scanned roots — calls from
+   tests or external consumers are not observed, the usual lint
+   trade-off (documented in docs/LINTING.md).
+
+   Suppression: [radiolint: allow range-*] on or above the flagged line. *)
+
+open Parsetree
+
+let rules =
+  [
+    ( "range-overflow",
+      "shift/multiply chain may exceed the 62 value bits of an int" );
+    ( "range-truncation",
+      "Char.chr/unsafe_chr argument not provably within [0, 255]" );
+    ( "range-index",
+      "unsafe_get/unsafe_set index not dominated by a bounds guard" );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A [min_int]/[max_int] bound means "unbounded" on that side — the lint
+   never needs to distinguish an actual extremal value from infinity. *)
+type iv = { lo : int; hi : int }
+
+let top = { lo = min_int; hi = max_int }
+let const k = { lo = k; hi = k }
+let is_const iv k = iv.lo = k && iv.hi = k
+let iv_equal a b = a.lo = b.lo && a.hi = b.hi
+let join_iv a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let widen_iv old joined =
+  {
+    lo = (if joined.lo < old.lo then min_int else joined.lo);
+    hi = (if joined.hi > old.hi then max_int else joined.hi);
+  }
+
+let pp_bound ppf = function
+  | b when b = min_int -> Format.fprintf ppf "-inf"
+  | b when b = max_int -> Format.fprintf ppf "+inf"
+  | b -> Format.fprintf ppf "%d" b
+
+let pp_iv ppf iv =
+  Format.fprintf ppf "%c%a, %a%c"
+    (if iv.lo = min_int then '(' else '[')
+    pp_bound iv.lo pp_bound iv.hi
+    (if iv.hi = max_int then ')' else ']')
+
+let iv_to_string iv = Format.asprintf "%a" pp_iv iv
+
+(* Saturating bound arithmetic, sentinel-aware. *)
+let sat_add a b =
+  if a > 0 && b > max_int - a then max_int
+  else if a < 0 && b < min_int - a then min_int
+  else a + b
+
+let add_lo a b = if a = min_int || b = min_int then min_int else sat_add a b
+let add_hi a b = if a = max_int || b = max_int then max_int else sat_add a b
+let add_iv a b = { lo = add_lo a.lo b.lo; hi = add_hi a.hi b.hi }
+
+let neg_bound v =
+  if v = min_int then max_int else if v = max_int then min_int else -v
+
+let neg_iv a = { lo = neg_bound a.hi; hi = neg_bound a.lo }
+let sub_iv a b = add_iv a (neg_iv b)
+let bounded a = a.lo > min_int && a.hi < max_int
+
+(* Clamped product of two bounds, plus whether it clamped. *)
+let mul_bound a b =
+  if a = 0 || b = 0 then (0, false)
+  else if a = min_int || b = min_int then
+    if a < 0 <> (b < 0) then (min_int, true) else (max_int, true)
+  else
+    let p = a * b in
+    if p / b <> a then
+      if a < 0 = (b < 0) then (max_int, true) else (min_int, true)
+    else (p, false)
+
+(* Product interval plus an overflow-possible flag: unbounded operands
+   may overflow unless the other side is the constant 0 or 1. *)
+let mul_iv a b =
+  if bounded a && bounded b then (
+    let products =
+      [
+        mul_bound a.lo b.lo;
+        mul_bound a.lo b.hi;
+        mul_bound a.hi b.lo;
+        mul_bound a.hi b.hi;
+      ]
+    in
+    let vals = List.map fst products in
+    ( {
+        lo = List.fold_left min max_int vals;
+        hi = List.fold_left max min_int vals;
+      },
+      List.exists snd products ))
+  else if is_const a 0 || is_const b 0 then (const 0, false)
+  else if is_const a 1 then (b, false)
+  else if is_const b 1 then (a, false)
+  else (top, true)
+
+let mag v = if v = min_int then max_int else abs v
+
+let bits_of v =
+  let rec go n v = if v = 0 then n else go (n + 1) (v lsr 1) in
+  go 0 v
+
+let bits_of_iv a = bits_of (max (mag a.lo) (mag a.hi))
+
+(* Smallest all-ones mask covering nonnegative [v]. *)
+let mask_up v = if v >= max_int lsr 1 then max_int else (1 lsl bits_of v) - 1
+let meet_iv a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+
+(* ------------------------------------------------------------------ *)
+(* Binding index: parameters and bodies by call-graph key              *)
+(* ------------------------------------------------------------------ *)
+
+type param = {
+  p_label : Asttypes.arg_label;
+  p_name : string option;  (* None: the pattern binds no single variable *)
+  p_default : expression option;
+}
+
+type binding = {
+  b_key : string;
+  b_path : string;
+  b_params : param list;
+  b_body : expression;
+}
+
+let rec simple_var p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) | Ppat_alias (p, _) -> simple_var p
+  | _ -> None
+
+let rec pattern_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (inner, { txt; _ }) -> txt :: pattern_vars inner
+  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pattern_vars ps
+  | Ppat_constraint (p, _) | Ppat_open (_, p) | Ppat_lazy p -> pattern_vars p
+  | Ppat_construct (_, Some (_, p)) -> pattern_vars p
+  | Ppat_variant (_, Some p) -> pattern_vars p
+  | Ppat_record (fields, _) ->
+      List.concat_map (fun (_, p) -> pattern_vars p) fields
+  | Ppat_or (a, b) -> pattern_vars a @ pattern_vars b
+  | _ -> []
+
+let rec peel_fun acc e =
+  match e.pexp_desc with
+  | Pexp_fun (lbl, default, pat, body) ->
+      peel_fun
+        ({ p_label = lbl; p_name = simple_var pat; p_default = default } :: acc)
+        body
+  | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> peel_fun acc e
+  | _ -> (List.rev acc, e)
+
+type index = {
+  by_key : (string, binding) Hashtbl.t;
+  mutable order : binding list;  (* reverse insertion order while building *)
+}
+
+let rec index_items idx ~top ~path items =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match pattern_vars vb.pvb_pat with
+              | [] -> ()
+              | names ->
+                  let params, body = peel_fun [] vb.pvb_expr in
+                  let b =
+                    {
+                      b_key = top ^ "." ^ List.hd names;
+                      b_path = path;
+                      b_params = params;
+                      b_body = body;
+                    }
+                  in
+                  idx.order <- b :: idx.order;
+                  List.iter
+                    (fun n ->
+                      let key = top ^ "." ^ n in
+                      if not (Hashtbl.mem idx.by_key key) then
+                        Hashtbl.replace idx.by_key key b)
+                    names)
+            vbs
+      | Pstr_module { pmb_expr; _ } -> index_module idx ~top ~path pmb_expr
+      | Pstr_recmodule mbs ->
+          List.iter (fun mb -> index_module idx ~top ~path mb.pmb_expr) mbs
+      | Pstr_include { pincl_mod; _ } -> index_module idx ~top ~path pincl_mod
+      | _ -> ())
+    items
+
+and index_module idx ~top ~path m =
+  match m.pmod_desc with
+  | Pmod_structure items -> index_items idx ~top ~path items
+  | Pmod_constraint (m, _) | Pmod_functor (_, m) | Pmod_apply_unit m ->
+      index_module idx ~top ~path m
+  | Pmod_apply (f, arg) ->
+      index_module idx ~top ~path f;
+      index_module idx ~top ~path arg
+  | _ -> ()
+
+let build_index asts =
+  let idx = { by_key = Hashtbl.create 64; order = [] } in
+  List.iter
+    (fun (path, ast) ->
+      index_items idx ~top:(Callgraph.module_name_of_path path) ~path ast)
+    asts;
+  idx.order <- List.rev idx.order;
+  idx
+
+(* ------------------------------------------------------------------ *)
+(* The abstract walker                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+
+type finding = {
+  rule_id : string;
+  path : string;
+  line : int;
+  message : string;
+  chain : Dataflow.hop list;
+      (* argument provenance: the call-site path that shaped the enclosing
+         binding's parameter intervals (empty for entry points) *)
+}
+
+type ctx = {
+  cg : Callgraph.t;
+  idx : index;
+  top : string;
+  (* report sink (final pass only) *)
+  report : (rule_id:string -> line:int -> message:string -> unit) option;
+  (* call-site sink (flow pass only): callee key, contributed param env *)
+  calls : (string -> iv Env.t -> unit) option;
+}
+
+let lookup env x = match Env.find_opt x env with Some iv -> iv | None -> top
+
+(* A genuine-but-unknown length: nonnegative and {e bounded} — the
+   runtime caps every array/string/bytes length below 2^57
+   ([Sys.max_string_length]), so [length x - 1] stays a provable upper
+   bound for an index and [small * length x] provably fits an int. *)
+let length_iv = { lo = 0; hi = (1 lsl 57) - 1 }
+
+let known_ident comps =
+  match comps with
+  | [ "max_int" ] -> Some (const max_int)
+  | [ "min_int" ] -> Some (const min_int)
+  | [ "Sys"; "int_size" ] -> Some { lo = 31; hi = 64 }
+  | [ ("Sys" | "Array"); "max_array_length" ] -> Some length_iv
+  | _ -> None
+
+(* Immediate child expressions, for the generic fallback case. *)
+let sub_exprs e =
+  let acc = ref [] in
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun _ x -> acc := x :: !acc) }
+  in
+  Ast_iterator.default_iterator.expr it e;
+  List.rev !acc
+
+let atomic e =
+  match e.pexp_desc with
+  | Pexp_ident _ | Pexp_constant _ | Pexp_field _ -> true
+  | _ -> false
+
+let line_of e = e.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+let rec walk st env e : iv =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) -> (
+      match int_of_string_opt s with Some k -> const k | None -> top)
+  | Pexp_constant _ -> top
+  | Pexp_ident { txt; _ } -> (
+      match Callgraph.flatten txt with
+      | [ x ] as comps -> (
+          match Env.find_opt x env with
+          | Some iv -> iv
+          | None -> (
+              match known_ident comps with Some iv -> iv | None -> top))
+      | comps -> (
+          match known_ident comps with Some iv -> iv | None -> top))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      apply st env e (Callgraph.flatten txt) args
+  | Pexp_let (rf, vbs, body) ->
+      let env' =
+        List.fold_left
+          (fun acc vb ->
+            let iv =
+              match rf with
+              | Asttypes.Recursive ->
+                  (* no stable pre-state to evaluate the body in *)
+                  ignore (walk st env vb.pvb_expr);
+                  top
+              | Asttypes.Nonrecursive -> walk st env vb.pvb_expr
+            in
+            match simple_var vb.pvb_pat with
+            | Some x -> Env.add x iv acc
+            | None ->
+                List.fold_left
+                  (fun acc x -> Env.add x top acc)
+                  acc
+                  (pattern_vars vb.pvb_pat))
+          env vbs
+      in
+      walk st env' body
+  | Pexp_ifthenelse (c, t, f) -> (
+      ignore (walk st env c);
+      let then_iv = walk st (refine st env c true) t in
+      match f with
+      | Some f -> join_iv then_iv (walk st (refine st env c false) f)
+      | None -> top)
+  | Pexp_sequence (a, b) ->
+      ignore (walk st env a);
+      walk st env b
+  | Pexp_for (pat, e1, e2, dir, body) ->
+      let a = walk st env e1 and b = walk st env e2 in
+      let idx_iv =
+        match dir with
+        | Asttypes.Upto -> { lo = a.lo; hi = b.hi }
+        | Asttypes.Downto -> { lo = b.lo; hi = a.hi }
+      in
+      let env' =
+        match simple_var pat with Some x -> Env.add x idx_iv env | None -> env
+      in
+      ignore (walk st env' body);
+      top
+  | Pexp_while (c, body) ->
+      ignore (walk st env c);
+      (* tracked locals are immutable, so the guard keeps holding inside
+         the body for anything the environment knows (refs are top) *)
+      ignore (walk st (refine st env c true) body);
+      top
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      ignore (walk st env scrut);
+      cases_iv st env cases
+  | Pexp_function cases -> cases_iv st env cases
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter (fun d -> ignore (walk st env d)) default;
+      let env' =
+        List.fold_left (fun acc x -> Env.add x top acc) env (pattern_vars pat)
+      in
+      ignore (walk st env' body);
+      top
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) ->
+      walk st env e
+  | _ ->
+      List.iter (fun sub -> ignore (walk st env sub)) (sub_exprs e);
+      top
+
+and cases_iv st env cases =
+  List.fold_left
+    (fun acc (c : case) ->
+      let env' =
+        List.fold_left
+          (fun acc x -> Env.add x top acc)
+          env (pattern_vars c.pc_lhs)
+      in
+      Option.iter (fun g -> ignore (walk st env' g)) c.pc_guard;
+      join_iv acc (walk st env' c.pc_rhs))
+    { lo = max_int; hi = min_int } (* empty-join identity *)
+    cases
+
+and emit st ~rule_id ~line message =
+  match st.report with
+  | Some report -> report ~rule_id ~line ~message
+  | None -> ()
+
+and apply st env e comps args =
+  let arg_ivs = List.map (fun (_, a) -> walk st env a) args in
+  (* record this call site's contribution for the forward fixpoint *)
+  (match st.calls with
+  | Some sink -> (
+      match Callgraph.resolve st.cg ~top:st.top comps with
+      | Some key -> (
+          match Hashtbl.find_opt st.idx.by_key key with
+          | Some callee -> sink key (contribution st env callee.b_params args)
+          | None -> ())
+      | None -> ())
+  | None -> ());
+  let line = line_of e in
+  match (comps, args, arg_ivs) with
+  | [ op ], [ (_, e1); (_, e2) ], [ a; b ] -> binop st ~line op e1 e2 a b
+  | [ ("succ" | "pred" | "abs" | "~-") as op ], [ _ ], [ a ] -> (
+      match op with
+      | "succ" -> add_iv a (const 1)
+      | "pred" -> sub_iv a (const 1)
+      | "~-" -> neg_iv a
+      | _ -> if a.lo >= 0 then a else { lo = 0; hi = max (mag a.lo) (mag a.hi) }
+      )
+  | [ "Char"; "code" ], _, _ | [ "int_of_char" ], _, _ -> { lo = 0; hi = 255 }
+  | [ "Char"; (("chr" | "unsafe_chr") as fn) ], [ _ ], [ a ] ->
+      if a.lo < 0 || a.hi > 255 then
+        emit st ~rule_id:"range-truncation" ~line
+          (Printf.sprintf
+             "Char.%s argument in %s is not provably within [0, 255] — a \
+              store through it silently truncates"
+             fn (iv_to_string a));
+      { lo = 0; hi = 255 }
+  | ( [
+        (("Bytes" | "Array" | "String") as m);
+        (("unsafe_get" | "unsafe_set") as fn);
+      ],
+      _,
+      _ :: idx_iv :: _ ) ->
+      if idx_iv.lo < 0 || idx_iv.hi = max_int then
+        emit st ~rule_id:"range-index" ~line
+          (Printf.sprintf
+             "%s.%s index in %s is not dominated by a bounds guard (needs a \
+              provable lower bound >= 0 and an upper bound)"
+             m fn (iv_to_string idx_iv));
+      if m = "Bytes" && fn = "unsafe_get" then { lo = 0; hi = 255 } else top
+  | [ ("Bytes" | "String" | "Array" | "List"); "length" ], _, _ -> length_iv
+  | _ -> top
+
+and binop st ~line op e1 e2 a b =
+  match op with
+  | "+" -> add_iv a b
+  | "-" -> sub_iv a b
+  | "*" ->
+      let product, overflow = mul_iv a b in
+      if overflow && ((not (atomic e1)) || not (atomic e2)) then
+        emit st ~rule_id:"range-overflow" ~line
+          (Printf.sprintf
+             "possible overflow: product of %s and %s in a multiply chain is \
+              not provably within an int"
+             (iv_to_string a) (iv_to_string b));
+      if overflow then top else product
+  | "lsl" ->
+      let safe =
+        bounded a && b.lo >= 0 && b.hi <= 62 && bits_of_iv a + b.hi <= 62
+      in
+      if safe then
+        {
+          lo = (if a.lo >= 0 then a.lo lsl b.lo else a.lo lsl b.hi);
+          hi = (if a.hi >= 0 then a.hi lsl b.hi else a.hi lsl b.lo);
+        }
+      else (
+        emit st ~rule_id:"range-overflow" ~line
+          (Printf.sprintf
+             "possible overflow: `lsl` of value in %s by shift in %s is not \
+              provably within the 62 value bits"
+             (iv_to_string a) (iv_to_string b));
+        top)
+  | "lsr" ->
+      if a.lo >= 0 then
+        if bounded b && b.lo = b.hi && b.lo >= 0 && b.lo <= 62 then
+          {
+            lo = a.lo lsr b.lo;
+            hi = (if a.hi = max_int then max_int else a.hi lsr b.lo);
+          }
+        else { lo = 0; hi = a.hi }
+      else if b.lo >= 1 then { lo = 0; hi = max_int }
+      else top
+  | "asr" ->
+      if bounded a && b.lo = b.hi && b.lo >= 0 && b.lo <= 62 then
+        { lo = a.lo asr b.lo; hi = a.hi asr b.lo }
+      else if a.lo >= 0 then { lo = 0; hi = a.hi }
+      else top
+  | "land" -> (
+      let caps =
+        (if a.lo >= 0 then [ a.hi ] else [])
+        @ if b.lo >= 0 then [ b.hi ] else []
+      in
+      match caps with
+      | [] -> top
+      | c :: rest -> { lo = 0; hi = List.fold_left min c rest })
+  | "lor" | "lxor" ->
+      if a.lo >= 0 && b.lo >= 0 then
+        {
+          lo = (if op = "lor" then max a.lo b.lo else 0);
+          hi =
+            (if a.hi = max_int || b.hi = max_int then max_int
+             else mask_up a.hi lor mask_up b.hi);
+        }
+      else top
+  | "/" ->
+      if bounded b && b.lo = b.hi && b.lo > 0 then
+        {
+          lo = (if a.lo = min_int then min_int else a.lo / b.lo);
+          hi = (if a.hi = max_int then max_int else a.hi / b.lo);
+        }
+      else top
+  | "mod" ->
+      if bounded b && b.lo = b.hi && b.lo <> 0 then (
+        let m = mag b.lo - 1 in
+        if a.lo >= 0 then { lo = 0; hi = min a.hi m } else { lo = -m; hi = m })
+      else top
+  | "min" -> { lo = min a.lo b.lo; hi = min a.hi b.hi }
+  | "max" -> { lo = max a.lo b.lo; hi = max a.hi b.hi }
+  | _ -> top
+
+(* Branch refinement: narrow a variable's interval under a comparison
+   guard.  [&&] refines both conjuncts on the true branch, [||] both
+   negations on the false branch, [not] flips. *)
+and refine st env cond branch =
+  match cond.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, e1); (_, e2) ])
+    -> (
+      match Callgraph.flatten txt with
+      | [ "&&" ] ->
+          if branch then refine st (refine st env e1 true) e2 true else env
+      | [ "||" ] ->
+          if branch then env else refine st (refine st env e1 false) e2 false
+      | [ (("<" | "<=" | ">" | ">=" | "=") as op) ] -> (
+          let narrowed x other op =
+            let cur = lookup env x in
+            let nv =
+              match op with
+              | `Lt ->
+                  if other.hi < max_int then
+                    meet_iv cur { lo = min_int; hi = other.hi - 1 }
+                  else cur
+              | `Le -> meet_iv cur { lo = min_int; hi = other.hi }
+              | `Gt ->
+                  if other.lo > min_int then
+                    meet_iv cur { lo = other.lo + 1; hi = max_int }
+                  else cur
+              | `Ge -> meet_iv cur { lo = other.lo; hi = max_int }
+              | `Eq -> meet_iv cur other
+            in
+            Env.add x nv env
+          in
+          let sym = function
+            | `Lt -> `Gt
+            | `Le -> `Ge
+            | `Gt -> `Lt
+            | `Ge -> `Le
+            | `Eq -> `Eq
+          in
+          let neg = function
+            | `Lt -> `Ge
+            | `Le -> `Gt
+            | `Gt -> `Le
+            | `Ge -> `Lt
+            | `Eq -> `Eq
+          in
+          let op =
+            match op with
+            | "<" -> `Lt
+            | "<=" -> `Le
+            | ">" -> `Gt
+            | ">=" -> `Ge
+            | _ -> `Eq
+          in
+          let op, refinable =
+            if branch then (op, true)
+            else if op = `Eq then (`Eq, false) (* x <> e refines nothing *)
+            else (neg op, true)
+          in
+          if not refinable then env
+          else
+            match (var_of e1, var_of e2) with
+            | Some x, _ -> narrowed x (walk st env e2) op
+            | None, Some y -> narrowed y (walk st env e1) (sym op)
+            | None, None -> env)
+      | _ -> env)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, e1) ])
+    when Callgraph.flatten txt = [ "not" ] ->
+      refine st env e1 (not branch)
+  | _ -> env
+
+and var_of e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_constraint (inner, _) -> var_of inner
+  | _ -> None
+
+(* Argument intervals for one call site, matched to the callee's
+   parameters: labelled arguments by name, positional in order, omitted
+   optional parameters by their default expression, anything unmatched
+   (partial application, destructuring patterns) unknown. *)
+and contribution st env params args =
+  let labelled = ref [] and positional = ref [] in
+  List.iter
+    (fun (lbl, a) ->
+      match lbl with
+      | Asttypes.Labelled s | Asttypes.Optional s ->
+          labelled := (s, a) :: !labelled
+      | Asttypes.Nolabel -> positional := a :: !positional)
+    args;
+  let positional = ref (List.rev !positional) in
+  let next_positional () =
+    match !positional with
+    | [] -> None
+    | a :: rest ->
+        positional := rest;
+        Some a
+  in
+  List.fold_left
+    (fun acc p ->
+      let iv =
+        match p.p_label with
+        | Asttypes.Nolabel -> (
+            match next_positional () with
+            | Some a -> walk st env a
+            | None -> top)
+        | Asttypes.Labelled s -> (
+            match List.assoc_opt s !labelled with
+            | Some a -> walk st env a
+            | None -> top)
+        | Asttypes.Optional s -> (
+            match List.assoc_opt s !labelled with
+            | Some a -> walk st env a
+            | None -> (
+                match p.p_default with
+                | Some d -> walk st Env.empty d
+                | None -> top))
+      in
+      match p.p_name with Some n -> Env.add n iv acc | None -> acc)
+    Env.empty params
+
+(* ------------------------------------------------------------------ *)
+(* The forward fixpoint and the report pass                            *)
+(* ------------------------------------------------------------------ *)
+
+module Df = Dataflow.Make (struct
+  type t = iv Env.t option (* None: no observed call site yet *)
+
+  let bottom = None
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> Env.equal iv_equal a b
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Env.union (fun _ x y -> Some (join_iv x y)) a b)
+
+  let widen a b =
+    match (a, b) with
+    | Some old, Some joined ->
+        Some
+          (Env.mapi
+             (fun k j ->
+               match Env.find_opt k old with
+               | Some o -> widen_iv o j
+               | None -> j)
+             joined)
+    | _ -> b
+end)
+
+(* Parameters of a binding nobody calls (an entry point) are unknown —
+   the empty environment makes every lookup [top]. *)
+let env_of_value = function Some env -> env | None -> Env.empty
+
+let analyze ?(checked = Rules.packed_hot_path) cg ~asts =
+  let asts = List.map (fun (path, ast) -> (Rules.normalize path, ast)) asts in
+  let idx = build_index asts in
+  let ctx_of ~path ~report ~calls =
+    { cg; idx; top = Callgraph.module_name_of_path path; report; calls }
+  in
+  let flow ~src ~dst ~line:_ v =
+    match Hashtbl.find_opt idx.by_key src.Callgraph.key with
+    | None -> Some Env.empty (* caller has no AST: arguments unknown *)
+    | Some caller ->
+        let acc = ref None in
+        let sink key env =
+          if key = dst.Callgraph.key then
+            acc :=
+              Some
+                (match !acc with
+                | None -> env
+                | Some prev ->
+                    Env.union (fun _ x y -> Some (join_iv x y)) prev env)
+        in
+        let st = ctx_of ~path:caller.b_path ~report:None ~calls:(Some sink) in
+        ignore (walk st (env_of_value v) caller.b_body);
+        (match !acc with
+        | Some _ as contributed -> contributed
+        | None ->
+            (* referenced but never applied (passed as a closure):
+               arguments unknown *)
+            Some Env.empty)
+  in
+  let res =
+    Df.solve ~direction:Dataflow.Forward
+      ~barrier:(fun _ -> false)
+      ~seeds:(fun ~top:_ _ -> [])
+      ~flow cg
+  in
+  let findings = ref [] in
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      if checked b.b_path then (
+        let chain =
+          match (Callgraph.find cg b.b_key, Df.value res b.b_key) with
+          | Some d, Some _ -> fst (Df.chain res d)
+          | _ -> []
+        in
+        let report ~rule_id ~line ~message =
+          if
+            (not (Hashtbl.mem seen (rule_id, b.b_path, line)))
+            && not (Callgraph.allowed cg ~path:b.b_path ~line ~rule:rule_id)
+          then (
+            Hashtbl.replace seen (rule_id, b.b_path, line) ();
+            findings :=
+              { rule_id; path = b.b_path; line; message; chain } :: !findings)
+        in
+        let env = env_of_value (Df.value res b.b_key) in
+        let st = ctx_of ~path:b.b_path ~report:(Some report) ~calls:None in
+        ignore (walk st env b.b_body)))
+    idx.order;
+  List.sort
+    (fun a b -> compare (a.path, a.line, a.rule_id) (b.path, b.line, b.rule_id))
+    !findings

@@ -1,0 +1,48 @@
+(** Value-range analysis: interval abstract interpretation over the
+    integer expressions of the packed-state hot paths ([lib/mc/],
+    [lib/exec/]), a Forward {!Dataflow} instance.
+
+    Three rules:
+
+    - [range-overflow] — a [lsl] whose operand magnitude plus shift
+      amount is not provably within an int's 62 value bits, or a [*]
+      inside an arithmetic chain whose product may overflow;
+    - [range-truncation] — a [Char.chr]/[Char.unsafe_chr] argument not
+      provably within [0, 255] (masking with [land 0xff] first proves the
+      range);
+    - [range-index] — a [Bytes]/[Array]/[String] [unsafe_get]/[unsafe_set]
+      index not dominated by a bounds guard (provable lower bound [>= 0]
+      and an upper bound).
+
+    The walker tracks [let]-bound locals, refines intervals under
+    comparison guards and [for] bounds, and propagates argument intervals
+    from every observed call site to callee parameters through a widening
+    forward fixpoint — so helpers only ever handed masked values check
+    clean.  Suppress a deliberate wraparound with
+    [(* radiolint: allow range-overflow *)] on or above the line. *)
+
+type iv = { lo : int; hi : int }
+(** A closed interval; [min_int]/[max_int] bounds mean unbounded. *)
+
+val pp_iv : Format.formatter -> iv -> unit
+
+type finding = {
+  rule_id : string;
+  path : string;
+  line : int;
+  message : string;
+  chain : Dataflow.hop list;
+      (** call-site provenance of the enclosing binding's parameter
+          intervals (empty for entry points) — the witness chain exported
+          to SARIF [relatedLocations] *)
+}
+
+val rules : (string * string) list
+(** [(rule_id, description)] for the driver's rule table. *)
+
+val analyze :
+  ?checked:(string -> bool) -> Callgraph.t -> asts:(string * Parsetree.structure) list -> finding list
+(** Run the analysis over the parsed files.  [checked] selects which
+    files' bindings are walked for reports (default
+    {!Rules.packed_hot_path}); argument propagation always uses every
+    AST.  Findings are sorted by [(path, line, rule_id)]. *)

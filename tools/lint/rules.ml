@@ -263,6 +263,13 @@ let in_faults path = contains ~needle:"lib/faults/" path
    Radio_exec.Pool (docs/PARALLEL.md). *)
 let in_exec path = contains ~needle:"lib/exec/" path
 
+(* The packed-state hot paths: raw bit arithmetic (varints, zigzag slot
+   maps, FNV probing into Bytes arenas) where a silent overflow or
+   truncation corrupts states without any test noticing — the reporting
+   scope of the value-range analysis (ranges.ml). *)
+let packed_hot_path path =
+  contains ~needle:"lib/mc/" path || in_exec path
+
 (* Canonicalization-critical directories: the classifier's orders in
    lib/core/ and the model checker's canonical state encodings in lib/mc/
    must never lean on polymorphic structural comparison — it walks

@@ -57,6 +57,10 @@ val in_exec : string -> bool
 (** [lib/exec/]: the only directory allowed to use the multicore runtime
     primitives (Domain/Atomic/Mutex/Condition) directly. *)
 
+val packed_hot_path : string -> bool
+(** [lib/mc/] and [lib/exec/]: the packed-state hot paths — the reporting
+    scope of the value-range analysis ({!Ranges}). *)
+
 val canonical_order_path : string -> bool
 (** [lib/core/], [lib/mc/]: canonicalization-critical code where the
     AST-level [polymorphic-compare] rule bans bare [compare]/[=]/[min]/[max]

@@ -12,6 +12,8 @@ type result = {
   line : int;
   fingerprint : string;
   properties : (string * string) list;
+  related : (string * int * string) list;
+      (* witness chain hops as (path, line, text) -> relatedLocations *)
 }
 
 let schema_uri =
@@ -48,30 +50,39 @@ let rule_object (id, description) =
       ("shortDescription", obj [ ("text", str description) ]);
     ]
 
+let physical_location ~path ~line =
+  ( "physicalLocation",
+    obj
+      [
+        ("artifactLocation", obj [ ("uri", str path) ]);
+        ("region", obj [ ("startLine", string_of_int line) ]);
+      ] )
+
 let result_object r =
   obj
     ([
       ("ruleId", str r.rule_id);
       ("level", str "error");
       ("message", obj [ ("text", str r.message) ]);
-      ( "locations",
-        arr
-          [
-            obj
-              [
-                ( "physicalLocation",
-                  obj
-                    [
-                      ( "artifactLocation",
-                        obj [ ("uri", str r.path) ] );
-                      ( "region",
-                        obj [ ("startLine", string_of_int r.line) ] );
-                    ] );
-              ];
-          ] );
+      ("locations", arr [ obj [ physical_location ~path:r.path ~line:r.line ] ]);
       ( "partialFingerprints",
         obj [ ("radiolint/v1", str r.fingerprint) ] );
     ]
+    @ (match r.related with
+      | [] -> []
+      | hops ->
+          [
+            ( "relatedLocations",
+              arr
+                (List.map
+                   (fun (path, line, text) ->
+                     obj
+                       [
+                         physical_location ~path ~line;
+                         ("message", obj [ ("text", str text) ]);
+                       ])
+                   hops) );
+          ])
     @
     match r.properties with
     | [] -> []

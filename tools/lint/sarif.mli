@@ -16,6 +16,10 @@ type result = {
       (** extra per-result string properties (emitted as the SARIF
           [properties] bag when non-empty), e.g. [effectClass] on effect
           escapes *)
+  related : (string * int * string) list;
+      (** witness chain hops as [(path, line, text)], emitted as
+          [relatedLocations] when non-empty — viewers render the full
+          call path from the finding to its cause *)
 }
 
 val schema_uri : string

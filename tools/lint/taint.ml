@@ -1,4 +1,5 @@
-(* Interprocedural purity analysis.
+(* Interprocedural purity analysis — a {!Dataflow} instance over the
+   two-point lattice (untainted < tainted).
 
    Taint is seeded at impure primitives (PRNG and wall-clock longidents),
    propagated backwards over the call graph, and checked against the
@@ -12,7 +13,7 @@
    [Random.int] through any chain of helpers is reported with the full
    witness path. *)
 
-type hop = { name : string; hop_path : string; hop_line : int }
+type hop = Dataflow.hop = { name : string; hop_path : string; hop_line : int }
 
 type finding = {
   func : Callgraph.def;  (* the boundary function that went impure *)
@@ -34,37 +35,20 @@ let primitive comps =
       Some (String.concat "." comps)
   | _ -> None
 
-(* ------------------------------------------------------------------ *)
-(* Reference resolution                                                *)
-(* ------------------------------------------------------------------ *)
-
-(* Resolve a flattened reference made inside [top] to a call-graph key.
-   [f] alone resolves within the same top module; [...; M; ...; f]
-   resolves through the first component naming a scanned module, which
-   handles both direct ([Engine.run]) and library-wrapped
-   ([Radio_sim.Engine.run]) paths. *)
-let resolve cg ~top comps =
-  match comps with
-  | [ f ] ->
-      let key = top ^ "." ^ f in
-      if Callgraph.find cg key <> None then Some key else None
-  | _ :: _ -> (
-      let f = List.nth comps (List.length comps - 1) in
-      let modules = List.filteri (fun i _ -> i < List.length comps - 1) comps in
-      match List.find_opt (Callgraph.has_module cg) modules with
-      | Some m ->
-          let key = m ^ "." ^ f in
-          if Callgraph.find cg key <> None then Some key else None
-      | None -> None)
-  | [] -> None
+let resolve = Callgraph.resolve
 
 (* ------------------------------------------------------------------ *)
 (* Propagation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type cause =
-  | Prim of string * int  (* primitive name, call-site line *)
-  | Call of string * int  (* tainted callee key, call-site line *)
+module Df = Dataflow.Make (struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+  let widen _ joined = joined
+end)
 
 let analyze ?(checked = Rules.deterministic_boundary)
     ?(exempt = Rules.random_allowed) cg =
@@ -73,71 +57,20 @@ let analyze ?(checked = Rules.deterministic_boundary)
     || Callgraph.allowed cg ~path:d.Callgraph.def_path
          ~line:d.Callgraph.def_line ~rule
   in
-  let tainted : (string, cause) Hashtbl.t = Hashtbl.create 32 in
-  (* Reverse edges: callee key -> (caller def, call-site line). *)
-  let callers : (string, Callgraph.def * int) Hashtbl.t = Hashtbl.create 64 in
-  let top_of (d : Callgraph.def) =
-    Callgraph.module_name_of_path d.Callgraph.def_path
+  let seeds ~top:_ (d : Callgraph.def) =
+    List.filter_map
+      (fun { Callgraph.target; ref_line } ->
+        match primitive target with
+        | Some p -> Some (true, p, ref_line)
+        | None -> None)
+      d.Callgraph.refs
   in
-  let queue = Queue.create () in
-  List.iter
-    (fun (d : Callgraph.def) ->
-      if not (barrier d) then begin
-        let top = top_of d in
-        List.iter
-          (fun { Callgraph.target; ref_line } ->
-            (match primitive target with
-            | Some p when not (Hashtbl.mem tainted d.Callgraph.key) ->
-                Hashtbl.replace tainted d.Callgraph.key (Prim (p, ref_line));
-                Queue.add d.Callgraph.key queue
-            | _ -> ());
-            match resolve cg ~top target with
-            | Some callee when callee <> d.Callgraph.key ->
-                Hashtbl.add callers callee (d, ref_line)
-            | _ -> ())
-          d.Callgraph.refs
-      end)
-    (Callgraph.defs cg);
-  while not (Queue.is_empty queue) do
-    let callee = Queue.pop queue in
-    List.iter
-      (fun ((d : Callgraph.def), line) ->
-        if not (Hashtbl.mem tainted d.Callgraph.key) then begin
-          Hashtbl.replace tainted d.Callgraph.key (Call (callee, line));
-          Queue.add d.Callgraph.key queue
-        end)
-      (Hashtbl.find_all callers callee)
-  done;
-  (* Witness chain for a tainted definition: follow the cause pointers
-     down to the primitive. *)
-  let chain_of (d : Callgraph.def) =
-    let rec go (d : Callgraph.def) acc =
-      let hop =
-        {
-          name = d.Callgraph.display;
-          hop_path = d.Callgraph.def_path;
-          hop_line = d.Callgraph.def_line;
-        }
-      in
-      match Hashtbl.find_opt tainted d.Callgraph.key with
-      | Some (Prim (p, line)) ->
-          let sink_hop =
-            { name = p; hop_path = d.Callgraph.def_path; hop_line = line }
-          in
-          (List.rev (sink_hop :: hop :: acc), p)
-      | Some (Call (callee, _)) -> (
-          match Callgraph.find cg callee with
-          | Some next -> go next (hop :: acc)
-          | None -> (List.rev (hop :: acc), "?"))
-      | None -> (List.rev (hop :: acc), "?")
-    in
-    go d []
-  in
+  let res = Df.solve ~barrier ~seeds cg in
   Callgraph.defs cg
   |> List.filter (fun (d : Callgraph.def) ->
-         checked d.Callgraph.def_path && Hashtbl.mem tainted d.Callgraph.key)
+         checked d.Callgraph.def_path && Df.value res d.Callgraph.key)
   |> List.map (fun d ->
-         let chain, sink = chain_of d in
+         let chain, sink = Df.chain res d in
          { func = d; chain; sink })
   |> List.sort (fun a b ->
          compare

@@ -11,7 +11,7 @@
       modules that own explicitly seeded randomness by contract);
     - functions whose definition carries [radiolint: allow taint]. *)
 
-type hop = { name : string; hop_path : string; hop_line : int }
+type hop = Dataflow.hop = { name : string; hop_path : string; hop_line : int }
 
 type finding = {
   func : Callgraph.def;  (** the boundary function that went impure *)
