@@ -7,10 +7,10 @@ DUNE ?= dune
 
 .PHONY: check build test lint lint-deep lint-effects lint-ranges \
   lint-partiality lint-sarif fmt resilience-smoke mc-smoke par-smoke \
-  churn-smoke bench-churn bench-parallel clean
+  churn-smoke serve-smoke bench-churn bench-parallel bench-serve clean
 
 check: build test lint lint-deep lint-effects lint-ranges lint-partiality \
-  fmt resilience-smoke mc-smoke par-smoke churn-smoke
+  fmt resilience-smoke mc-smoke par-smoke churn-smoke serve-smoke
 
 build:
 	$(DUNE) build
@@ -147,6 +147,52 @@ churn-smoke:
 	if [ $$status -ne 0 ]; then \
 	  echo "churn-smoke: churn replay is not byte-identical"; \
 	fi; exit $$status
+
+# Serve determinism end to end: a request script covering every request
+# kind (plus a malformed line) through `anorad serve --stdio` must render
+# byte-identical responses at --jobs 1 and --jobs 2, with the cache
+# disabled, and on a warm replay (the stream is fed twice and the second
+# half compared against the first run) — the headline invariant of
+# docs/SERVE.md.
+serve-smoke:
+	@script=$$(mktemp); a=$$(mktemp); b=$$(mktemp); status=0; \
+	cfg='config 4\ntags 2 0 0 3\n0 1\n1 2\n2 3\n'; \
+	printf '%s\n' \
+	  '{"id":1,"kind":"classify","config":"'"$$cfg"'"}' \
+	  '{"id":2,"kind":"elect","config":"'"$$cfg"'"}' \
+	  '{"id":3,"kind":"simulate","config":"'"$$cfg"'"}' \
+	  '{"id":4,"kind":"mc-check","config":"'"$$cfg"'"}' \
+	  'not json at all' \
+	  '{"id":5,"kind":"stats"}' > $$script; \
+	$(DUNE) build bin/anorad.exe && \
+	./_build/default/bin/anorad.exe serve --stdio --jobs 1 \
+	  < $$script > $$a 2>/dev/null && \
+	./_build/default/bin/anorad.exe serve --stdio --jobs 2 \
+	  < $$script > $$b 2>/dev/null && \
+	cmp -s $$a $$b || { \
+	  echo "serve-smoke: --jobs 2 differs from --jobs 1"; status=1; }; \
+	if [ $$status -eq 0 ]; then \
+	  ./_build/default/bin/anorad.exe serve --stdio --cache-entries 0 \
+	    < $$script > $$b 2>/dev/null && \
+	  cmp -s $$a $$b || { \
+	    echo "serve-smoke: cache disabled differs from cached"; status=1; }; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+	  sed '/"kind":"stats"/d' $$script > $$b && \
+	  cat $$b $$b | ./_build/default/bin/anorad.exe serve --stdio \
+	    > $$a 2>/dev/null && \
+	  half=$$(sed '/"kind":"stats"/d' $$a | wc -l); \
+	  sed '/"kind":"stats"/d' $$a | head -n $$((half / 2)) > $$b; \
+	  sed '/"kind":"stats"/d' $$a | tail -n $$((half / 2)) > $$script; \
+	  cmp -s $$b $$script || { \
+	    echo "serve-smoke: warm replay differs from cold run"; status=1; }; \
+	fi; \
+	rm -f $$script $$a $$b; exit $$status
+
+# E22 only: regenerate the serve series (BENCH_serve.json) in the working
+# directory.
+bench-serve:
+	$(DUNE) exec bench/main.exe -- serve
 
 # E21 only: regenerate the churn series (BENCH_churn.json) in the working
 # directory.

@@ -1347,6 +1347,187 @@ let e21 ?(quick = false) ?(jobs = 2) () =
      re-classification beats the from-scratch classifier at n >= 64."
 
 (* ------------------------------------------------------------------ *)
+(* E22 - lib/serve: request service, cold vs warm cache                *)
+(* ------------------------------------------------------------------ *)
+
+let e22 ?(quick = false) ?(jobs = 2) () =
+  section "E22  Serve: batched request service, cold vs warm cache";
+  let module Server = Radio_serve.Server in
+  let module Service = Radio_serve.Service in
+  let module Json = Radio_serve.Json in
+  let module Pool = Radio_exec.Pool in
+  let timed_k = if quick then 1 else 3 in
+  (* One classify stream per row: [variants] label-rotated copies of the
+     config (isomorphic, so below the iso bound they share one cache
+     entry), each requested [reps] times, interleaved.  Request lines are
+     built with the serve JSON printer, so the stream is exactly what a
+     client would send over --stdio. *)
+  let rotate config k =
+    let n = C.size config in
+    C.relabel config (Array.init n (fun v -> (v + k) mod n))
+  in
+  let stream_of config ~variants ~reps =
+    let lines = ref [] in
+    let id = ref 0 in
+    for _ = 1 to reps do
+      for k = 0 to variants - 1 do
+        incr id;
+        lines :=
+          Json.to_string
+            (Json.Obj
+               [
+                 ("id", Json.Int !id);
+                 ("kind", Json.Str "classify");
+                 ("config", Json.Str (Radio_config.Config_io.to_string (rotate config k)));
+               ])
+          :: !lines
+      done
+    done;
+    String.concat "\n" (List.rev !lines) ^ "\n"
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Classify request streams through Service.process_wave (jobs %d, \
+            median CPU s of %d)"
+           jobs timed_k)
+      ~columns:
+        [
+          "stream";
+          "n";
+          "requests";
+          "variants";
+          "cold req/s";
+          "warm req/s";
+          "speedup";
+          "hit rate";
+          "bytes equal";
+        ]
+  in
+  let json_rows = ref [] in
+  let st = Workloads.state () in
+  let small_reps = if quick then 4 else 16 in
+  let big_reps = if quick then 4 else 12 in
+  let rows =
+    (* The small rows exercise isomorphism sharing (n <= iso bound, the
+       rotations collapse onto one entry; the hit-rate column is their
+       point).  The large rows are the throughput headline: n > 8 dedups
+       on the raw key only, and a hit buys back an O(n^3) classifier run
+       that dwarfs the O(n) request parse. *)
+    [
+      ("h2", F.h_family 2, 4, small_reps);
+      ("cycle6", C.uniform (Radio_graph.Gen.cycle 6) 0, 6, small_reps);
+      ("path128", Workloads.path_config st 128, 1, big_reps);
+    ]
+    @
+    if quick then []
+    else
+      [
+        ("path256", Workloads.path_config st 256, 1, big_reps);
+        ("path512", Workloads.path_config st 512, 1, 6);
+      ]
+  in
+  let pool = Pool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun (name, config, variants, reps) ->
+          let input = stream_of config ~variants ~reps in
+          let requests = reps * variants in
+          (* Both runs use waves of one request, so wave-local sharing is
+             out of the picture and the cold/warm difference is exactly
+             the cache: cold analyzes every request, warm hits on every
+             resolution after the fill pass. *)
+          let opts cache =
+            {
+              Server.default_options with
+              jobs = Some jobs;
+              cache_entries = cache;
+              max_batch = 1;
+            }
+          in
+          (* Cold: cache disabled, every request runs the classifier. *)
+          let cold_out = Server.run_string ~pool (opts 0) input in
+          let t_cold =
+            Sweep.repeat_timed timed_k (fun () ->
+                ignore (Server.run_string ~pool (opts 0) input))
+          in
+          (* Warm: one persistent service; the first pass fills the cache,
+             the timed replays hit on every resolution. *)
+          let service = Service.create ~cache_entries:256 in
+          let warm_out = Server.run_string ~service ~pool (opts 256) input in
+          let t_warm =
+            Sweep.repeat_timed timed_k (fun () ->
+                ignore (Server.run_string ~service ~pool (opts 256) input))
+          in
+          let replay_out = Server.run_string ~service ~pool (opts 256) input in
+          (* The headline invariant, measured not assumed: cold, warm and
+             a different jobs level all render the same bytes. *)
+          let other_jobs_out =
+            Pool.with_pool ~jobs:1 (fun p1 ->
+                Server.run_string ~pool:p1
+                  { (opts 256) with jobs = Some 1 }
+                  input)
+          in
+          let equal =
+            String.equal cold_out warm_out
+            && String.equal cold_out replay_out
+            && String.equal cold_out other_jobs_out
+          in
+          let telemetry = Service.telemetry service in
+          let hit_rate = Service.hit_rate telemetry in
+          let rps t = float_of_int requests /. Float.max t 1e-9 in
+          let speedup = rps t_warm /. Float.max (rps t_cold) 1e-9 in
+          json_rows :=
+            Printf.sprintf
+              "    {\"name\": %S, \"n\": %d, \"requests\": %d, \"variants\": \
+               %d, \"jobs\": %d, \"cold_seconds\": %.6f, \"cold_rps\": %.1f, \
+               \"warm_seconds\": %.6f, \"warm_rps\": %.1f, \"speedup\": \
+               %.2f, \"hit_rate\": %.4f, \"byte_identical\": %b}"
+              name (C.size config) requests variants jobs t_cold (rps t_cold)
+              t_warm (rps t_warm) speedup hit_rate equal
+            :: !json_rows;
+          Table.add_row table
+            [
+              name;
+              string_of_int (C.size config);
+              string_of_int requests;
+              string_of_int variants;
+              Printf.sprintf "%.0f" (rps t_cold);
+              Printf.sprintf "%.0f" (rps t_warm);
+              Printf.sprintf "%.1fx" speedup;
+              Printf.sprintf "%.1f%%" (100.0 *. hit_rate);
+              string_of_bool equal;
+            ])
+        rows);
+  Table.print table;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E22\",\n\
+      \  \"kernel\": \"Radio_serve.Service.process_wave\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"workloads\": [\n"
+      (Domain.recommended_domain_count ())
+    ^ String.concat ",\n" (List.rev !json_rows)
+    ^ "\n  ]\n}\n"
+  in
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      output_string oc json);
+  print_endline
+    "wrote BENCH_serve.json\n\
+     Below the iso bound (n <= 8) the label-rotated variants of a row\n\
+     share one cache entry via the canonical key; above it the raw key\n\
+     still dedups byte-identical requests.  Small rows are parse-bound\n\
+     (a classify there costs less than reading the request), so their\n\
+     column of interest is the hit rate; the path rows are the throughput\n\
+     claim, warm >= 5x cold.  The bytes-equal column is the serve\n\
+     determinism contract checked end to end: cold, warm, replayed and\n\
+     jobs-1 streams all rendered identical responses."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one group per experiment kernel          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1499,10 +1680,29 @@ let () =
     e21 ~quick:!quick ~jobs:!jobs ();
     exit 0
   end;
+  (* `dune exec bench/main.exe -- serve [--quick] [--jobs N]` regenerates
+     only the E22 serve series (and BENCH_serve.json) — the workload
+     `make serve-smoke` and the acceptance gate (warm >= 5x cold classify
+     throughput) depend on. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then begin
+    let quick = ref false and jobs = ref 2 in
+    let i = ref 2 in
+    while !i < Array.length Sys.argv do
+      (match Sys.argv.(!i) with
+      | "--quick" -> quick := true
+      | "--jobs" when !i + 1 < Array.length Sys.argv ->
+          incr i;
+          jobs := int_of_string Sys.argv.(!i)
+      | a -> failwith ("bench serve: unknown argument " ^ a));
+      incr i
+    done;
+    e22 ~quick:!quick ~jobs:!jobs ();
+    exit 0
+  end;
   print_endline
     "anorad benchmark harness - reproduces the evaluation of Miller, Pelc,\n\
      Yadav: 'Deterministic Leader Election in Anonymous Radio Networks'\n\
-     (SPAA 2020).  Experiment ids E1-E21 are indexed in DESIGN.md; measured\n\
+     (SPAA 2020).  Experiment ids E1-E22 are indexed in DESIGN.md; measured\n\
      vs paper-claimed results are recorded in EXPERIMENTS.md.";
   e1 ();
   e2 ();
@@ -1525,5 +1725,6 @@ let () =
   e19 ();
   e20 ();
   e21 ();
+  e22 ();
   run_bechamel ();
   print_endline "\nDone.  All series regenerated."

@@ -1328,6 +1328,81 @@ let churn_cmd =
       $ max_attempts_arg $ max_timeout_arg $ oracle_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Srv = Radio_serve.Server in
+  let run socket stdio jobs cache_entries max_batch stats_every max_accepts =
+    let opts =
+      {
+        Srv.jobs;
+        cache_entries = max 0 cache_entries;
+        max_batch = max 1 max_batch;
+        stats_every = max 0 stats_every;
+      }
+    in
+    match (stdio, socket) with
+    | true, Some _ | false, None ->
+        Format.eprintf "anorad serve: pass exactly one of --stdio or --socket PATH@.";
+        2
+    | true, None ->
+        Srv.serve_stdio opts;
+        0
+    | false, Some path -> (
+        match Srv.serve_socket ~max_accepts opts ~path with
+        | () -> 0
+        | exception Unix.Unix_error (err, fn, _) ->
+            Format.eprintf "anorad serve: %s: %s@." fn (Unix.error_message err);
+            2)
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let stdio_arg =
+    let doc = "Serve a single request stream over stdin/stdout." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let cache_entries_arg =
+    let doc =
+      "LRU result-cache capacity in canonical configurations (0 disables \
+       caching).  Cache state never changes response bytes, only latency \
+       (docs/SERVE.md)."
+    in
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let max_batch_arg =
+    let doc = "Maximum requests drained into one wave." in
+    Arg.(value & opt int 64 & info [ "max-batch" ] ~docv:"N" ~doc)
+  in
+  let stats_every_arg =
+    let doc =
+      "Print a telemetry line to stderr every $(docv) requests (0: only \
+       when a stats request is served)."
+    in
+    Arg.(value & opt int 0 & info [ "stats-every" ] ~docv:"N" ~doc)
+  in
+  let max_accepts_arg =
+    let doc =
+      "With --socket: exit after serving $(docv) connections (0: serve \
+       forever)."
+    in
+    Arg.(value & opt int 0 & info [ "accepts" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "election-as-a-service: newline-delimited JSON requests (classify, \
+     elect, simulate, mc-check, stats) answered through one amortized \
+     domain pool and a canonical-key LRU cache; same request stream, \
+     byte-identical response stream at every --jobs level and cache state \
+     (docs/SERVE.md)"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ stdio_arg $ jobs_arg $ cache_entries_arg
+      $ max_batch_arg $ stats_every_arg $ max_accepts_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "deterministic leader election in anonymous radio networks" in
@@ -1357,4 +1432,5 @@ let () =
             faults_cmd;
             resilience_cmd;
             churn_cmd;
+            serve_cmd;
           ]))

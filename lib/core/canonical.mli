@@ -92,3 +92,38 @@ val upper_bound_rounds : n:int -> sigma:int -> int
     [⌈n/2⌉ · (n (2σ + 1) + σ) + 1], an upper bound on
     {!local_termination_round} for any plan compiled from an [n]-node,
     span-[σ] configuration.  Tests assert the bound. *)
+
+(** {1 Configuration cache keys}
+
+    Plumbing for result caches keyed by configuration (the [anorad serve]
+    daemon's memoization, docs/SERVE.md): a compact, unambiguous textual
+    key per configuration, canonicalized under tag-preserving graph
+    isomorphism for small instances so isomorphic requests share cache
+    entries. *)
+
+val iso_cache_bound : int
+(** Largest [n] (8) for which {!canonical_form} searches for a canonical
+    labelling; beyond it the identity labelling is used, so only
+    literally-equal configurations share a key.  The search is a
+    branch-and-bound over tag-preserving relabellings — worst case [n!]
+    assignments — which is microseconds at [n <= 8] and unbounded-ish
+    beyond, hence the cutoff. *)
+
+val canonical_form : Radio_config.Config.t -> Radio_config.Config.t * int array
+(** [canonical_form c] is [(rep, perm)] with [rep = Config.relabel c perm]
+    the canonical representative of [c]'s tag-preserving isomorphism class
+    ([n <= iso_cache_bound]; [(c, identity)] beyond): vertices sorted by
+    tag, ties broken by the lexicographically smallest adjacency encoding.
+    Isomorphic configurations map to the {e same} representative, so
+    analyses computed on [rep] can be shared across the class; [perm]
+    carries node-indexed answers back ([perm.(v)] is [v]'s label in
+    [rep]). *)
+
+val raw_key : Radio_config.Config.t -> string
+(** ["n|t0 t1 ..|u-v u-v .."] — an exact serialization of the
+    configuration (no canonicalization); injective on configurations. *)
+
+val cache_key : Radio_config.Config.t -> string
+(** [raw_key (fst (canonical_form c))]: equal for isomorphic
+    configurations at [n <= iso_cache_bound], equal only for identical
+    configurations beyond. *)

@@ -188,6 +188,8 @@ let shutdown t =
     t.stopped <- true
   end
 
+let is_alive t = not t.stopped
+
 let with_pool ?jobs f =
   let pool = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

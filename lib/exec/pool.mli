@@ -32,6 +32,17 @@ val shutdown : t -> unit
 (** Join all worker domains.  Idempotent.  Submitting work to a pool after
     [shutdown] is safe: the caller simply executes everything itself. *)
 
+val is_alive : t -> bool
+(** [true] until {!shutdown} (or the end of {!with_pool}); afterwards the
+    pool degrades to the caller-executes sequential path.  Long-lived
+    services that amortize one pool across their whole process lifetime
+    (the one-pool-per-process pattern of docs/PARALLEL.md — [anorad
+    serve] is the canonical caller) use this to assert the pool they are
+    reusing still has its workers.  Idle pools stay alive indefinitely:
+    workers block on a condition variable between batches and consume no
+    CPU, so reuse after an arbitrarily long idle gap is identical to
+    back-to-back reuse. *)
+
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
     whether [f] returns or raises. *)

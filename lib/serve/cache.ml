@@ -1,0 +1,76 @@
+(* Hashtbl over an intrusive doubly-linked recency list.  [first] is the
+   most recently used entry, [last] the eviction candidate. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards [first] *)
+  mutable next : 'a node option;  (* towards [last] *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable first : 'a node option;
+  mutable last : 'a node option;
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 (min capacity 4096));
+    first = None;
+    last = None;
+    evicted = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.first <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.first;
+  node.prev <- None;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+let find t key =
+  if t.cap <= 0 then None
+  else
+    match Hashtbl.find_opt t.tbl key with
+    | None -> None
+    | Some node ->
+        unlink t node;
+        push_front t node;
+        Some node.value
+
+let add t key value =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+    | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key node;
+        push_front t node);
+    if Hashtbl.length t.tbl > t.cap then
+      match t.last with
+      | None -> ()
+      | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.tbl victim.key;
+          t.evicted <- t.evicted + 1
+  end

@@ -1,0 +1,32 @@
+(** Bounded LRU cache keyed by strings.
+
+    The serve pipeline keys entries by {!Election.Canonical.cache_key}, so
+    isomorphic configurations share one entry (docs/SERVE.md).  Capacity
+    [<= 0] disables the cache entirely: {!find} always misses and {!add}
+    is a no-op — the switch behind [anorad serve --cache-entries 0].
+
+    The cache affects {e latency only}, never response bytes: the pipeline
+    recomputes nothing from a hit that a cold run would compute
+    differently, because entries store analyses of the canonical
+    representative and every response is derived from that representative
+    (see docs/SERVE.md, "Determinism").  Hit/miss accounting lives with
+    the caller ({!Service}) so that wave-local reuse can be counted
+    without touching the structure. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Touches the entry (moves it to most-recently-used) on a hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts or replaces, making the key most-recently-used; evicts the
+    least-recently-used entry when over capacity. *)
+
+val evictions : 'a t -> int
+(** Entries evicted by capacity pressure since [create]. *)

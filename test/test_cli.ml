@@ -633,6 +633,79 @@ let test_mc_explore_and_oracle () =
   check_int "oracle consistent exit 0" 0 code;
   check "agreement reported" true (contains out "agree everywhere")
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A request stream exercising every request kind plus a malformed line;
+   responses are newline-delimited JSON on stdout (docs/SERVE.md). *)
+let serve_script =
+  String.concat ""
+    [
+      {|{"id":1,"kind":"classify","config":"config 4\ntags 2 0 0 3\n0 1\n1 2\n2 3\n"}|};
+      "\n";
+      {|{"id":2,"kind":"elect","config":"config 4\ntags 2 0 0 3\n0 1\n1 2\n2 3\n"}|};
+      "\n";
+      {|{"id":3,"kind":"simulate","config":"config 4\ntags 2 0 0 3\n0 1\n1 2\n2 3\n"}|};
+      "\n";
+      {|{"id":4,"kind":"mc-check","config":"config 4\ntags 2 0 0 3\n0 1\n1 2\n2 3\n"}|};
+      "\n";
+      "this is not json\n";
+      {|{"id":5,"kind":"stats"}|};
+      "\n";
+    ]
+
+let with_script f =
+  let path = Filename.temp_file "anorad_serve" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path serve_script;
+      f path)
+
+let serve_stdio script args =
+  run_cmd
+    (Printf.sprintf "%s serve --stdio %s < %s" (Filename.quote binary) args
+       (Filename.quote script))
+
+let test_serve_stdio () =
+  with_script (fun script ->
+      let code, out = serve_stdio script "" in
+      check_int "serve exit" 0 code;
+      let lines = String.split_on_char '\n' (String.trim out) in
+      check_int "one response per request" 6 (List.length lines);
+      check "classify answered" true (contains out "\"kind\":\"classify\"");
+      check "leader elected" true (contains out "\"leader\":1");
+      check "malformed line answered" true
+        (contains out "\"status\":\"error\"");
+      check "stats answered" true (contains out "\"total\":6"))
+
+(* The headline serve invariant end to end: the same request stream is
+   byte-identical at every --jobs level and every cache state. *)
+let test_serve_determinism () =
+  with_script (fun script ->
+      let _, base = serve_stdio script "--jobs 1" in
+      let _, par = serve_stdio script "--jobs 2" in
+      check "jobs 2 = jobs 1" true (String.equal base par);
+      let _, cold = serve_stdio script "--cache-entries 0" in
+      check "no cache = cached" true (String.equal base cold);
+      let _, tiny = serve_stdio script "--max-batch 1" in
+      check "batch 1 = batch 64" true (String.equal base tiny))
+
+let test_serve_usage () =
+  let code, _ = run_cmd (Filename.quote binary ^ " serve < /dev/null") in
+  check_int "no transport exits 2" 2 code;
+  let code, _ =
+    run_cmd
+      (Filename.quote binary ^ " serve --stdio --socket /tmp/x.sock < /dev/null")
+  in
+  check_int "both transports exits 2" 2 code;
+  let code, out = anorad "serve --help=plain" in
+  check_int "help exit" 0 code;
+  check "documents --stdio" true (contains out "--stdio");
+  check "documents --socket" true (contains out "--socket");
+  check "documents --cache-entries" true (contains out "--cache-entries")
+
 let test_mc_help () =
   let code, out = anorad "mc --help=plain" in
   check_int "help exit" 0 code;
@@ -681,6 +754,13 @@ let () =
             test_effects_cmd;
           Alcotest.test_case "--sarif stdout" `Quick test_lint_sarif_stdout;
           Alcotest.test_case "--baseline" `Quick test_lint_baseline;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "stdio round-trip" `Quick test_serve_stdio;
+          Alcotest.test_case "stream determinism" `Quick
+            test_serve_determinism;
+          Alcotest.test_case "usage and help" `Quick test_serve_usage;
         ] );
       ( "mc",
         [

@@ -122,6 +122,51 @@ let test_stats_monotone () =
       Alcotest.(check int) "jobs reported" 2 s.Pool.jobs;
       Alcotest.(check int) "all elements counted" 1110 s.Pool.tasks)
 
+(* Amortized one-pool-per-process reuse (ROADMAP item 5, docs/PARALLEL.md):
+   a pool stays alive and correct across many batches, shutdown is
+   observable through [is_alive], and submitting after shutdown degrades
+   to the caller-executes sequential path with identical results. *)
+let test_amortized_reuse () =
+  let expected n = List.init n (fun i -> (i * i) + 1) in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check bool) "alive after create" true (Pool.is_alive pool);
+      for round = 1 to 50 do
+        let n = 1 + ((round * 7) mod 40) in
+        let got = Pool.map pool ~f:(fun i -> (i * i) + 1) (List.init n Fun.id) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d correct" round)
+          (expected n) got;
+        Alcotest.(check bool)
+          (Printf.sprintf "alive after batch %d" round)
+          true (Pool.is_alive pool)
+      done;
+      let before = Pool.stats pool in
+      Alcotest.(check bool) "work was counted" true (before.Pool.tasks > 0))
+
+let test_reuse_after_shutdown () =
+  let pool = Pool.create ~jobs:3 () in
+  Alcotest.(check bool) "alive" true (Pool.is_alive pool);
+  let a = Pool.map pool ~f:succ (List.init 100 Fun.id) in
+  Pool.shutdown pool;
+  Alcotest.(check bool) "dead after shutdown" false (Pool.is_alive pool);
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.(check bool) "still dead" false (Pool.is_alive pool);
+  (* the well-specified degraded path: caller executes, same results *)
+  let b = Pool.map pool ~f:succ (List.init 100 Fun.id) in
+  Alcotest.(check (list int)) "post-shutdown batch = live batch" a b;
+  let s = Pool.stats pool in
+  Alcotest.(check int) "degraded work still counted" 200 s.Pool.tasks
+
+let test_with_pool_kills () =
+  let escaped = ref None in
+  Pool.with_pool ~jobs:2 (fun pool -> escaped := Some pool);
+  match !escaped with
+  | None -> Alcotest.fail "with_pool did not run"
+  | Some pool ->
+      Alcotest.(check bool)
+        "with_pool shuts its pool down" false (Pool.is_alive pool)
+
 let test_jobs_resolution () =
   let pool = Pool.create ~jobs:7 () in
   Alcotest.(check int) "explicit jobs" 7 (Pool.jobs pool);
@@ -331,6 +376,10 @@ let () =
           Alcotest.test_case "exception propagates" `Quick
             test_exception_propagates;
           Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
+          Alcotest.test_case "amortized reuse" `Quick test_amortized_reuse;
+          Alcotest.test_case "reuse after shutdown" `Quick
+            test_reuse_after_shutdown;
+          Alcotest.test_case "with_pool shuts down" `Quick test_with_pool_kills;
           Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
           Alcotest.test_case "heavy batch" `Quick test_busy_work;
         ] );
